@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 8: kernel speedups with native MXFP4 on Blackwell (RTX 5090 and
+ * RTX PRO 6000), Single and Batches scenarios, normalized to FP16
+ * FlashDecoding-v2. Baselines: KIVI-4.
+ */
+#include "attention/flash_decoding.h"
+#include "attention/kivi_baseline.h"
+#include "bench_util.h"
+#include "core/bitdecoding.h"
+#include "gpusim/arch.h"
+
+using namespace bitdec;
+
+namespace {
+
+void
+runCard(const sim::GpuArch& arch, int single_hq)
+{
+    core::BitDecodingConfig mx;
+    mx.use_mx = true;
+
+    bench::section(arch.name + " — Single (bs=1, h_q=" +
+                   std::to_string(single_hq) + ", h_k=8, d=128)");
+    bench::head("seq len", {"FD-v2", "KIVI-4", "BD-mxfp4"});
+    for (int len : {8192, 32768, 131072}) {
+        attn::DecodeShape s;
+        s.batch = 1;
+        s.num_q_heads = single_hq;
+        s.num_kv_heads = 8;
+        s.seq_len = len;
+        const double fd = attn::flashDecodingTime(arch, s, 2).total_s;
+        const double kivi = attn::kiviTime(arch, s, 4).total_s;
+        const double bd = core::bitDecodingTime(arch, s, mx).total_s;
+        bench::row(std::to_string(len / 1024) + "k",
+                   {1.0, fd / kivi, fd / bd}, "%10.2fx");
+    }
+
+    bench::section(arch.name + " — Batches (len=8k, h_q=32, h_k=8, d=128)");
+    bench::head("batch", {"FD-v2", "KIVI-4", "BD-mxfp4"});
+    for (int bs : {8, 32, 128}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 32;
+        s.num_kv_heads = 8;
+        s.seq_len = 8192;
+        const double fd = attn::flashDecodingTime(arch, s, 2).total_s;
+        const double kivi = attn::kiviTime(arch, s, 4).total_s;
+        const double bd = core::bitDecodingTime(arch, s, mx).total_s;
+        bench::row(std::to_string(bs), {1.0, fd / kivi, fd / bd}, "%10.2fx");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 8 — kernel performance with MXFP4 on Blackwell "
+                  "(speedup vs FP16 FlashDecoding-v2)");
+    runCard(sim::archRTX5090(), 128);
+    runCard(sim::archRTXPro6000(), 32);
+    return 0;
+}

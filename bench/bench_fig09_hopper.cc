@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 9: kernel performance on Hopper (H100): FlashAttention-2/3
+ * baselines vs BitDecoding v2/v3 in KT-4 / KC-4 / KC-2 configurations.
+ */
+#include "attention/flash_decoding.h"
+#include "bench_util.h"
+#include "core/bitdecoding.h"
+#include "gpusim/arch.h"
+
+using namespace bitdec;
+
+namespace {
+
+core::BitDecodingConfig
+makeCfg(int bits, quant::Granularity g, int version)
+{
+    core::BitDecodingConfig c;
+    c.quant.bits = bits;
+    c.quant.key_granularity = g;
+    c.version = version;
+    return c;
+}
+
+void
+printRow(const sim::GpuArch& arch, const attn::DecodeShape& s,
+         const std::string& label)
+{
+    const double fd2 = attn::flashDecodingTime(arch, s, 2).total_s;
+    const double fd3 = attn::flashDecodingTime(arch, s, 3).total_s;
+    std::vector<double> cols{1.0, fd2 / fd3};
+    for (int version : {2, 3}) {
+        for (auto [bits, g] : {std::pair{4, quant::Granularity::TensorWise},
+                               std::pair{4, quant::Granularity::ChannelWise},
+                               std::pair{2, quant::Granularity::ChannelWise}}) {
+            cols.push_back(
+                fd2 /
+                core::bitDecodingTime(arch, s, makeCfg(bits, g, version))
+                    .total_s);
+        }
+    }
+    bench::row(label, cols, "%9.2fx");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 9 — kernel performance on Hopper H100 "
+                  "(speedup vs FP16 FlashAttention-v2 decode)");
+    const auto& h100 = sim::archH100();
+    const std::vector<std::string> cols{
+        "FA-2",     "FA-3",     "KT-4(v2)", "KC-4(v2)", "KC-2(v2)",
+        "KT-4(v3)", "KC-4(v3)", "KC-2(v3)"};
+
+    bench::section("Single (bs=1, h_q=128, h_k=32, d=128)");
+    bench::head("seq len", cols);
+    for (int len : {1024, 10240, 102400}) {
+        attn::DecodeShape s;
+        s.batch = 1;
+        s.num_q_heads = 128;
+        s.num_kv_heads = 32;
+        s.seq_len = len;
+        printRow(h100, s, std::to_string(len / 1024) + "k");
+    }
+
+    bench::section("Batches (len=32k, h_q=128, h_k=32, d=128)");
+    bench::head("batch", cols);
+    for (int bs : {8, 16, 32, 64, 128}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 128;
+        s.num_kv_heads = 32;
+        s.seq_len = 32768;
+        printRow(h100, s, std::to_string(bs));
+    }
+    return 0;
+}

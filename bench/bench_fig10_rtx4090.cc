@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fig. 10: kernel performance on RTX 4090 — 2x3 grid of (MHA, GQA) x
+ * (Single, Batches, Pages) against KIVI-4/2, Atom and QServe.
+ */
+#include "attention/flash_decoding.h"
+#include "attention/kivi_baseline.h"
+#include "attention/qserve_baseline.h"
+#include "bench_util.h"
+#include "core/bitdecoding.h"
+#include "gpusim/arch.h"
+
+using namespace bitdec;
+
+namespace {
+
+core::BitDecodingConfig
+bd(int bits, quant::Granularity g)
+{
+    core::BitDecodingConfig c;
+    c.quant.bits = bits;
+    c.quant.key_granularity = g;
+    return c;
+}
+
+std::vector<double>
+bdSpeedups(const sim::GpuArch& arch, const attn::DecodeShape& s, double fd)
+{
+    return {fd / core::bitDecodingTime(
+                     arch, s, bd(4, quant::Granularity::TensorWise))
+                     .total_s,
+            fd / core::bitDecodingTime(
+                     arch, s, bd(4, quant::Granularity::ChannelWise))
+                     .total_s,
+            fd / core::bitDecodingTime(
+                     arch, s, bd(2, quant::Granularity::ChannelWise))
+                     .total_s};
+}
+
+void
+runVariant(const sim::GpuArch& arch, int hkv, const std::string& name)
+{
+    bench::section(name + " — Single (bs=1, h_q=32, h_k=" +
+                   std::to_string(hkv) + ", d=128)");
+    bench::head("seq len", {"FD-v2", "KIVI-4", "KIVI-2", "BD-KT4", "BD-KC4",
+                            "BD-KC2"});
+    for (int len : {1024, 4096, 16384, 65536, 131072}) {
+        attn::DecodeShape s;
+        s.batch = 1;
+        s.num_q_heads = 32;
+        s.num_kv_heads = hkv;
+        s.seq_len = len;
+        const double fd = attn::flashDecodingTime(arch, s, 2).total_s;
+        std::vector<double> cols{1.0, fd / attn::kiviTime(arch, s, 4).total_s,
+                                 fd / attn::kiviTime(arch, s, 2).total_s};
+        for (double v : bdSpeedups(arch, s, fd))
+            cols.push_back(v);
+        bench::row(std::to_string(len / 1024) + "k", cols, "%9.2fx");
+    }
+
+    bench::section(name + " — Batches (len=4k)");
+    bench::head("batch", {"FD-v2", "KIVI-4", "KIVI-2", "BD-KT4", "BD-KC4",
+                          "BD-KC2"});
+    for (int bs : {8, 32, 64, 128}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 32;
+        s.num_kv_heads = hkv;
+        s.seq_len = 4096;
+        const double fd = attn::flashDecodingTime(arch, s, 2).total_s;
+        std::vector<double> cols{1.0, fd / attn::kiviTime(arch, s, 4).total_s,
+                                 fd / attn::kiviTime(arch, s, 2).total_s};
+        for (double v : bdSpeedups(arch, s, fd))
+            cols.push_back(v);
+        bench::row(std::to_string(bs), cols, "%9.2fx");
+    }
+
+    bench::section(name + " — Pages (len=2k)");
+    bench::head("batch", {"FD-v2", "Atom", "QServe", "BD-KT4", "BD-KC4",
+                          "BD-KC2"});
+    for (int bs : {2, 4, 8}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 32;
+        s.num_kv_heads = hkv;
+        s.seq_len = 2048;
+        s.scenario = attn::Scenario::Pages;
+        const double fd = attn::flashDecodingTime(arch, s, 2).total_s;
+        const double atom =
+            attn::cudaCoreSystemSupports(attn::CudaCoreSystem::Atom, s)
+                ? fd / attn::cudaCoreFusedTime(arch, s,
+                                               attn::CudaCoreSystem::Atom, 4)
+                          .total_s
+                : 0.0; // Atom: no GQA support
+        const double qserve =
+            fd / attn::cudaCoreFusedTime(arch, s,
+                                         attn::CudaCoreSystem::QServe, 4)
+                     .total_s;
+        std::vector<double> cols{1.0, atom, qserve};
+        for (double v : bdSpeedups(arch, s, fd))
+            cols.push_back(v);
+        bench::row(std::to_string(bs), cols, "%9.2fx");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 10 — kernel performance on RTX 4090 "
+                  "(speedup vs FP16 FlashDecoding-v2; 0 = unsupported)");
+    runVariant(sim::archRTX4090(), 32, "MHA (h_q = h_k = 32)");
+    runVariant(sim::archRTX4090(), 8, "GQA (h_q = 32, h_k = 8)");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 11: kernel performance on the high-bandwidth A100: Single /
+ * Batches / Pages vs KIVI and QServe.
+ */
+#include "attention/flash_decoding.h"
+#include "attention/kivi_baseline.h"
+#include "attention/qserve_baseline.h"
+#include "bench_util.h"
+#include "core/bitdecoding.h"
+#include "gpusim/arch.h"
+
+using namespace bitdec;
+
+namespace {
+
+core::BitDecodingConfig
+bd(int bits, quant::Granularity g)
+{
+    core::BitDecodingConfig c;
+    c.quant.bits = bits;
+    c.quant.key_granularity = g;
+    return c;
+}
+
+std::vector<double>
+bdCols(const sim::GpuArch& a, const attn::DecodeShape& s, double fd)
+{
+    return {fd / core::bitDecodingTime(a, s,
+                                       bd(4, quant::Granularity::TensorWise))
+                     .total_s,
+            fd / core::bitDecodingTime(a, s,
+                                       bd(4, quant::Granularity::ChannelWise))
+                     .total_s,
+            fd / core::bitDecodingTime(a, s,
+                                       bd(2, quant::Granularity::ChannelWise))
+                     .total_s};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 11 — kernel performance on A100 "
+                  "(speedup vs FP16 FlashAttention-v2 decode)");
+    const auto& a100 = sim::archA100();
+
+    bench::section("Single (bs=1, h_q=128, h_k=16, d=128, GQA)");
+    bench::head("seq len", {"FA-2", "KIVI-4", "KIVI-2", "BD-KT4", "BD-KC4",
+                            "BD-KC2"});
+    for (int len : {1024, 4096, 16384, 65536, 102400}) {
+        attn::DecodeShape s;
+        s.batch = 1;
+        s.num_q_heads = 128;
+        s.num_kv_heads = 16;
+        s.seq_len = len;
+        const double fd = attn::flashDecodingTime(a100, s, 2).total_s;
+        std::vector<double> cols{1.0, fd / attn::kiviTime(a100, s, 4).total_s,
+                                 fd / attn::kiviTime(a100, s, 2).total_s};
+        for (double v : bdCols(a100, s, fd))
+            cols.push_back(v);
+        bench::row(std::to_string(len / 1024) + "k", cols, "%9.2fx");
+    }
+
+    bench::section("Batches (len=32k, h_q=128, h_k=16, d=128, GQA)");
+    bench::head("batch", {"FA-2", "KIVI-4", "KIVI-2", "BD-KT4", "BD-KC4",
+                          "BD-KC2"});
+    for (int bs : {8, 32, 64, 128}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 128;
+        s.num_kv_heads = 16;
+        s.seq_len = 32768;
+        const double fd = attn::flashDecodingTime(a100, s, 2).total_s;
+        std::vector<double> cols{1.0, fd / attn::kiviTime(a100, s, 4).total_s,
+                                 fd / attn::kiviTime(a100, s, 2).total_s};
+        for (double v : bdCols(a100, s, fd))
+            cols.push_back(v);
+        bench::row(std::to_string(bs), cols, "%9.2fx");
+    }
+
+    bench::section("Pages (len=2k, h_q=32, h_k=8, d=128, GQA)");
+    bench::head("batch", {"FA-2", "QServe", "BD-KT4", "BD-KC4", "BD-KC2"});
+    for (int bs : {8, 16, 32, 64}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 32;
+        s.num_kv_heads = 8;
+        s.seq_len = 2048;
+        s.scenario = attn::Scenario::Pages;
+        const double fd = attn::flashDecodingTime(a100, s, 2).total_s;
+        std::vector<double> cols{
+            1.0, fd / attn::cudaCoreFusedTime(
+                          a100, s, attn::CudaCoreSystem::QServe, 4)
+                          .total_s};
+        for (double v : bdCols(a100, s, fd))
+            cols.push_back(v);
+        bench::row(std::to_string(bs), cols, "%9.2fx");
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 12: end-to-end comparison with non-fused attention (KIVI) on
+ * LLaMA-3.1-8B / A100: (a) single-batch latency speedup at 32K/64K/128K
+ * (KIVI OOMs at 128K), (b) decode throughput vs batch size at 4K.
+ */
+#include "bench_util.h"
+#include "gpusim/arch.h"
+#include "model/decode_sim.h"
+#include "model/model_config.h"
+
+using namespace bitdec;
+using namespace bitdec::model;
+
+int
+main()
+{
+    bench::banner("Fig. 12 — end-to-end vs non-fused KIVI "
+                  "(LLaMA-3.1-8B, A100)");
+    const auto& a100 = sim::archA100();
+    const auto& m = llama31_8b();
+
+    E2EConfig fp16;
+    fp16.system = SystemKind::FlashDecodingFp16;
+
+    bench::section("(a) Single-batch latency speedup vs FP16 "
+                   "(OOM printed as 0)");
+    bench::head("seq len", {"Kivi-4", "Kivi-2", "BD-KC-4", "BD-KC-2"});
+    for (int len : {32768, 65536, 131072}) {
+        const double base =
+            decodeThroughput(a100, m, len, 1, fp16).oom
+                ? 0.0
+                : decodeStepTime(a100, m, len, 1, fp16).total_s;
+        std::vector<double> cols;
+        for (auto [system, bits] :
+             {std::pair{SystemKind::Kivi, 4}, std::pair{SystemKind::Kivi, 2},
+              std::pair{SystemKind::BitDecoding, 4},
+              std::pair{SystemKind::BitDecoding, 2}}) {
+            E2EConfig c;
+            c.system = system;
+            c.bits = bits;
+            const auto r = decodeThroughput(a100, m, len, 1, c);
+            cols.push_back(
+                r.oom || base == 0.0
+                    ? 0.0
+                    : base / decodeStepTime(a100, m, len, 1, c).total_s);
+        }
+        bench::row(std::to_string(len / 1024) + "K", cols, "%10.2fx");
+    }
+
+    bench::section("(b) Decode throughput, tokens/s (seq len = 4k)");
+    bench::head("batch", {"FD-v2", "Kivi-4", "Kivi-2", "BD-KC-4", "BD-KC-2"});
+    for (int bs : {1, 8, 16, 32, 50}) {
+        std::vector<double> cols;
+        for (auto [system, bits] :
+             {std::pair{SystemKind::FlashDecodingFp16, 16},
+              std::pair{SystemKind::Kivi, 4}, std::pair{SystemKind::Kivi, 2},
+              std::pair{SystemKind::BitDecoding, 4},
+              std::pair{SystemKind::BitDecoding, 2}}) {
+            E2EConfig c;
+            c.system = system;
+            c.bits = bits;
+            const auto r = decodeThroughput(a100, m, 4096, bs, c);
+            cols.push_back(r.oom ? 0.0 : r.tokens_per_s);
+        }
+        bench::row(std::to_string(bs), cols, "%10.1f");
+    }
+    return 0;
+}

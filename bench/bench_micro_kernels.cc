@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Host-side micro-benchmarks (google-benchmark) of the functional kernels:
+ * quantization, induced packing, fast dequantization and the warp-emulated
+ * Packing Kernel. These measure the simulator itself, not GPU latency.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/bitdecoding.h"
+#include "layout/induced_layout.h"
+#include "quant/fast_dequant.h"
+#include "quant/int_quant.h"
+#include "quant/mx_format.h"
+
+using namespace bitdec;
+
+namespace {
+
+Tensor<Half>
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor<Half> m({rows, cols});
+    for (std::size_t i = 0; i < m.numel(); i++)
+        m[i] = Half(rng.normal());
+    return m;
+}
+
+void
+BM_QuantizeMatrix(benchmark::State& state)
+{
+    const auto x = randomMatrix(128, 128, 1);
+    const int bits = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto q = quant::quantizeMatrix(x, bits,
+                                       quant::Granularity::ChannelWise, 32);
+        benchmark::DoNotOptimize(q.codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(x.numel()));
+}
+BENCHMARK(BM_QuantizeMatrix)->Arg(4)->Arg(2);
+
+void
+BM_PackInduced(benchmark::State& state)
+{
+    layout::WarpTiling tiling;
+    const layout::InducedLayout lay(tiling, 4, 128, 128);
+    Rng rng(2);
+    Tensor<std::uint8_t> codes({128, 128});
+    for (std::size_t i = 0; i < codes.numel(); i++)
+        codes[i] = static_cast<std::uint8_t>(rng.uniformInt(16));
+    for (auto _ : state) {
+        auto units = packInduced(lay, codes);
+        benchmark::DoNotOptimize(units.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(codes.numel()));
+}
+BENCHMARK(BM_PackInduced);
+
+void
+BM_FastDequantWord(benchmark::State& state)
+{
+    const int bits = static_cast<int>(state.range(0));
+    const quant::QuantParams p = quant::computeParams(-2.f, 2.f, bits);
+    Half out[16];
+    std::uint32_t word = 0xA5C3F012u;
+    for (auto _ : state) {
+        quant::fastDequantWord(word, bits, p, out);
+        benchmark::DoNotOptimize(out);
+        word = word * 1664525u + 1013904223u;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            quant::codesPerWord(bits));
+}
+BENCHMARK(BM_FastDequantWord)->Arg(4)->Arg(2);
+
+void
+BM_MxEncode(benchmark::State& state)
+{
+    Rng rng(3);
+    std::vector<float> x(4096);
+    for (auto& v : x)
+        v = rng.normal();
+    for (auto _ : state) {
+        auto enc = quant::mxEncode(x, quant::MxKind::MXFP4);
+        benchmark::DoNotOptimize(enc.codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_MxEncode);
+
+void
+BM_PackingKernelAttention(benchmark::State& state)
+{
+    core::BitDecodingConfig cfg;
+    core::HeadDecoder dec(64, cfg);
+    const auto k = randomMatrix(
+        static_cast<std::size_t>(dec.cache().residualBlockSize()), 64, 4);
+    const auto v = randomMatrix(
+        static_cast<std::size_t>(dec.cache().residualBlockSize()), 64, 5);
+    dec.prefill(k, v);
+    const auto q = randomMatrix(8, 64, 6);
+    for (auto _ : state) {
+        auto res = dec.decodeStep(q, 0.125f);
+        benchmark::DoNotOptimize(res.out.data());
+    }
+}
+BENCHMARK(BM_PackingKernelAttention)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Table III: impact of the warp layout and multi-warp cooperative softmax
+ * — latency, Tensor-Core utilization and functional validity for
+ * (Wn=1, no coop), (Wn=4, no coop) and (Wn=4, coop).
+ */
+#include <cmath>
+
+#include "attention/reference.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/bitdecoding.h"
+#include "gpusim/arch.h"
+
+using namespace bitdec;
+
+namespace {
+
+/** Functional validity check: does the configuration match reference? */
+bool
+functionallyValid(int wn, bool coop)
+{
+    core::BitDecodingConfig cfg;
+    cfg.tiling.wn = wn;
+    cfg.coop_softmax = coop;
+    const int d = 64;
+    core::HeadDecoder dec(d, cfg);
+    Rng rng(7);
+    Tensor<Half> k({static_cast<std::size_t>(dec.cache().residualBlockSize()),
+                    static_cast<std::size_t>(d)});
+    Tensor<Half> v(
+        {static_cast<std::size_t>(dec.cache().residualBlockSize()),
+         static_cast<std::size_t>(d)});
+    for (std::size_t i = 0; i < k.numel(); i++) {
+        k[i] = Half(rng.normal());
+        v[i] = Half(rng.normal());
+    }
+    dec.prefill(k, v);
+    Tensor<Half> q({8, static_cast<std::size_t>(d)});
+    for (std::size_t i = 0; i < q.numel(); i++)
+        q[i] = Half(rng.normal(0.f, 2.f));
+    const auto res = dec.decodeStep(q, 0.5f);
+    if (!res.valid)
+        return false;
+    Tensor<Half> kd, vd;
+    dec.cache().dequantizeAll(kd, vd);
+    const auto want = attn::referenceAttention(q, kd, vd, 0.5f);
+    for (std::size_t g = 0; g < 8; g++)
+        for (std::size_t c = 0; c < static_cast<std::size_t>(d); c++)
+            if (std::fabs(res.out.at(g, c) - want.at(g, c)) > 5e-2f)
+                return false;
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table III — cooperative softmax and warp layout "
+                  "(A100, 32k GQA decode)");
+    const auto& a100 = sim::archA100();
+    attn::DecodeShape s;
+    s.batch = 8;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.seq_len = 32768;
+
+    bench::head("config", {"ms", "TC util %", "valid"});
+    struct Case
+    {
+        int wn;
+        bool coop;
+        const char* name;
+    };
+    for (const Case& c : {Case{1, false, "Wn=1, no coop"},
+                          Case{4, false, "Wn=4, no coop"},
+                          Case{4, true, "Wn=4, coop"}}) {
+        core::BitDecodingConfig cfg;
+        cfg.tiling.wn = c.wn;
+        cfg.coop_softmax = c.coop;
+        core::BitDecodingAblation ab;
+        ab.warps = c.wn > 1;
+        const auto t = core::bitDecodingTime(a100, s, cfg, ab);
+        const bool valid = functionallyValid(c.wn, c.coop);
+        bench::row(c.name, {t.total_s * 1e3, 100.0 * t.tcUtilization(),
+                            valid ? 1.0 : 0.0});
+    }
+    std::printf("\nShape check: widening Wn cuts latency several-fold and "
+                "raises TC utilization, but without the cooperative softmax "
+                "the result is invalid; cooperation restores correctness "
+                "for well under 1%% overhead.\n");
+    return 0;
+}

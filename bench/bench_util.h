@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared output helpers for the figure/table reproduction benches.
+ */
+#ifndef BITDEC_BENCH_BENCH_UTIL_H
+#define BITDEC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bitdec::bench {
+
+/** Prints a figure/table banner. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+/** Prints a section sub-header. */
+inline void
+section(const std::string& title)
+{
+    std::printf("\n-- %s --\n", title.c_str());
+}
+
+/** Prints one row: a label followed by numeric columns. */
+inline void
+row(const std::string& label, const std::vector<double>& vals,
+    const char* fmt = "%10.2f")
+{
+    std::printf("%-28s", label.c_str());
+    for (double v : vals)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+/** Prints the header row of a table. */
+inline void
+head(const std::string& label, const std::vector<std::string>& cols)
+{
+    std::printf("%-28s", label.c_str());
+    for (const auto& c : cols)
+        std::printf("%10s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace bitdec::bench
+
+#endif // BITDEC_BENCH_BENCH_UTIL_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Accuracy explorer: sweeps bit width, key-scaling granularity and group
+ * size on the synthetic long-context retrieval proxy, showing how each
+ * quantization choice trades accuracy — the decision surface behind
+ * Table I and the KT/KC configurations.
+ */
+#include <cstdio>
+
+#include "model/accuracy_proxy.h"
+
+using namespace bitdec;
+using namespace bitdec::model;
+
+int
+main()
+{
+    std::printf("KV-quantization accuracy explorer (synthetic retrieval "
+                "proxy)\n");
+    std::printf("============================================================"
+                "\n\n");
+    ProxyConfig pc;
+    pc.num_tasks = 300;
+
+    const double fp16 = proxyScoreFp16(pc).accuracy;
+    std::printf("FP16 baseline: %.1f%%\n\n", fp16);
+
+    std::printf("%-6s %-14s %-10s %10s %10s\n", "bits", "granularity",
+                "group", "accuracy", "delta");
+    for (int bits : {8, 4, 2}) {
+        for (auto gran : {quant::Granularity::ChannelWise,
+                          quant::Granularity::TensorWise}) {
+            for (int group : {16, 32}) {
+                quant::QuantConfig qc;
+                qc.bits = bits;
+                qc.key_granularity = gran;
+                qc.group_size = group;
+                const double acc = proxyScoreQuantized(pc, qc).accuracy;
+                std::printf("%-6d %-14s %-10d %9.1f%% %+9.1f\n", bits,
+                            gran == quant::Granularity::ChannelWise
+                                ? "channel-wise"
+                                : "tensor-wise",
+                            group, acc, acc - fp16);
+            }
+        }
+    }
+    std::printf("\nReading: smaller groups and channel-wise keys cushion "
+                "low-bit degradation; INT8/INT4 track FP16 closely while "
+                "INT2 pays a visible cost — the Table I trade-off.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "attention/flash_decoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bitdec::attn {
+
+Tensor<float>
+flashDecodingAttention(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
+                       float scale, int splits)
+{
+    BITDEC_ASSERT(splits >= 1, "need at least one split");
+    const std::size_t gq = q.dim(0);
+    const std::size_t d = q.dim(1);
+    const int len = cache.length();
+    const Tensor<Half>& k = cache.keys();
+    const Tensor<Half>& v = cache.values();
+
+    const int per_split = (len + splits - 1) / std::max(splits, 1);
+    Tensor<float> out({gq, d});
+
+    for (std::size_t r = 0; r < gq; r++) {
+        // Each split produces an independent partial state, exactly like
+        // the parallel split CTAs; the combine merges them pairwise.
+        OnlineSoftmaxRow merged(static_cast<int>(d));
+        for (int s = 0; s < splits; s++) {
+            const int t0 = s * per_split;
+            const int t1 = std::min(len, t0 + per_split);
+            if (t0 >= t1)
+                continue;
+            OnlineSoftmaxRow part(static_cast<int>(d));
+            // Process the split in FlashAttention-style tiles of 128.
+            for (int b0 = t0; b0 < t1; b0 += 128) {
+                const int b1 = std::min(t1, b0 + 128);
+                std::vector<float> scores(static_cast<std::size_t>(b1 - b0));
+                for (int t = b0; t < b1; t++) {
+                    float sdot = 0.f;
+                    for (std::size_t c = 0; c < d; c++) {
+                        sdot += q.at(r, c).toFloat() *
+                                k.at(static_cast<std::size_t>(t), c).toFloat();
+                    }
+                    scores[static_cast<std::size_t>(t - b0)] = sdot * scale;
+                }
+                part.update(scores, v, b0);
+            }
+            merged = mergeSoftmaxRows(merged, part);
+        }
+        const std::vector<float> row = merged.finalize();
+        for (std::size_t c = 0; c < d; c++)
+            out.at(r, c) = row[c];
+    }
+    return out;
+}
+
+sim::SequenceTiming
+flashDecodingTime(const sim::GpuArch& arch, const DecodeShape& shape,
+                  int version)
+{
+    BITDEC_ASSERT(version == 2 || version == 3, "unknown FlashDecoding version");
+    if (version == 3)
+        BITDEC_ASSERT(arch.has_wgmma, "v3 requires Hopper wgmma support");
+
+    const int splits = chooseNumSplits(arch, shape);
+
+    sim::KernelWorkload main;
+    main.label = version == 3 ? "flash-decoding-v3" : "flash-decoding-v2";
+    main.dram_read_bytes = shape.fp16KvBytes() + shape.qoBytes() / 2;
+    main.dram_write_bytes =
+        shape.qoBytes() / 2 + splitWorkspaceBytes(shape, splits) / 2;
+    main.tc_flops_fp16 = tcFlopsIssued(shape);
+    main.cuda = softmaxOps(shape);
+    // K/V tiles stage through shared memory (write + ldmatrix read).
+    main.smem_bytes = 2.0 * shape.fp16KvBytes();
+    main.smem_conflict_factor = 1.0; // swizzled layouts
+    main.ctas = shape.batch * shape.num_kv_heads * splits;
+    main.warps_per_cta = 4;
+    main.wn = 4;
+    main.overlappable_cuda_fraction = 1.0;
+    main.pipeline_fill_overhead = version == 3 ? 0.01 : 0.03;
+    if (version == 3) {
+        // wgmma + TMA sustain a higher fraction of peak; model as extra
+        // effective TC throughput by shrinking issued time.
+        main.tc_flops_fp16 /= 1.35;
+        main.smem_bytes /= 2.0; // TMA writes smem directly, no reg bounce
+    } else if (arch.has_wgmma) {
+        // SM80-ISA kernels on Hopper pay the legacy-instruction penalty
+        // (~35% sustained-throughput loss, Section III-A).
+        main.dram_derate = 1.35;
+    }
+    if (shape.scenario == Scenario::Pages) {
+        // Page-table indirection costs one extra pointer load per page.
+        const double pages = 2.0 * shape.batch * shape.num_kv_heads *
+                             (static_cast<double>(shape.seq_len) /
+                              shape.page_size);
+        main.cuda.alu += pages * 2.0;
+        main.dram_read_bytes += pages * 8.0;
+    }
+
+    std::vector<sim::KernelWorkload> seq{main};
+    if (splits > 1) {
+        sim::KernelWorkload combine;
+        combine.label = "split-combine";
+        combine.dram_read_bytes = splitWorkspaceBytes(shape, splits) / 2;
+        combine.dram_write_bytes = shape.qoBytes() / 2;
+        combine.cuda.fma = static_cast<double>(shape.batch) *
+                           shape.num_q_heads * shape.head_dim * splits;
+        combine.cuda.sfu = static_cast<double>(shape.batch) *
+                           shape.num_q_heads * splits;
+        combine.ctas = shape.batch * shape.num_q_heads;
+        combine.warps_per_cta = 4;
+        combine.wn = 4;
+        seq.push_back(combine);
+    }
+    return resolveSequence(arch, seq);
+}
+
+} // namespace bitdec::attn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FlashDecoding baseline: fused FP16 attention with split-KV partitioning.
+ *
+ * This is the paper's FP16 speedup-normalization baseline
+ * ("FlashDecoding-v2"); version 3 models the Hopper-specialized
+ * FlashAttention-3 variant (wgmma + TMA + warp-specialized pipeline).
+ */
+#ifndef BITDEC_ATTENTION_FLASH_DECODING_H
+#define BITDEC_ATTENTION_FLASH_DECODING_H
+
+#include "attention/reference.h"
+#include "attention/workloads.h"
+#include "gpusim/timing.h"
+#include "kvcache/kv_cache.h"
+
+namespace bitdec::attn {
+
+/**
+ * Functional FlashDecoding: split-KV online-softmax attention over an FP16
+ * cache; partial states merge with the log-sum-exp combine. Numerically
+ * equivalent to the reference up to FP accumulation order.
+ *
+ * @param q      [gq x d] queries
+ * @param cache  FP16 KV cache of one head
+ * @param scale  logit scale
+ * @param splits split-KV partition count (>= 1)
+ */
+Tensor<float> flashDecodingAttention(const Tensor<Half>& q,
+                                     const kv::Fp16HeadCache& cache,
+                                     float scale, int splits);
+
+/**
+ * Timing model of the FlashDecoding kernel (plus the split-combine kernel
+ * when splits > 1).
+ *
+ * @param version 2 for FlashDecoding-v2 (SM80 path), 3 for the Hopper
+ *                FA-3-based variant (requires arch.has_wgmma)
+ */
+sim::SequenceTiming flashDecodingTime(const sim::GpuArch& arch,
+                                      const DecodeShape& shape,
+                                      int version = 2);
+
+} // namespace bitdec::attn
+
+#endif // BITDEC_ATTENTION_FLASH_DECODING_H

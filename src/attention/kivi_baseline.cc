@@ -1,0 +1,109 @@
+#include "attention/kivi_baseline.h"
+
+#include "common/logging.h"
+
+namespace bitdec::attn {
+
+Tensor<float>
+kiviAttention(const Tensor<Half>& q, const quant::QuantizedMatrix& kq,
+              const quant::QuantizedMatrix& vq, float scale)
+{
+    const Tensor<Half> k = quant::dequantizeMatrix(kq);
+    const Tensor<Half> v = quant::dequantizeMatrix(vq);
+    return referenceAttention(q, k, v, scale);
+}
+
+sim::SequenceTiming
+kiviTime(const sim::GpuArch& arch, const DecodeShape& shape, int bits)
+{
+    BITDEC_ASSERT(shape.scenario != Scenario::Pages,
+                  "KIVI has no paged-cache support");
+    quant::QuantConfig qc;
+    qc.bits = bits;
+    qc.key_granularity = quant::Granularity::ChannelWise;
+    qc.group_size = 32;
+
+    const double packed = shape.packedKvBytes(bits);
+    const double meta = shape.metadataBytes(qc);
+    const double fp16_kv = shape.fp16KvBytes();
+    const double elems = 2.0 * shape.batch * shape.num_kv_heads *
+                         static_cast<double>(shape.seq_len) * shape.head_dim;
+    const double scores =
+        static_cast<double>(shape.batch) * shape.num_q_heads * shape.seq_len;
+    const int elementwise_ctas = arch.num_sms * 4; // grid-stride kernels
+
+    std::vector<sim::KernelWorkload> seq;
+
+    // 1. Dequantize K to an FP16 workspace.
+    sim::KernelWorkload dq_k;
+    dq_k.label = "kivi-dequant-k";
+    dq_k.dram_read_bytes = packed / 2 + meta / 2;
+    dq_k.dram_write_bytes = fp16_kv / 2;
+    dq_k.cuda.alu = elems / 2 * 2.0; // unpack shift+mask
+    dq_k.cuda.fma = elems / 2;       // scale/zero FMA
+    dq_k.ctas = elementwise_ctas;
+    dq_k.wn = 4;
+    seq.push_back(dq_k);
+
+    // 2. QK^T as batched GEMV over the per-query-head expanded keys.
+    // Under GQA the expansion re-streams K once per query head; only the
+    // L2-resident fraction is deduplicated.
+    const double reread =
+        l2RereadFactor(arch, fp16_kv / 2, shape.groupSize());
+    sim::KernelWorkload qk;
+    qk.label = "kivi-qk-gemv";
+    qk.dram_read_bytes = fp16_kv / 2 * reread + shape.qoBytes() / 2;
+    qk.dram_write_bytes = scores * 4.0;
+    qk.cuda.fma = static_cast<double>(shape.batch) * shape.num_q_heads *
+                  shape.seq_len * shape.head_dim;
+    qk.ctas = elementwise_ctas;
+    qk.wn = 4;
+    qk.overlappable_cuda_fraction = 0.7;
+    seq.push_back(qk);
+
+    // 3. Softmax over the materialized score matrix.
+    sim::KernelWorkload sm;
+    sm.label = "kivi-softmax";
+    sm.dram_read_bytes = scores * 4.0;
+    sm.dram_write_bytes = scores * 2.0;
+    sm.cuda = softmaxOps(shape);
+    sm.ctas = elementwise_ctas;
+    sm.wn = 4;
+    seq.push_back(sm);
+
+    // 4. Dequantize V.
+    sim::KernelWorkload dq_v = dq_k;
+    dq_v.label = "kivi-dequant-v";
+    seq.push_back(dq_v);
+
+    // 5. PV as batched GEMV over the expanded values.
+    sim::KernelWorkload pv;
+    pv.label = "kivi-pv-gemv";
+    pv.dram_read_bytes = fp16_kv / 2 * reread + scores * 2.0;
+    pv.dram_write_bytes = shape.qoBytes() / 2;
+    pv.cuda.fma = static_cast<double>(shape.batch) * shape.num_q_heads *
+                  shape.seq_len * shape.head_dim;
+    pv.ctas = elementwise_ctas;
+    pv.wn = 4;
+    pv.overlappable_cuda_fraction = 0.7;
+    seq.push_back(pv);
+
+    return resolveSequence(arch, seq);
+}
+
+double
+kiviWorkspaceBytes(const DecodeShape& shape, int layers)
+{
+    // Dequantized FP16 K and V workspaces persist for the whole forward
+    // pass (no block tiling releases them layer-by-layer), plus the FP32
+    // score matrix per layer, plus the repeat_kv-style expansion the
+    // per-query-head matmuls materialize for the live layer.
+    const double per_layer_kv = shape.fp16KvBytes();
+    const double per_layer_scores =
+        static_cast<double>(shape.batch) * shape.num_q_heads * shape.seq_len *
+        4.0;
+    const double expanded_live = 2.0 * per_layer_kv * shape.groupSize();
+    return layers * (per_layer_kv + per_layer_scores) + expanded_live;
+}
+
+} // namespace bitdec::attn

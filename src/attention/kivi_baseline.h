@@ -1,0 +1,56 @@
+/**
+ * @file
+ * KIVI-style baseline: non-fused low-bit KV attention.
+ *
+ * KIVI decomposes mixed-precision attention into standalone kernels
+ * (dequantize K, QK^T, softmax, dequantize V, PV). The separated launches
+ * round intermediate tensors through global memory, break on-chip reuse,
+ * and — because the matmuls run per query head on the expanded tensors —
+ * re-stream the KV data gq times under GQA (Section II, "Attention with
+ * separated low-bit KV-cache kernels").
+ */
+#ifndef BITDEC_ATTENTION_KIVI_BASELINE_H
+#define BITDEC_ATTENTION_KIVI_BASELINE_H
+
+#include "attention/reference.h"
+#include "attention/workloads.h"
+#include "gpusim/timing.h"
+#include "quant/int_quant.h"
+
+namespace bitdec::attn {
+
+/**
+ * Functional KIVI attention: dequantizes the whole cache to FP16
+ * workspaces, then runs dense attention — numerically this is reference
+ * attention over the dequantized tensors, which is exactly what the
+ * separated kernels compute.
+ *
+ * @param q  [gq x d] queries
+ * @param kq quantized keys   (channel-wise in KIVI's configuration)
+ * @param vq quantized values (tensor-wise per token)
+ */
+Tensor<float> kiviAttention(const Tensor<Half>& q,
+                            const quant::QuantizedMatrix& kq,
+                            const quant::QuantizedMatrix& vq, float scale);
+
+/**
+ * Timing of the five-kernel KIVI pipeline.
+ *
+ * @param bits 4 or 2
+ */
+sim::SequenceTiming kiviTime(const sim::GpuArch& arch, const DecodeShape& shape,
+                             int bits);
+
+/**
+ * Transient FP16 workspace bytes the non-fused pipeline keeps live during
+ * one forward pass (dequantized K/V for every layer plus score matrices);
+ * the end-to-end model uses this for OOM detection — the lack of
+ * block-tiling kernels is what makes KIVI fail at 128K (Fig. 12).
+ *
+ * @param layers model depth (workspaces persist across the pass)
+ */
+double kiviWorkspaceBytes(const DecodeShape& shape, int layers);
+
+} // namespace bitdec::attn
+
+#endif // BITDEC_ATTENTION_KIVI_BASELINE_H

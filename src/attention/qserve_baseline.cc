@@ -1,0 +1,138 @@
+#include "attention/qserve_baseline.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace bitdec::attn {
+
+Tensor<float>
+cudaCoreFusedAttention(const Tensor<Half>& q, const quant::QuantizedMatrix& kq,
+                       const quant::QuantizedMatrix& vq, float scale)
+{
+    const std::size_t gq = q.dim(0);
+    const std::size_t d = q.dim(1);
+    const std::size_t len = kq.codes.dim(0);
+    BITDEC_ASSERT(kq.codes.dim(1) == d && vq.codes.dim(0) == len &&
+                  vq.codes.dim(1) == d,
+                  "quantized cache shapes disagree");
+
+    Tensor<float> out({gq, d});
+    for (std::size_t r = 0; r < gq; r++) {
+        // Streaming online softmax with inline dequantization — the fused
+        // single-pass structure of the QServe kernel.
+        float m = -std::numeric_limits<float>::infinity();
+        float l = 0.f;
+        std::vector<float> acc(d, 0.f);
+        for (std::size_t t = 0; t < len; t++) {
+            float s = 0.f;
+            for (std::size_t c = 0; c < d; c++) {
+                const float kval = quant::dequantizeValue(
+                    kq.codes.at(t, c), kq.paramsFor(t, c));
+                s += q.at(r, c).toFloat() * kval;
+            }
+            s *= scale;
+            const float new_m = std::max(m, s);
+            const float rescale =
+                m == -std::numeric_limits<float>::infinity()
+                    ? 0.f
+                    : std::exp(m - new_m);
+            const float p = std::exp(s - new_m);
+            l = l * rescale + p;
+            for (std::size_t c = 0; c < d; c++) {
+                const float vval = quant::dequantizeValue(
+                    vq.codes.at(t, c), vq.paramsFor(t, c));
+                acc[c] = acc[c] * rescale + p * vval;
+            }
+            m = new_m;
+        }
+        for (std::size_t c = 0; c < d; c++)
+            out.at(r, c) = l > 0.f ? acc[c] / l : 0.f;
+    }
+    return out;
+}
+
+bool
+cudaCoreSystemSupports(CudaCoreSystem system, const DecodeShape& shape)
+{
+    if (system == CudaCoreSystem::Atom)
+        return shape.groupSize() == 1; // Atom does not support GQA
+    return true;
+}
+
+sim::SequenceTiming
+cudaCoreFusedTime(const sim::GpuArch& arch, const DecodeShape& shape,
+                  CudaCoreSystem system, int bits)
+{
+    BITDEC_ASSERT(cudaCoreSystemSupports(system, shape),
+                  "system does not support this attention shape");
+    quant::QuantConfig qc;
+    qc.bits = bits;
+    qc.key_granularity = system == CudaCoreSystem::QServe
+                             ? quant::Granularity::TensorWise
+                             : quant::Granularity::TensorWise;
+    qc.group_size = 128;
+
+    const double packed = shape.packedKvBytes(bits);
+    const double meta = shape.metadataBytes(qc);
+    // GEMV per query head: the low-bit stream is fetched once per query
+    // head; L2 absorbs what fits.
+    const double reread =
+        l2RereadFactor(arch, (packed + meta) / 2, shape.groupSize());
+
+    sim::KernelWorkload k;
+    k.label = system == CudaCoreSystem::QServe ? "qserve-fused" : "atom-fused";
+    k.dram_read_bytes = (packed + meta) * reread + shape.qoBytes() / 2;
+    k.dram_write_bytes = shape.qoBytes() / 2;
+    k.tc_flops_fp16 = 0; // the defining limitation: no Tensor-Core use
+
+    const double elems = 2.0 * shape.batch * shape.num_kv_heads *
+                         static_cast<double>(shape.seq_len) * shape.head_dim;
+    // Dequant on the cvt path (per element: shift+mask+convert, then FMA),
+    // repeated per query head for the K/V values each head consumes.
+    const double dequant_elems = elems * shape.groupSize();
+    // Unpack, convert, zero-subtract, scale and address math per code.
+    k.cuda.alu = dequant_elems * (system == CudaCoreSystem::QServe ? 5.0 : 6.0);
+    k.cuda.fma = dequant_elems;
+    // GEMV multiply-accumulate work for both matmuls.
+    k.cuda.fma += 2.0 * shape.batch * shape.num_q_heads *
+                  static_cast<double>(shape.seq_len) * shape.head_dim;
+    k.cuda += softmaxOps(shape);
+
+    k.smem_bytes = (packed + meta); // staged tiles
+    // Issue-limited streaming: the GEMV + inline-dequant loop sustains
+    // about half the DRAM bandwidth of a tiled Tensor-Core kernel.
+    k.dram_derate = 2.0;
+    const int splits = chooseNumSplits(arch, shape);
+    k.ctas = shape.batch * shape.num_kv_heads * splits;
+    k.warps_per_cta = 4;
+    k.wn = 4;
+    // Dequant and GEMV share the CUDA pipe, so only memory overlap helps.
+    k.overlappable_cuda_fraction = 0.55;
+    k.pipeline_fill_overhead = 0.04;
+
+    if (shape.scenario == Scenario::Pages) {
+        const double pages = 2.0 * shape.batch * shape.num_kv_heads *
+                             (static_cast<double>(shape.seq_len) /
+                              shape.page_size);
+        k.cuda.alu += pages * 2.0;
+        k.dram_read_bytes += pages * 8.0;
+    }
+
+    std::vector<sim::KernelWorkload> seq{k};
+    if (splits > 1) {
+        sim::KernelWorkload combine;
+        combine.label = "split-combine";
+        combine.dram_read_bytes = splitWorkspaceBytes(shape, splits) / 2;
+        combine.dram_write_bytes = shape.qoBytes() / 2;
+        combine.cuda.fma = static_cast<double>(shape.batch) *
+                           shape.num_q_heads * shape.head_dim * splits;
+        combine.ctas = shape.batch * shape.num_q_heads;
+        combine.wn = 4;
+        seq.push_back(combine);
+    }
+    return resolveSequence(arch, seq);
+}
+
+} // namespace bitdec::attn

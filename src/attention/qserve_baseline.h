@@ -1,0 +1,50 @@
+/**
+ * @file
+ * QServe/Atom-style baseline: fused low-bit attention on CUDA cores only.
+ *
+ * These systems fuse dequantization into a FlashAttention-style kernel but
+ * execute both the dequant and the matrix work as FMA GEMVs on CUDA cores,
+ * one query head at a time. That leaves Tensor Cores idle, re-streams KV
+ * data once per query head under GQA, and makes dequantization compete
+ * with the GEMV for the same issue slots (Section II, second limitation).
+ */
+#ifndef BITDEC_ATTENTION_QSERVE_BASELINE_H
+#define BITDEC_ATTENTION_QSERVE_BASELINE_H
+
+#include "attention/reference.h"
+#include "attention/workloads.h"
+#include "gpusim/timing.h"
+#include "quant/int_quant.h"
+
+namespace bitdec::attn {
+
+/**
+ * Functional fused CUDA-core attention: per query head, stream the
+ * quantized cache, dequantize inline and accumulate with scalar FMAs
+ * (online softmax, no split). Numerically equals reference attention over
+ * dequantized tensors.
+ */
+Tensor<float> cudaCoreFusedAttention(const Tensor<Half>& q,
+                                     const quant::QuantizedMatrix& kq,
+                                     const quant::QuantizedMatrix& vq,
+                                     float scale);
+
+/** Baseline flavor: QServe supports GQA and pages; Atom is MHA-only. */
+enum class CudaCoreSystem { QServe, Atom };
+
+/**
+ * Timing of the fused CUDA-core kernel.
+ *
+ * @param system which baseline's constants to use
+ * @param bits   4 for both systems (Atom is 4-bit only)
+ */
+sim::SequenceTiming cudaCoreFusedTime(const sim::GpuArch& arch,
+                                      const DecodeShape& shape,
+                                      CudaCoreSystem system, int bits);
+
+/** True when the system can run the given shape (Atom rejects GQA). */
+bool cudaCoreSystemSupports(CudaCoreSystem system, const DecodeShape& shape);
+
+} // namespace bitdec::attn
+
+#endif // BITDEC_ATTENTION_QSERVE_BASELINE_H

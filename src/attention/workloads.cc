@@ -1,0 +1,118 @@
+#include "attention/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bitdec::attn {
+
+const char*
+toString(Scenario s)
+{
+    switch (s) {
+      case Scenario::Single:
+        return "Single";
+      case Scenario::Batches:
+        return "Batches";
+      case Scenario::Pages:
+        return "Pages";
+    }
+    return "unknown";
+}
+
+double
+DecodeShape::fp16KvBytes() const
+{
+    return 2.0 * batch * num_kv_heads * seq_len * head_dim * 2.0;
+}
+
+double
+DecodeShape::packedKvBytes(int bits) const
+{
+    return 2.0 * batch * num_kv_heads * seq_len * head_dim *
+           (static_cast<double>(bits) / 8.0);
+}
+
+double
+DecodeShape::metadataBytes(const quant::QuantConfig& config) const
+{
+    const double tokens = static_cast<double>(batch) * num_kv_heads * seq_len;
+    // One half2 (4 bytes) per group. Key groups depend on granularity;
+    // value groups are always tensor-wise along the hidden dim.
+    double key_groups, value_groups;
+    if (config.key_granularity == quant::Granularity::TensorWise)
+        key_groups = tokens * (static_cast<double>(head_dim) /
+                               config.group_size);
+    else
+        key_groups = tokens / config.group_size * head_dim;
+    value_groups =
+        tokens * (static_cast<double>(head_dim) / config.group_size);
+    return (key_groups + value_groups) * 4.0;
+}
+
+double
+DecodeShape::qoBytes() const
+{
+    // Q read + O write, FP16.
+    return 2.0 * batch * num_q_heads * head_dim * 2.0;
+}
+
+int
+chooseNumSplits(const sim::GpuArch& arch, const DecodeShape& shape)
+{
+    const int base_ctas = shape.batch * shape.num_kv_heads;
+    const int want = std::max(1, arch.num_sms / std::max(1, base_ctas));
+    const int max_by_len = std::max(1, shape.seq_len / 256);
+    return std::clamp(want, 1, max_by_len);
+}
+
+double
+l2RereadFactor(const sim::GpuArch& arch, double bytes_per_pass, int group_size)
+{
+    if (group_size <= 1)
+        return 1.0;
+    const double l2_bytes = arch.l2_mb * 1e6;
+    // Fraction of a pass that must be re-fetched from DRAM on each of the
+    // remaining (gq - 1) passes.
+    const double miss =
+        std::clamp(1.0 - l2_bytes / std::max(bytes_per_pass, 1.0), 0.0, 1.0);
+    return 1.0 + (group_size - 1) * miss;
+}
+
+double
+tcFlopsIssued(const DecodeShape& shape)
+{
+    const int m_tile = 16;
+    const int m_tiles = (shape.groupSize() + m_tile - 1) / m_tile;
+    // Two GEMMs (QK^T and PV), 2 FLOPs per MAC, m16 tiles padded.
+    return 4.0 * shape.batch * shape.num_kv_heads * m_tiles * m_tile *
+           static_cast<double>(shape.seq_len) * shape.head_dim;
+}
+
+double
+splitWorkspaceBytes(const DecodeShape& shape, int splits)
+{
+    if (splits <= 1)
+        return 0.0;
+    // Per split and query head: partial O (d floats) + running (m, l).
+    const double per_split =
+        static_cast<double>(shape.batch) * shape.num_q_heads *
+        (shape.head_dim * 4.0 + 8.0);
+    // Written by the main kernel, read by the combine kernel.
+    return 2.0 * splits * per_split;
+}
+
+sim::CudaCoreOps
+softmaxOps(const DecodeShape& shape)
+{
+    sim::CudaCoreOps ops;
+    const double scores =
+        static_cast<double>(shape.batch) * shape.num_q_heads * shape.seq_len;
+    ops.sfu = scores;        // exp
+    ops.fma = 3.0 * scores;  // scale, running max/sum rescale, accumulate fix
+    ops.alu = scores;        // max comparisons
+    return ops;
+}
+
+} // namespace bitdec::attn

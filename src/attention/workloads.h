@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared decode-attention workload descriptors and byte/FLOP accounting
+ * helpers used by every system's timing model (baselines and BitDecoding).
+ */
+#ifndef BITDEC_ATTENTION_WORKLOADS_H
+#define BITDEC_ATTENTION_WORKLOADS_H
+
+#include "gpusim/arch.h"
+#include "gpusim/timing.h"
+#include "quant/quant_params.h"
+
+namespace bitdec::attn {
+
+/** Kernel service scenario from the evaluation section. */
+enum class Scenario
+{
+    Single,  //!< batch 1, long context
+    Batches, //!< larger batch, padded contiguous caches
+    Pages,   //!< paged KV management (vLLM-style)
+};
+
+/** Returns a printable scenario name. */
+const char* toString(Scenario s);
+
+/** Shape of one decode-attention call (one layer, one step, full batch). */
+struct DecodeShape
+{
+    int batch = 1;     //!< sequences decoded together
+    int num_q_heads = 32;
+    int num_kv_heads = 8;
+    int head_dim = 128;
+    int seq_len = 4096; //!< KV tokens per sequence
+    Scenario scenario = Scenario::Single;
+    int page_size = 64; //!< tokens per page in Pages mode
+
+    /** Query heads per KV head (1 = MHA, >1 = GQA, = hq = MQA). */
+    int groupSize() const { return num_q_heads / num_kv_heads; }
+
+    /** FP16 bytes of the KV cache this call touches. */
+    double fp16KvBytes() const;
+
+    /** Packed low-bit KV bytes (data only). */
+    double packedKvBytes(int bits) const;
+
+    /** Scale/zero metadata bytes for the given quantization config. */
+    double metadataBytes(const quant::QuantConfig& config) const;
+
+    /** Bytes of query + output vectors. */
+    double qoBytes() const;
+};
+
+/**
+ * Split-KV partition count a FlashDecoding-style scheduler would pick:
+ * enough splits to cover the SMs, but never below ~256 tokens per split.
+ */
+int chooseNumSplits(const sim::GpuArch& arch, const DecodeShape& shape);
+
+/**
+ * DRAM re-read factor for GEMV-per-query-head kernels (KIVI/QServe/Atom):
+ * each of the gq query heads streams the same KV data; only the fraction
+ * resident in L2 is deduplicated. Returns a multiplier >= 1 applied to the
+ * KV bytes.
+ *
+ * @param bytes_per_pass KV bytes one pass streams (per layer step)
+ */
+double l2RereadFactor(const sim::GpuArch& arch, double bytes_per_pass,
+                      int group_size);
+
+/**
+ * Tensor-Core FLOPs issued by a fused attention kernel: both GEMMs over
+ * m16-row tiles (underfilled when the query group is narrow, which is why
+ * MHA without query packing wastes Tensor-Core issue slots).
+ */
+double tcFlopsIssued(const DecodeShape& shape);
+
+/** Split-combine workspace traffic (partial O, m, l per split). */
+double splitWorkspaceBytes(const DecodeShape& shape, int splits);
+
+/** Softmax special-function and rescale op counts. */
+sim::CudaCoreOps softmaxOps(const DecodeShape& shape);
+
+} // namespace bitdec::attn
+
+#endif // BITDEC_ATTENTION_WORKLOADS_H

@@ -1,0 +1,171 @@
+#include "common/half.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace bitdec {
+
+std::uint16_t
+floatToHalfBits(float f)
+{
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((x >> 23) & 0xFF) - 127 + 15;
+    std::uint32_t mantissa = x & 0x7FFFFFu;
+
+    if (((x >> 23) & 0xFF) == 0xFF) {
+        // Inf / NaN: keep a non-zero mantissa bit for NaN.
+        return static_cast<std::uint16_t>(
+            sign | 0x7C00u | (mantissa ? 0x200u | (mantissa >> 13) : 0));
+    }
+    if (exponent >= 0x1F) {
+        // Overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    if (exponent <= 0) {
+        if (exponent < -10) {
+            // Underflows to signed zero even after rounding.
+            return static_cast<std::uint16_t>(sign);
+        }
+        // Subnormal: shift in the implicit leading one, then round to
+        // nearest even at the appropriate bit position.
+        mantissa |= 0x800000u;
+        const int shift = 14 - exponent; // 14..24
+        const std::uint32_t q = mantissa >> shift;
+        const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        std::uint32_t result = q;
+        if (rem > halfway || (rem == halfway && (q & 1)))
+            result += 1;
+        return static_cast<std::uint16_t>(sign | result);
+    }
+
+    // Normal range: round mantissa from 23 to 10 bits, to nearest even.
+    std::uint32_t result =
+        sign | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+    const std::uint32_t rem = mantissa & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (result & 1)))
+        result += 1; // May carry into the exponent; that is correct rounding.
+    return static_cast<std::uint16_t>(result);
+}
+
+float
+halfBitsToFloat(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+    const std::uint32_t exponent = (bits >> 10) & 0x1F;
+    const std::uint32_t mantissa = bits & 0x3FFu;
+
+    std::uint32_t out;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            out = sign; // signed zero
+        } else {
+            // Subnormal: normalize into the float format.
+            int e = -1;
+            std::uint32_t m = mantissa;
+            do {
+                e++;
+                m <<= 1;
+            } while ((m & 0x400u) == 0);
+            out = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+        }
+    } else if (exponent == 0x1F) {
+        out = sign | 0x7F800000u | (mantissa << 13); // inf / NaN
+    } else {
+        out = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+bool
+Half::isNan() const
+{
+    return ((bits_ & 0x7C00u) == 0x7C00u) && (bits_ & 0x3FFu);
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7FFFu) == 0x7C00u;
+}
+
+Half&
+Half::operator+=(Half other)
+{
+    *this = *this + other;
+    return *this;
+}
+
+Half&
+Half::operator-=(Half other)
+{
+    *this = *this - other;
+    return *this;
+}
+
+Half&
+Half::operator*=(Half other)
+{
+    *this = *this * other;
+    return *this;
+}
+
+Half&
+Half::operator/=(Half other)
+{
+    *this = *this / other;
+    return *this;
+}
+
+bool
+operator==(Half a, Half b)
+{
+    if (a.isNan() || b.isNan())
+        return false;
+    // +0 == -0.
+    if (((a.bits() | b.bits()) & 0x7FFFu) == 0)
+        return true;
+    return a.bits() == b.bits();
+}
+
+bool
+operator!=(Half a, Half b)
+{
+    return !(a == b);
+}
+
+bool
+operator<(Half a, Half b)
+{
+    return a.toFloat() < b.toFloat();
+}
+
+bool
+operator<=(Half a, Half b)
+{
+    return a.toFloat() <= b.toFloat();
+}
+
+bool
+operator>(Half a, Half b)
+{
+    return a.toFloat() > b.toFloat();
+}
+
+bool
+operator>=(Half a, Half b)
+{
+    return a.toFloat() >= b.toFloat();
+}
+
+std::ostream&
+operator<<(std::ostream& os, Half h)
+{
+    return os << h.toFloat();
+}
+
+} // namespace bitdec

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half") arithmetic.
+ *
+ * The GPU kernels this library models operate on FP16 registers; every
+ * functional data path therefore stores values as Half so that rounding,
+ * packing and bit-level tricks behave exactly as they would on device.
+ * Conversions implement round-to-nearest-even, matching CUDA's
+ * __float2half_rn / __half2float pair.
+ */
+#ifndef BITDEC_COMMON_HALF_H
+#define BITDEC_COMMON_HALF_H
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace bitdec {
+
+/** Converts a float to IEEE binary16 bits with round-to-nearest-even. */
+std::uint16_t floatToHalfBits(float f);
+
+/** Converts IEEE binary16 bits to float (exact). */
+float halfBitsToFloat(std::uint16_t bits);
+
+/**
+ * IEEE-754 binary16 value with explicit bit-level storage.
+ *
+ * Arithmetic promotes to float and rounds back, which is how FP16 CUDA-core
+ * instructions behave for the operations used in this library.
+ */
+class Half
+{
+  public:
+    /** Zero-initialized half. */
+    constexpr Half() : bits_(0) {}
+
+    /** Converting constructor from float (round-to-nearest-even). */
+    explicit Half(float f) : bits_(floatToHalfBits(f)) {}
+
+    /** Builds a Half from raw storage bits. */
+    static constexpr Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Raw binary16 storage bits. */
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /** Exact widening conversion to float. */
+    float toFloat() const { return halfBitsToFloat(bits_); }
+
+    /** Implicit use in float expressions mirrors device promotion rules. */
+    operator float() const { return toFloat(); }
+
+    /** True when the value is NaN. */
+    bool isNan() const;
+
+    /** True when the value is +/- infinity. */
+    bool isInf() const;
+
+    Half& operator+=(Half other);
+    Half& operator-=(Half other);
+    Half& operator*=(Half other);
+    Half& operator/=(Half other);
+
+  private:
+    std::uint16_t bits_;
+};
+
+inline Half
+operator+(Half a, Half b)
+{
+    return Half(a.toFloat() + b.toFloat());
+}
+
+inline Half
+operator-(Half a, Half b)
+{
+    return Half(a.toFloat() - b.toFloat());
+}
+
+inline Half
+operator*(Half a, Half b)
+{
+    return Half(a.toFloat() * b.toFloat());
+}
+
+inline Half
+operator/(Half a, Half b)
+{
+    return Half(a.toFloat() / b.toFloat());
+}
+
+inline Half
+operator-(Half a)
+{
+    return Half::fromBits(static_cast<std::uint16_t>(a.bits() ^ 0x8000u));
+}
+
+/** Bit-pattern equality; NaN compares unequal to everything. */
+bool operator==(Half a, Half b);
+bool operator!=(Half a, Half b);
+bool operator<(Half a, Half b);
+bool operator<=(Half a, Half b);
+bool operator>(Half a, Half b);
+bool operator>=(Half a, Half b);
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+/**
+ * Pair of halves packed into 32 bits, mirroring CUDA's half2.
+ *
+ * BitDecoding stores quantization parameters (scale, zero-point) as half2 so
+ * both load in one instruction; the functional model keeps that layout.
+ */
+struct Half2
+{
+    Half x; //!< low 16 bits (scale in quantization metadata)
+    Half y; //!< high 16 bits (zero-point in quantization metadata)
+
+    Half2() = default;
+    Half2(Half x_val, Half y_val) : x(x_val), y(y_val) {}
+
+    /** Packs into one 32-bit word (x in the low half, like the device). */
+    std::uint32_t
+    toWord() const
+    {
+        return static_cast<std::uint32_t>(x.bits()) |
+               (static_cast<std::uint32_t>(y.bits()) << 16);
+    }
+
+    /** Unpacks from one 32-bit word. */
+    static Half2
+    fromWord(std::uint32_t w)
+    {
+        return {Half::fromBits(static_cast<std::uint16_t>(w & 0xFFFFu)),
+                Half::fromBits(static_cast<std::uint16_t>(w >> 16))};
+    }
+};
+
+} // namespace bitdec
+
+#endif // BITDEC_COMMON_HALF_H

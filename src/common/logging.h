@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() terminates on user error (bad
+ * configuration, invalid arguments), panic() aborts on internal invariant
+ * violations (library bugs), warn()/inform() report without stopping.
+ */
+#ifndef BITDEC_COMMON_LOGGING_H
+#define BITDEC_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace bitdec {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/** Sets the global log level (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Returns the current global log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emits one formatted log record to stderr. */
+void emitLog(LogLevel level, const std::string& tag, const std::string& msg);
+
+/** Terminates the process after reporting a user-caused fatal error. */
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+
+/** Aborts the process after reporting an internal invariant violation. */
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+
+/** Builds a string from stream-style arguments. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Reports normal operating status (no connotation of a problem). */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emitLog(LogLevel::Info, "info", detail::concat(args...));
+}
+
+/** Reports a condition that may work but deserves user attention. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emitLog(LogLevel::Warn, "warn", detail::concat(args...));
+}
+
+} // namespace bitdec
+
+/** Terminates with an error message; use for user-caused conditions. */
+#define BITDEC_FATAL(...) \
+    ::bitdec::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::bitdec::detail::concat(__VA_ARGS__))
+
+/** Aborts with an error message; use for internal invariant violations. */
+#define BITDEC_PANIC(...) \
+    ::bitdec::detail::panicImpl(__FILE__, __LINE__, \
+                                ::bitdec::detail::concat(__VA_ARGS__))
+
+/** Panics when an internal invariant does not hold. */
+#define BITDEC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            BITDEC_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // BITDEC_COMMON_LOGGING_H

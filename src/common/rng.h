@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic random number generation for tests, benches and workloads.
+ *
+ * A single seeded xoshiro256** generator keeps every experiment reproducible
+ * across runs and platforms (std::mt19937 distributions are not guaranteed
+ * to be portable; we implement our own transforms).
+ */
+#ifndef BITDEC_COMMON_RNG_H
+#define BITDEC_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace bitdec {
+
+/** xoshiro256** pseudo-random generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Constructs a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniformRange(float lo, float hi);
+
+    /** Uniform integer in [0, n) for n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (deterministic pairing). */
+    float normal();
+
+    /** Normal with the given mean and standard deviation. */
+    float normal(float mean, float stddev);
+
+  private:
+    std::uint64_t state_[4];
+    bool has_cached_normal_;
+    float cached_normal_;
+};
+
+} // namespace bitdec
+
+#endif // BITDEC_COMMON_RNG_H

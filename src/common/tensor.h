@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Minimal dense row-major tensor used by the functional kernels.
+ *
+ * Shapes are dynamic (up to 4 dimensions); storage is a contiguous
+ * std::vector. The class intentionally stays small: kernels in this library
+ * index explicitly, mirroring how device code addresses global memory.
+ */
+#ifndef BITDEC_COMMON_TENSOR_H
+#define BITDEC_COMMON_TENSOR_H
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bitdec {
+
+/**
+ * Dense row-major tensor of up to four dimensions.
+ *
+ * @tparam T element type (float, Half, integer words, ...).
+ */
+template <typename T>
+class Tensor
+{
+  public:
+    static constexpr int kMaxRank = 4;
+
+    /** Empty tensor (rank 0, no storage). */
+    Tensor() : rank_(0), dims_{0, 0, 0, 0} {}
+
+    /** Allocates a tensor of the given shape, value-initialized. */
+    explicit Tensor(std::initializer_list<std::size_t> shape)
+    {
+        reset(std::vector<std::size_t>(shape));
+    }
+
+    /** Allocates a tensor of the given shape, value-initialized. */
+    explicit Tensor(const std::vector<std::size_t>& shape) { reset(shape); }
+
+    /** Re-allocates to a new shape; contents are value-initialized. */
+    void
+    reset(const std::vector<std::size_t>& shape)
+    {
+        BITDEC_ASSERT(shape.size() >= 1 &&
+                      shape.size() <= static_cast<std::size_t>(kMaxRank),
+                      "tensor rank out of range");
+        rank_ = static_cast<int>(shape.size());
+        dims_ = {1, 1, 1, 1};
+        for (int i = 0; i < rank_; i++)
+            dims_[i] = shape[static_cast<std::size_t>(i)];
+        strides_ = {1, 1, 1, 1};
+        for (int i = rank_ - 2; i >= 0; i--)
+            strides_[i] = strides_[i + 1] * dims_[i + 1];
+        data_.assign(numel(), T{});
+    }
+
+    /** Number of dimensions. */
+    int rank() const { return rank_; }
+
+    /** Extent of dimension @p i. */
+    std::size_t dim(int i) const { return dims_[static_cast<std::size_t>(i)]; }
+
+    /** Total number of elements. */
+    std::size_t
+    numel() const
+    {
+        if (rank_ == 0)
+            return 0;
+        std::size_t n = 1;
+        for (int i = 0; i < rank_; i++)
+            n *= dims_[static_cast<std::size_t>(i)];
+        return n;
+    }
+
+    /** Raw storage access. */
+    T* data() { return data_.data(); }
+    const T* data() const { return data_.data(); }
+
+    /** Flat element access. */
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    /** 1-D indexed access. */
+    T& at(std::size_t i0) { return data_[offset(i0)]; }
+    const T& at(std::size_t i0) const { return data_[offset(i0)]; }
+
+    /** 2-D indexed access. */
+    T& at(std::size_t i0, std::size_t i1) { return data_[offset(i0, i1)]; }
+    const T&
+    at(std::size_t i0, std::size_t i1) const
+    {
+        return data_[offset(i0, i1)];
+    }
+
+    /** 3-D indexed access. */
+    T&
+    at(std::size_t i0, std::size_t i1, std::size_t i2)
+    {
+        return data_[offset(i0, i1, i2)];
+    }
+    const T&
+    at(std::size_t i0, std::size_t i1, std::size_t i2) const
+    {
+        return data_[offset(i0, i1, i2)];
+    }
+
+    /** 4-D indexed access. */
+    T&
+    at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3)
+    {
+        return data_[offset(i0, i1, i2, i3)];
+    }
+    const T&
+    at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const
+    {
+        return data_[offset(i0, i1, i2, i3)];
+    }
+
+    /** Fills every element with @p value. */
+    void
+    fill(const T& value)
+    {
+        for (auto& v : data_)
+            v = value;
+    }
+
+  private:
+    std::size_t
+    offset(std::size_t i0, std::size_t i1 = 0, std::size_t i2 = 0,
+           std::size_t i3 = 0) const
+    {
+        BITDEC_ASSERT(i0 < dims_[0] && i1 < dims_[1] && i2 < dims_[2] &&
+                      i3 < dims_[3],
+                      "tensor index out of bounds");
+        return i0 * strides_[0] + i1 * strides_[1] + i2 * strides_[2] +
+               i3 * strides_[3];
+    }
+
+    int rank_;
+    std::array<std::size_t, kMaxRank> dims_;
+    std::array<std::size_t, kMaxRank> strides_;
+    std::vector<T> data_;
+};
+
+} // namespace bitdec
+
+#endif // BITDEC_COMMON_TENSOR_H

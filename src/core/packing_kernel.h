@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Packing Kernel: fused dequantization + Tensor-Core attention over the
+ * packed low-bit KV cache (Section V-C), emulated at warp/register
+ * granularity.
+ *
+ * The functional model reproduces the device dataflow:
+ *  - packed 32-bit units are fetched by (lane, register-pair) exactly as
+ *    ldmatrix would deliver them;
+ *  - the lop3 magic-number path dequantizes each extraction pair into the
+ *    half2 register the mma.sync B fragment expects — alignment holds only
+ *    because producer and consumer share the induced layout;
+ *  - QK^T accumulates per warp over k-tiles; warps partition the KV (N)
+ *    dimension (wm = 1, wide wn);
+ *  - the multi-warp cooperative softmax (Algorithm 1) reduces row maxima
+ *    and exp-sums across warps through the sTMP buffer and round-trips P
+ *    through sAcc so the PV MMA reads A fragments in a valid layout;
+ *  - PV dequantizes V units the same way and accumulates the output with
+ *    the running online-softmax state across residual blocks;
+ *  - the FP16 residual tail is processed like FlashDecoding and merged.
+ *
+ * Disabling cooperative softmax while keeping wn > 1 reproduces the
+ * invalid-result failure of Table III: each warp then normalizes with its
+ * local max/sum and partial states merge incorrectly.
+ */
+#ifndef BITDEC_CORE_PACKING_KERNEL_H
+#define BITDEC_CORE_PACKING_KERNEL_H
+
+#include "attention/workloads.h"
+#include "common/tensor.h"
+#include "gpusim/timing.h"
+#include "kvcache/kv_cache.h"
+
+namespace bitdec::core {
+
+/** Behavioral switches of the functional Packing Kernel. */
+struct PackingKernelOptions
+{
+    bool coop_softmax = true;  //!< Algorithm 1 cross-warp reduction
+    bool hopper_smem_path = false; //!< route dequantized B through SMEM
+                                   //!< (STSM + wgmma_SS dataflow)
+};
+
+/** Output of one Packing-Kernel attention call. */
+struct PackingKernelResult
+{
+    Tensor<float> out; //!< [m_tile x d]; rows beyond gq are padding
+    bool valid;        //!< false when the configuration breaks correctness
+};
+
+/**
+ * Runs attention for one KV head group over a packed cache.
+ *
+ * @param q_tile query tile [gq x d] (from query transformation), gq <= 16
+ * @param cache  packed + residual KV of this head
+ * @param scale  logit scale
+ * @param opts   behavioral switches
+ */
+PackingKernelResult packingKernelAttention(const Tensor<Half>& q_tile,
+                                           const kv::PackedHeadCache& cache,
+                                           float scale,
+                                           const PackingKernelOptions& opts);
+
+} // namespace bitdec::core
+
+#endif // BITDEC_CORE_PACKING_KERNEL_H

@@ -1,0 +1,58 @@
+#include "core/query_transform.h"
+
+#include "common/logging.h"
+
+namespace bitdec::core {
+
+Tensor<Half>
+queryGroupTile(const Tensor<Half>& q, int kv_head, int hkv)
+{
+    BITDEC_ASSERT(q.rank() == 2, "queries must be [hq x d]");
+    const int hq = static_cast<int>(q.dim(0));
+    BITDEC_ASSERT(hkv > 0 && hq % hkv == 0,
+                  "query heads must divide evenly into KV heads");
+    BITDEC_ASSERT(kv_head >= 0 && kv_head < hkv, "kv head out of range");
+    const int gq = hq / hkv;
+    const std::size_t d = q.dim(1);
+
+    // Head h attends through KV head h / gq; group rows are contiguous.
+    Tensor<Half> tile({static_cast<std::size_t>(gq), d});
+    for (int g = 0; g < gq; g++) {
+        const std::size_t h = static_cast<std::size_t>(kv_head * gq + g);
+        for (std::size_t c = 0; c < d; c++)
+            tile.at(static_cast<std::size_t>(g), c) = q.at(h, c);
+    }
+    return tile;
+}
+
+void
+scatterGroupOutput(const Tensor<float>& o_tile, int kv_head, int hkv,
+                   Tensor<float>& o_full)
+{
+    const int gq = static_cast<int>(o_tile.dim(0));
+    const std::size_t d = o_tile.dim(1);
+    BITDEC_ASSERT(o_full.dim(1) == d, "output width mismatch");
+    BITDEC_ASSERT(o_full.dim(0) == static_cast<std::size_t>(gq * hkv),
+                  "output height must be hq = gq * hkv");
+    for (int g = 0; g < gq; g++) {
+        const std::size_t h = static_cast<std::size_t>(kv_head * gq + g);
+        for (std::size_t c = 0; c < d; c++)
+            o_full.at(h, c) = o_tile.at(static_cast<std::size_t>(g), c);
+    }
+}
+
+Tensor<Half>
+padQueryTile(const Tensor<Half>& tile, int m_tile)
+{
+    const std::size_t gq = tile.dim(0);
+    const std::size_t d = tile.dim(1);
+    BITDEC_ASSERT(static_cast<std::size_t>(m_tile) >= gq,
+                  "cannot pad below the tile height");
+    Tensor<Half> out({static_cast<std::size_t>(m_tile), d});
+    for (std::size_t r = 0; r < gq; r++)
+        for (std::size_t c = 0; c < d; c++)
+            out.at(r, c) = tile.at(r, c);
+    return out;
+}
+
+} // namespace bitdec::core

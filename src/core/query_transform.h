@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Query transformation (Section V-A): reshapes the decode-step query
+ * tensor from [1, (gq, hkv)] to [gq, hkv] so the query heads that share a
+ * KV head form one m-tile of a Tensor-Core GEMM instead of gq separate
+ * underfilled GEMVs. Supports MHA (gq = 1), GQA (gq > 1) and MQA
+ * (hkv = 1) without changing attention semantics.
+ */
+#ifndef BITDEC_CORE_QUERY_TRANSFORM_H
+#define BITDEC_CORE_QUERY_TRANSFORM_H
+
+#include "common/half.h"
+#include "common/tensor.h"
+
+namespace bitdec::core {
+
+/**
+ * Gathers the query rows of one KV head group.
+ *
+ * @param q        decode queries, [hq x d] (one token, all query heads)
+ * @param kv_head  target KV head index
+ * @param hkv      number of KV heads
+ * @return         [gq x d] tile: the gq query heads mapping to kv_head
+ */
+Tensor<Half> queryGroupTile(const Tensor<Half>& q, int kv_head, int hkv);
+
+/**
+ * Scatters a per-group output tile back into the [hq x d] output tensor
+ * (the inverse of queryGroupTile).
+ */
+void scatterGroupOutput(const Tensor<float>& o_tile, int kv_head, int hkv,
+                        Tensor<float>& o_full);
+
+/**
+ * Pads a [gq x d] tile to [m_tile x d] with zero rows so it fills a
+ * Tensor-Core m-tile; extra rows produce garbage outputs that are simply
+ * not written back, exactly like the kernels mask them.
+ */
+Tensor<Half> padQueryTile(const Tensor<Half>& tile, int m_tile);
+
+} // namespace bitdec::core
+
+#endif // BITDEC_CORE_QUERY_TRANSFORM_H

@@ -1,0 +1,166 @@
+#include "core/residual_kernel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "quant/fast_dequant.h"
+#include "quant/packing.h"
+
+namespace bitdec::core {
+
+namespace {
+
+/**
+ * Per-lane fragment quantize + in-register pack for one operand. The value
+ * of B coordinate (row, col) is fetched through @p value_of and its group
+ * parameters through @p param_of, mirroring how the kernel holds fragment
+ * values in registers and Kp/Vp parameters in shared memory.
+ */
+template <typename ValueFn, typename ParamFn>
+std::vector<std::uint32_t>
+packViaFragments(const layout::InducedLayout& lay, ValueFn value_of,
+                 ParamFn param_of)
+{
+    std::vector<std::uint32_t> units(lay.numUnits());
+    std::uint8_t codes[16];
+    for (int kt = 0; kt < lay.numKTiles(); kt++) {
+        for (int ng = 0; ng < lay.numNGroups(); ng++) {
+            for (int lane = 0; lane < sim::kWarpSize; lane++) {
+                for (int pr = 0; pr < lay.pairsPerLane(); pr++) {
+                    const layout::UnitId id{kt, ng, lane, pr};
+                    for (int i = 0; i < lay.codesPerUnit(); i++) {
+                        const layout::CodeCoord c = lay.codeCoord(id, i);
+                        codes[i] = quant::quantizeValue(
+                            value_of(c.row, c.col), param_of(c.row, c.col),
+                            lay.bits());
+                    }
+                    units[lay.unitSlot(id)] = quant::packWord(
+                        codes, lay.bits(), quant::PackOrder::Interleaved);
+                }
+            }
+        }
+    }
+    return units;
+}
+
+} // namespace
+
+kv::PackedBlock
+residualKernelPackKeys(const Tensor<Half>& k_block,
+                       const quant::QuantConfig& cfg,
+                       const layout::InducedLayout& klay)
+{
+    // Parameters: the device derives them from shfl_xor-reduced min/max;
+    // the math is identical to the grouped reduction here.
+    const quant::QuantizedMatrix kq = quant::quantizeMatrix(
+        k_block, cfg.bits, cfg.key_granularity, cfg.group_size);
+
+    kv::PackedBlock out;
+    out.params = kq.params;
+    // B operand is K^T: row = channel, col = token.
+    out.units = packViaFragments(
+        klay,
+        [&](int row, int col) {
+            return k_block.at(static_cast<std::size_t>(col),
+                              static_cast<std::size_t>(row))
+                .toFloat();
+        },
+        [&](int row, int col) {
+            if (cfg.key_granularity == quant::Granularity::TensorWise) {
+                return quant::QuantParams::fromHalf2(kq.params.at(
+                    static_cast<std::size_t>(col),
+                    static_cast<std::size_t>(row / cfg.group_size)));
+            }
+            return quant::QuantParams::fromHalf2(kq.params.at(
+                static_cast<std::size_t>(col / cfg.group_size),
+                static_cast<std::size_t>(row)));
+        });
+    return out;
+}
+
+kv::PackedBlock
+residualKernelPackValues(const Tensor<Half>& v_block,
+                         const quant::QuantConfig& cfg,
+                         const layout::InducedLayout& vlay)
+{
+    const quant::QuantizedMatrix vq = quant::quantizeMatrix(
+        v_block, cfg.bits, quant::Granularity::TensorWise, cfg.group_size);
+
+    kv::PackedBlock out;
+    out.params = vq.params;
+    // B operand is V itself: row = token, col = channel.
+    out.units = packViaFragments(
+        vlay,
+        [&](int row, int col) {
+            return v_block.at(static_cast<std::size_t>(row),
+                              static_cast<std::size_t>(col))
+                .toFloat();
+        },
+        [&](int row, int col) {
+            return quant::QuantParams::fromHalf2(vq.params.at(
+                static_cast<std::size_t>(row),
+                static_cast<std::size_t>(col / cfg.group_size)));
+        });
+    return out;
+}
+
+void
+warpGroupMinMax(const sim::WarpVar<float>& local_min,
+                const sim::WarpVar<float>& local_max,
+                const std::vector<int>& masks, sim::WarpVar<float>& min_out,
+                sim::WarpVar<float>& max_out)
+{
+    min_out = local_min;
+    max_out = local_max;
+    for (int mask : masks) {
+        const auto other_min = sim::shflXor(min_out, mask);
+        const auto other_max = sim::shflXor(max_out, mask);
+        for (int lane = 0; lane < sim::kWarpSize; lane++) {
+            min_out[static_cast<std::size_t>(lane)] =
+                std::min(min_out[static_cast<std::size_t>(lane)],
+                         other_min[static_cast<std::size_t>(lane)]);
+            max_out[static_cast<std::size_t>(lane)] =
+                std::max(max_out[static_cast<std::size_t>(lane)],
+                         other_max[static_cast<std::size_t>(lane)]);
+        }
+    }
+}
+
+sim::SequenceTiming
+residualKernelTime(const sim::GpuArch& arch, const attn::DecodeShape& shape,
+                   const quant::QuantConfig& cfg, int residual_len,
+                   bool with_pack)
+{
+    sim::KernelWorkload wl;
+    wl.label = "residual-kernel";
+    // Attention over the FP16 residual tail.
+    const double res_kv_bytes = 2.0 * shape.batch * shape.num_kv_heads *
+                                residual_len * shape.head_dim * 2.0;
+    wl.dram_read_bytes = res_kv_bytes + shape.qoBytes() / 2;
+    wl.dram_write_bytes = shape.qoBytes() / 2;
+    attn::DecodeShape res_shape = shape;
+    res_shape.seq_len = std::max(residual_len, 1);
+    wl.tc_flops_fp16 = attn::tcFlopsIssued(res_shape);
+    wl.cuda = attn::softmaxOps(res_shape);
+    wl.smem_bytes = 2.0 * res_kv_bytes;
+    wl.ctas = shape.batch * shape.num_kv_heads;
+    wl.warps_per_cta = 4;
+    wl.wn = 4;
+
+    if (with_pack) {
+        // Fused quantize+pack of the full block: per element one min/max
+        // compare chain (amortized), one quantize FMA, and 1/R of a pack.
+        const double elems = 2.0 * shape.batch * shape.num_kv_heads *
+                             residual_len * shape.head_dim;
+        wl.cuda.alu += elems * 2.0;
+        wl.cuda.fma += elems;
+        // Packed block + metadata write back.
+        wl.dram_write_bytes +=
+            elems * (static_cast<double>(cfg.bits) / 8.0) +
+            shape.metadataBytes(cfg) *
+                (static_cast<double>(residual_len) / shape.seq_len);
+    }
+    return resolveSequence(arch, {wl});
+}
+
+} // namespace bitdec::core

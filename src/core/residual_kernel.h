@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Residual Kernel: fused computation + quantization + packing of a
+ * full residual KV block (Section V-B).
+ *
+ * The warp-emulated pack walks the data exactly like the device: every
+ * lane quantizes the fragment values it received from ldmatrix and packs
+ * them into 16-bit words in registers; words store to the packed cache at
+ * the canonical unit slots. Because the Packing Kernel mirrors the same
+ * instruction configuration, the resulting bytes must equal the canonical
+ * induced-layout pack — the executable form of the paper's zero-overhead
+ * layout-induction claim (tests assert byte equality).
+ *
+ * Quantization parameters come from thread-local min/max partials reduced
+ * across lanes with __shfl_xor_sync butterflies (emulated faithfully in
+ * warpGroupMinMax) and across warps through a small shared buffer.
+ */
+#ifndef BITDEC_CORE_RESIDUAL_KERNEL_H
+#define BITDEC_CORE_RESIDUAL_KERNEL_H
+
+#include "attention/workloads.h"
+#include "gpusim/timing.h"
+#include "gpusim/warp.h"
+#include "kvcache/kv_cache.h"
+
+namespace bitdec::core {
+
+/**
+ * Warp-emulated fused quantize+pack of one residual key block.
+ *
+ * @param k_block [Nr x d] FP16 keys
+ * @param cfg     quantization config (bit width, key granularity, groups)
+ * @param klay    induced layout for the K^T operand ([d x Nr])
+ * @return        packed block; bytes must equal kv::packBlock's K output
+ */
+kv::PackedBlock residualKernelPackKeys(const Tensor<Half>& k_block,
+                                       const quant::QuantConfig& cfg,
+                                       const layout::InducedLayout& klay);
+
+/**
+ * Warp-emulated fused quantize+pack of one residual value block
+ * ([Nr x d] operand, tensor-wise scaling).
+ */
+kv::PackedBlock residualKernelPackValues(const Tensor<Half>& v_block,
+                                         const quant::QuantConfig& cfg,
+                                         const layout::InducedLayout& vlay);
+
+/**
+ * Min/max reduction across a warp using shfl_xor butterflies, as issued by
+ * the Residual Kernel: lanes whose ids differ only in the masked bits
+ * exchange partials. Returns per-lane (min, max) after the butterfly over
+ * @p masks (e.g. {4, 8, 16} reduces across the ldmatrix column groups).
+ */
+void warpGroupMinMax(const sim::WarpVar<float>& local_min,
+                     const sim::WarpVar<float>& local_max,
+                     const std::vector<int>& masks,
+                     sim::WarpVar<float>& min_out,
+                     sim::WarpVar<float>& max_out);
+
+/**
+ * Timing of the per-step Residual Kernel launch: attention over the FP16
+ * residual tail plus the amortized quantize+pack of completed blocks.
+ *
+ * @param with_pack true on steps where a block fills (res_len == Nr)
+ */
+sim::SequenceTiming residualKernelTime(const sim::GpuArch& arch,
+                                       const attn::DecodeShape& shape,
+                                       const quant::QuantConfig& cfg,
+                                       int residual_len, bool with_pack);
+
+} // namespace bitdec::core
+
+#endif // BITDEC_CORE_RESIDUAL_KERNEL_H

@@ -1,0 +1,250 @@
+#include "gpusim/arch.h"
+
+#include "common/logging.h"
+
+namespace bitdec::sim {
+
+const char*
+toString(Generation gen)
+{
+    switch (gen) {
+      case Generation::Ampere:
+        return "Ampere";
+      case Generation::Ada:
+        return "Ada";
+      case Generation::Hopper:
+        return "Hopper";
+      case Generation::Blackwell:
+        return "Blackwell";
+    }
+    return "unknown";
+}
+
+double
+GpuArch::tcFlops(int bits) const
+{
+    double peak = tc_fp16_tflops;
+    if (bits <= 4 && tc_fp4_tflops > 0)
+        peak = tc_fp4_tflops;
+    else if (bits <= 8 && tc_fp8_tflops > 0)
+        peak = tc_fp8_tflops;
+    return peak * 1e12 * tc_efficiency;
+}
+
+double
+GpuArch::cudaOps() const
+{
+    // FP16 CUDA-core ops dominate the dequant/FMA mix the kernels model.
+    // Datasheet TFLOPS count an FMA as two FLOPs; the op counts in
+    // CudaCoreOps count issue slots (FMA = 1), so halve the peak.
+    const double tflops =
+        cuda_fp16_tflops > 0 ? cuda_fp16_tflops : cuda_fp32_tflops;
+    return tflops * 1e12 / 2.0 * cuda_efficiency;
+}
+
+namespace {
+
+GpuArch
+makeA100()
+{
+    GpuArch a;
+    a.name = "A100";
+    a.generation = Generation::Ampere;
+    a.num_sms = 108;
+    a.clock_ghz = 1.41;
+    a.dram_gbs = 2039.0;
+    a.dram_efficiency = 0.83;
+    a.l2_mb = 40.0;
+    a.hbm_gb = 40.0; // SXM4-40GB, the configuration the e2e experiments use
+    a.tc_fp16_tflops = 312.0;
+    a.tc_fp8_tflops = 0.0;
+    a.tc_fp4_tflops = 0.0;
+    a.cuda_fp32_tflops = 19.5;
+    a.cuda_fp16_tflops = 78.0;
+    a.tc_efficiency = 0.62;
+    a.cuda_efficiency = 0.70;
+    a.smem_kb_per_sm = 164.0;
+    a.smem_bytes_per_clk = 128.0;
+    a.max_warps_per_sm = 64;
+    a.launch_overhead_us = 3.2;
+    a.has_cp_async = true;
+    a.has_wgmma = false;
+    a.has_tma = false;
+    a.has_mxfp4_mma = false;
+    return a;
+}
+
+GpuArch
+makeRTX4090()
+{
+    GpuArch a;
+    a.name = "RTX4090";
+    a.generation = Generation::Ada;
+    a.num_sms = 128;
+    a.clock_ghz = 2.52;
+    a.dram_gbs = 1008.0;
+    a.dram_efficiency = 0.85;
+    a.l2_mb = 72.0;
+    a.hbm_gb = 24.0;
+    a.tc_fp16_tflops = 165.2;
+    a.tc_fp8_tflops = 330.3;
+    a.tc_fp4_tflops = 0.0;
+    a.cuda_fp32_tflops = 82.6;
+    a.cuda_fp16_tflops = 82.6;
+    a.tc_efficiency = 0.60;
+    a.cuda_efficiency = 0.72;
+    a.smem_kb_per_sm = 100.0;
+    a.smem_bytes_per_clk = 128.0;
+    a.max_warps_per_sm = 48;
+    a.launch_overhead_us = 2.8;
+    a.has_cp_async = true;
+    a.has_wgmma = false;
+    a.has_tma = false;
+    a.has_mxfp4_mma = false;
+    return a;
+}
+
+GpuArch
+makeH100()
+{
+    GpuArch a;
+    a.name = "H100";
+    a.generation = Generation::Hopper;
+    a.num_sms = 132;
+    a.clock_ghz = 1.83;
+    a.dram_gbs = 3352.0;
+    a.dram_efficiency = 0.83;
+    a.l2_mb = 50.0;
+    a.hbm_gb = 80.0;
+    a.tc_fp16_tflops = 989.4;
+    a.tc_fp8_tflops = 1978.9;
+    a.tc_fp4_tflops = 0.0;
+    a.cuda_fp32_tflops = 66.9;
+    a.cuda_fp16_tflops = 133.8;
+    a.tc_efficiency = 0.55;
+    a.cuda_efficiency = 0.70;
+    a.smem_kb_per_sm = 228.0;
+    a.smem_bytes_per_clk = 128.0;
+    a.max_warps_per_sm = 64;
+    a.launch_overhead_us = 3.0;
+    a.has_cp_async = true;
+    a.has_wgmma = true;
+    a.has_tma = true;
+    a.has_mxfp4_mma = false;
+    return a;
+}
+
+GpuArch
+makeRTX5090()
+{
+    GpuArch a;
+    a.name = "RTX5090";
+    a.generation = Generation::Blackwell;
+    a.num_sms = 170;
+    a.clock_ghz = 2.41;
+    a.dram_gbs = 1792.0;
+    a.dram_efficiency = 0.85;
+    a.l2_mb = 96.0;
+    a.hbm_gb = 32.0;
+    a.tc_fp16_tflops = 209.5;
+    a.tc_fp8_tflops = 419.0;
+    a.tc_fp4_tflops = 838.0;
+    a.cuda_fp32_tflops = 104.8;
+    a.cuda_fp16_tflops = 104.8;
+    a.tc_efficiency = 0.60;
+    a.cuda_efficiency = 0.72;
+    a.smem_kb_per_sm = 100.0;
+    a.smem_bytes_per_clk = 128.0;
+    a.max_warps_per_sm = 48;
+    a.launch_overhead_us = 2.6;
+    a.has_cp_async = true;
+    a.has_wgmma = false;
+    a.has_tma = true;
+    a.has_mxfp4_mma = true;
+    return a;
+}
+
+GpuArch
+makeRTXPro6000()
+{
+    GpuArch a;
+    a.name = "RTXPro6000";
+    a.generation = Generation::Blackwell;
+    a.num_sms = 188;
+    a.clock_ghz = 2.45;
+    a.dram_gbs = 1792.0;
+    a.dram_efficiency = 0.85;
+    a.l2_mb = 128.0;
+    a.hbm_gb = 96.0;
+    a.tc_fp16_tflops = 251.9;
+    a.tc_fp8_tflops = 503.8;
+    a.tc_fp4_tflops = 1007.0;
+    a.cuda_fp32_tflops = 125.9;
+    a.cuda_fp16_tflops = 125.9;
+    a.tc_efficiency = 0.60;
+    a.cuda_efficiency = 0.72;
+    a.smem_kb_per_sm = 100.0;
+    a.smem_bytes_per_clk = 128.0;
+    a.max_warps_per_sm = 48;
+    a.launch_overhead_us = 2.6;
+    a.has_cp_async = true;
+    a.has_wgmma = false;
+    a.has_tma = true;
+    a.has_mxfp4_mma = true;
+    return a;
+}
+
+} // namespace
+
+const GpuArch&
+archA100()
+{
+    static const GpuArch a = makeA100();
+    return a;
+}
+
+const GpuArch&
+archRTX4090()
+{
+    static const GpuArch a = makeRTX4090();
+    return a;
+}
+
+const GpuArch&
+archH100()
+{
+    static const GpuArch a = makeH100();
+    return a;
+}
+
+const GpuArch&
+archRTX5090()
+{
+    static const GpuArch a = makeRTX5090();
+    return a;
+}
+
+const GpuArch&
+archRTXPro6000()
+{
+    static const GpuArch a = makeRTXPro6000();
+    return a;
+}
+
+const GpuArch&
+archByName(const std::string& name)
+{
+    if (name == "A100")
+        return archA100();
+    if (name == "RTX4090")
+        return archRTX4090();
+    if (name == "H100")
+        return archH100();
+    if (name == "RTX5090")
+        return archRTX5090();
+    if (name == "RTXPro6000")
+        return archRTXPro6000();
+    BITDEC_FATAL("unknown GPU architecture: ", name);
+}
+
+} // namespace bitdec::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * GPU architecture descriptions used by the timing model.
+ *
+ * Each GpuArch captures the first-order performance characteristics of a
+ * real device: DRAM bandwidth, Tensor-Core and CUDA-core peak throughput,
+ * SM count, shared-memory bandwidth, and which instruction families
+ * (cp.async, wgmma/TMA, native MXFP4 MMA) are available. Peak numbers come
+ * from vendor datasheets; effective-efficiency factors account for what
+ * tuned kernels typically sustain.
+ */
+#ifndef BITDEC_GPUSIM_ARCH_H
+#define BITDEC_GPUSIM_ARCH_H
+
+#include <string>
+
+namespace bitdec::sim {
+
+/** GPU hardware generations relevant to the paper's evaluation. */
+enum class Generation
+{
+    Ampere,   //!< SM80: mma + cp.async (A100)
+    Ada,      //!< SM89: Ampere ISA with bigger L2 (RTX 4090)
+    Hopper,   //!< SM90: wgmma + TMA + warp specialization (H100)
+    Blackwell //!< SM100/SM120: native MXFP4/NVFP4 MMA (RTX 5090, RTX PRO 6000)
+};
+
+/** Returns a printable generation name. */
+const char* toString(Generation gen);
+
+/** Static description of one GPU model. */
+struct GpuArch
+{
+    std::string name;          //!< marketing name, e.g. "A100"
+    Generation generation;     //!< ISA generation
+
+    int num_sms;               //!< streaming multiprocessors
+    double clock_ghz;          //!< sustained SM clock
+    double dram_gbs;           //!< peak DRAM bandwidth, GB/s
+    double dram_efficiency;    //!< fraction of peak a tuned kernel sustains
+    double l2_mb;              //!< L2 capacity, MB
+    double hbm_gb;             //!< device memory capacity, GB
+
+    double tc_fp16_tflops;     //!< dense Tensor-Core FP16 w/ FP32 accumulate
+    double tc_fp8_tflops;      //!< dense FP8 Tensor-Core rate (0 if absent)
+    double tc_fp4_tflops;      //!< dense FP4/MXFP4 rate (0 if absent)
+    double cuda_fp32_tflops;   //!< CUDA-core FP32 FMA throughput
+    double cuda_fp16_tflops;   //!< CUDA-core FP16 throughput (non-TC)
+    double tc_efficiency;      //!< sustained fraction of TC peak in attention
+    double cuda_efficiency;    //!< sustained fraction of CUDA-core peak
+
+    double smem_kb_per_sm;     //!< shared memory per SM, KB
+    double smem_bytes_per_clk; //!< shared bytes/cycle/SM (bank width total)
+    int max_warps_per_sm;      //!< resident warp limit
+
+    double launch_overhead_us; //!< per-kernel-launch host+device overhead
+
+    bool has_cp_async;         //!< SM80+ asynchronous global->shared copies
+    bool has_wgmma;            //!< SM90 warpgroup MMA (B operand from SMEM)
+    bool has_tma;              //!< SM90 tensor memory accelerator
+    bool has_mxfp4_mma;        //!< SM100/120 block-scaled FP4 MMA
+
+    /** Effective DRAM bandwidth in bytes per second. */
+    double dramBytesPerSec() const { return dram_gbs * 1e9 * dram_efficiency; }
+
+    /** Effective Tensor-Core FLOP/s for the given operand precision. */
+    double tcFlops(int bits) const;
+
+    /** Effective CUDA-core scalar-op throughput (ops/s, FMA = 1 op). */
+    double cudaOps() const;
+};
+
+/** Returns the preset for NVIDIA A100-SXM4-80GB. */
+const GpuArch& archA100();
+
+/** Returns the preset for NVIDIA GeForce RTX 4090. */
+const GpuArch& archRTX4090();
+
+/** Returns the preset for NVIDIA H100-SXM5. */
+const GpuArch& archH100();
+
+/** Returns the preset for NVIDIA GeForce RTX 5090. */
+const GpuArch& archRTX5090();
+
+/** Returns the preset for NVIDIA RTX PRO 6000 (Blackwell). */
+const GpuArch& archRTXPro6000();
+
+/** Looks an architecture up by name; fatal on unknown names. */
+const GpuArch& archByName(const std::string& name);
+
+} // namespace bitdec::sim
+
+#endif // BITDEC_GPUSIM_ARCH_H

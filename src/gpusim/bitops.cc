@@ -1,0 +1,40 @@
+#include "gpusim/bitops.h"
+
+namespace bitdec::sim {
+
+std::uint32_t
+prmt(std::uint32_t a, std::uint32_t b, std::uint32_t sel)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 4; i++)
+        bytes[i] = static_cast<std::uint8_t>((a >> (8 * i)) & 0xFF);
+    for (int i = 0; i < 4; i++)
+        bytes[4 + i] = static_cast<std::uint8_t>((b >> (8 * i)) & 0xFF);
+
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; i++) {
+        const std::uint32_t s = (sel >> (4 * i)) & 0xF;
+        std::uint8_t byte = bytes[s & 0x7];
+        if (s & 0x8) {
+            // Replicate the sign bit of the selected byte.
+            byte = (byte & 0x80) ? 0xFF : 0x00;
+        }
+        out |= static_cast<std::uint32_t>(byte) << (8 * i);
+    }
+    return out;
+}
+
+std::uint32_t
+funnelShiftR(std::uint32_t lo, std::uint32_t hi, unsigned shift)
+{
+    shift = shift > 32 ? 32 : shift;
+    if (shift == 0)
+        return lo;
+    if (shift == 32)
+        return hi;
+    const std::uint64_t wide =
+        (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+    return static_cast<std::uint32_t>(wide >> shift);
+}
+
+} // namespace bitdec::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bit-exact emulation of the PTX scalar bit-manipulation instructions the
+ * fast-dequantization path relies on: lop3.b32 (arbitrary three-input
+ * boolean LUT) and prmt.b32 (byte permute).
+ */
+#ifndef BITDEC_GPUSIM_BITOPS_H
+#define BITDEC_GPUSIM_BITOPS_H
+
+#include <cstdint>
+
+namespace bitdec::sim {
+
+/**
+ * PTX lop3.b32: applies an arbitrary 3-input boolean function.
+ *
+ * The immediate @p lut is built exactly like on device: for inputs with
+ * canonical values ta=0xF0, tb=0xCC, tc=0xAA, the LUT byte for a desired
+ * expression f(a,b,c) is f(0xF0, 0xCC, 0xAA).
+ *
+ * @param a first operand
+ * @param b second operand
+ * @param c third operand
+ * @param lut 8-bit truth table
+ * @return bitwise result
+ */
+constexpr std::uint32_t
+lop3(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint8_t lut)
+{
+    std::uint32_t out = 0;
+    for (int bit = 0; bit < 32; bit++) {
+        const std::uint32_t idx = (((a >> bit) & 1u) << 2) |
+                                  (((b >> bit) & 1u) << 1) |
+                                  ((c >> bit) & 1u);
+        // LUT bit ordering follows the (0xF0, 0xCC, 0xAA) convention:
+        // index built from (a,b,c) selects bit 'idx' of the table.
+        out |= ((static_cast<std::uint32_t>(lut) >> idx) & 1u) << bit;
+    }
+    return out;
+}
+
+/** Builds a lop3 LUT immediate from canonical operand masks at compile time. */
+constexpr std::uint8_t kLop3A = 0xF0;
+constexpr std::uint8_t kLop3B = 0xCC;
+constexpr std::uint8_t kLop3C = 0xAA;
+
+/** LUT for (a & b) | c — the mask-then-merge idiom used in fast dequant. */
+constexpr std::uint8_t kLutAndOr = (kLop3A & kLop3B) | kLop3C;
+
+/**
+ * PTX prmt.b32 (default mode): selects four bytes out of the eight bytes
+ * of {lo = a, hi = b} according to the four nibble selectors in @p sel.
+ * Selector bit 3 (0x8) replicates the sign bit of the chosen byte.
+ */
+std::uint32_t prmt(std::uint32_t a, std::uint32_t b, std::uint32_t sel);
+
+/** Funnel shift right: (hi:lo) >> shift, low 32 bits (PTX shf.r.clamp). */
+std::uint32_t funnelShiftR(std::uint32_t lo, std::uint32_t hi, unsigned shift);
+
+} // namespace bitdec::sim
+
+#endif // BITDEC_GPUSIM_BITOPS_H

@@ -1,0 +1,222 @@
+#include "gpusim/fragment.h"
+
+#include "common/logging.h"
+
+namespace bitdec::sim {
+
+FragmentLayout::FragmentLayout(MmaShape shape, Operand op)
+    : shape_(shape), op_(op), rows_(0), cols_(0), elts_per_lane_(0)
+{
+    switch (shape) {
+      case MmaShape::M16N8K8:
+        switch (op) {
+          case Operand::A:
+            rows_ = 16;
+            cols_ = 8;
+            elts_per_lane_ = 4;
+            break;
+          case Operand::B:
+            rows_ = 8;
+            cols_ = 8;
+            elts_per_lane_ = 2;
+            break;
+          case Operand::C:
+            rows_ = 16;
+            cols_ = 8;
+            elts_per_lane_ = 4;
+            break;
+        }
+        break;
+      case MmaShape::M16N8K16:
+        switch (op) {
+          case Operand::A:
+            rows_ = 16;
+            cols_ = 16;
+            elts_per_lane_ = 8;
+            break;
+          case Operand::B:
+            rows_ = 16;
+            cols_ = 8;
+            elts_per_lane_ = 4;
+            break;
+          case Operand::C:
+            rows_ = 16;
+            cols_ = 8;
+            elts_per_lane_ = 4;
+            break;
+        }
+        break;
+    }
+}
+
+Coord
+FragmentLayout::coordOf(int lane, int elt) const
+{
+    BITDEC_ASSERT(lane >= 0 && lane < kWarpSize, "lane out of range");
+    BITDEC_ASSERT(elt >= 0 && elt < elts_per_lane_, "element out of range");
+
+    const int group = lane / 4; // 0..7
+    const int tig = lane % 4;   // thread index within the group
+
+    if (op_ == Operand::A) {
+        // a0,a1 cover (group, 2*tig + {0,1}); a2,a3 the +8-row copy;
+        // for k16, a4..a7 repeat the pattern at col + 8.
+        const int pair = elt / 2;      // which (row, k-block) quadrant
+        const int within = elt % 2;    // low/high half of the 32-bit reg
+        const int row = group + (pair % 2) * 8;
+        const int col = tig * 2 + within + (pair / 2) * 8;
+        return {row, col};
+    }
+    if (op_ == Operand::B) {
+        // b0,b1 cover rows 2*tig + {0,1} of column 'group'; for k16,
+        // b2,b3 cover the +8-row copy.
+        const int row = tig * 2 + (elt % 2) + (elt / 2) * 8;
+        const int col = group;
+        return {row, col};
+    }
+    // C/D accumulator: c0,c1 at (group, 2*tig + {0,1}); c2,c3 at row + 8.
+    const int row = group + (elt / 2) * 8;
+    const int col = tig * 2 + (elt % 2);
+    return {row, col};
+}
+
+std::pair<int, int>
+FragmentLayout::laneOf(int row, int col) const
+{
+    BITDEC_ASSERT(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                  "fragment coordinate out of range");
+    // Fragments are small; invert by search. Tests check bijectivity.
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int elt = 0; elt < elts_per_lane_; elt++) {
+            const Coord c = coordOf(lane, elt);
+            if (c.row == row && c.col == col)
+                return {lane, elt};
+        }
+    }
+    BITDEC_PANIC("fragment layout does not cover coordinate (", row, ",", col,
+                 ")");
+}
+
+void
+ldmatrix8x8(const Tensor<Half>& src, int row0, int col0, bool trans,
+            std::array<std::array<Half, 2>, kWarpSize>& lane_vals)
+{
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        const int r = lane / 4;
+        const int c = (lane % 4) * 2;
+        for (int e = 0; e < 2; e++) {
+            int rr = r;
+            int cc = c + e;
+            if (trans)
+                std::swap(rr, cc);
+            lane_vals[static_cast<std::size_t>(lane)]
+                     [static_cast<std::size_t>(e)] =
+                src.at(static_cast<std::size_t>(row0 + rr),
+                       static_cast<std::size_t>(col0 + cc));
+        }
+    }
+}
+
+WarpFragment<Half>
+loadFragment(const FragmentLayout& layout, const Tensor<Half>& src, int row0,
+             int col0)
+{
+    WarpFragment<Half> frag = makeFragment<Half>();
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int elt = 0; elt < layout.eltsPerLane(); elt++) {
+            const Coord c = layout.coordOf(lane, elt);
+            frag[static_cast<std::size_t>(lane)]
+                [static_cast<std::size_t>(elt)] =
+                src.at(static_cast<std::size_t>(row0 + c.row),
+                       static_cast<std::size_t>(col0 + c.col));
+        }
+    }
+    return frag;
+}
+
+void
+storeAccumFragment(const FragmentLayout& layout, const WarpFragment<float>& frag,
+                   Tensor<float>& dst, int row0, int col0)
+{
+    BITDEC_ASSERT(layout.operand() == Operand::C,
+                  "accumulator store requires a C layout");
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int elt = 0; elt < layout.eltsPerLane(); elt++) {
+            const Coord c = layout.coordOf(lane, elt);
+            dst.at(static_cast<std::size_t>(row0 + c.row),
+                   static_cast<std::size_t>(col0 + c.col)) =
+                frag[static_cast<std::size_t>(lane)]
+                    [static_cast<std::size_t>(elt)];
+        }
+    }
+}
+
+WarpFragment<float>
+mmaSync(MmaShape shape, const WarpFragment<Half>& a, const WarpFragment<Half>& b,
+        const WarpFragment<float>& c)
+{
+    const FragmentLayout la(shape, Operand::A);
+    const FragmentLayout lb(shape, Operand::B);
+    const FragmentLayout lc(shape, Operand::C);
+
+    const int m = la.rows();
+    const int k = la.cols();
+    const int n = lb.cols();
+
+    // Reconstruct the logical operands from what lanes actually hold.
+    Tensor<float> ma({static_cast<std::size_t>(m), static_cast<std::size_t>(k)});
+    Tensor<float> mb({static_cast<std::size_t>(k), static_cast<std::size_t>(n)});
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int elt = 0; elt < la.eltsPerLane(); elt++) {
+            const Coord co = la.coordOf(lane, elt);
+            ma.at(static_cast<std::size_t>(co.row),
+                  static_cast<std::size_t>(co.col)) =
+                a[static_cast<std::size_t>(lane)]
+                 [static_cast<std::size_t>(elt)].toFloat();
+        }
+        for (int elt = 0; elt < lb.eltsPerLane(); elt++) {
+            const Coord co = lb.coordOf(lane, elt);
+            mb.at(static_cast<std::size_t>(co.row),
+                  static_cast<std::size_t>(co.col)) =
+                b[static_cast<std::size_t>(lane)]
+                 [static_cast<std::size_t>(elt)].toFloat();
+        }
+    }
+
+    WarpFragment<float> d = makeFragment<float>();
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int elt = 0; elt < lc.eltsPerLane(); elt++) {
+            const Coord co = lc.coordOf(lane, elt);
+            float acc = c[static_cast<std::size_t>(lane)]
+                         [static_cast<std::size_t>(elt)];
+            for (int kk = 0; kk < k; kk++) {
+                acc += ma.at(static_cast<std::size_t>(co.row),
+                             static_cast<std::size_t>(kk)) *
+                       mb.at(static_cast<std::size_t>(kk),
+                             static_cast<std::size_t>(co.col));
+            }
+            d[static_cast<std::size_t>(lane)][static_cast<std::size_t>(elt)] =
+                acc;
+        }
+    }
+    return d;
+}
+
+Tensor<Half>
+fragmentToMatrix(const FragmentLayout& layout, const WarpFragment<Half>& frag)
+{
+    Tensor<Half> m({static_cast<std::size_t>(layout.rows()),
+                    static_cast<std::size_t>(layout.cols())});
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int elt = 0; elt < layout.eltsPerLane(); elt++) {
+            const Coord c = layout.coordOf(lane, elt);
+            m.at(static_cast<std::size_t>(c.row),
+                 static_cast<std::size_t>(c.col)) =
+                frag[static_cast<std::size_t>(lane)]
+                    [static_cast<std::size_t>(elt)];
+        }
+    }
+    return m;
+}
+
+} // namespace bitdec::sim

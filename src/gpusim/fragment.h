@@ -1,0 +1,162 @@
+/**
+ * @file
+ * PTX Tensor-Core fragment layouts and warp-level functional MMA emulation.
+ *
+ * The layout-induction technique at the heart of BitDecoding is a statement
+ * about *which thread owns which matrix element* for a given instruction.
+ * This module encodes the documented thread<->value mappings of
+ * mma.sync.m16n8k16 / m16n8k8 and ldmatrix, and provides a functional MMA
+ * that computes on the values threads actually hold. If registers hold
+ * values at the wrong coordinates, the emulated MMA produces exactly the
+ * wrong results hardware would — which is what the paper's "invalid layout"
+ * failure mode looks like (Fig. 3).
+ */
+#ifndef BITDEC_GPUSIM_FRAGMENT_H
+#define BITDEC_GPUSIM_FRAGMENT_H
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/half.h"
+#include "common/tensor.h"
+
+namespace bitdec::sim {
+
+/** Number of lanes per warp on every modeled architecture. */
+constexpr int kWarpSize = 32;
+
+/** MMA instruction shapes used by the kernels. */
+enum class MmaShape
+{
+    M16N8K8,  //!< mma.sync.aligned.m16n8k8.f16
+    M16N8K16, //!< mma.sync.aligned.m16n8k16.f16 (the workhorse)
+};
+
+/** Operand roles within an MMA. */
+enum class Operand { A, B, C };
+
+/** A (row, col) coordinate inside a fragment tile. */
+struct Coord
+{
+    int row;
+    int col;
+
+    bool operator==(const Coord&) const = default;
+};
+
+/**
+ * Thread<->value mapping of one MMA operand fragment.
+ *
+ * coordOf() follows the PTX ISA tables: lanes are split into groups of four
+ * (groupId = lane / 4, tig = lane % 4); each lane owns eltsPerLane()
+ * 16-bit elements at instruction-defined interleaved coordinates.
+ */
+class FragmentLayout
+{
+  public:
+    /** Builds the layout for @p op of instruction @p shape. */
+    FragmentLayout(MmaShape shape, Operand op);
+
+    /** Fragment tile height (rows of the logical matrix operand). */
+    int rows() const { return rows_; }
+
+    /** Fragment tile width. */
+    int cols() const { return cols_; }
+
+    /** Number of 16-bit elements each lane owns. */
+    int eltsPerLane() const { return elts_per_lane_; }
+
+    /** Instruction shape this layout describes. */
+    MmaShape shape() const { return shape_; }
+
+    /** Operand role this layout describes. */
+    Operand operand() const { return op_; }
+
+    /** Matrix coordinate held by (lane, elt). */
+    Coord coordOf(int lane, int elt) const;
+
+    /** Inverse mapping: which (lane, elt) holds coordinate (row, col). */
+    std::pair<int, int> laneOf(int row, int col) const;
+
+  private:
+    MmaShape shape_;
+    Operand op_;
+    int rows_;
+    int cols_;
+    int elts_per_lane_;
+};
+
+/**
+ * Values of one fragment across a warp: frag[lane][elt].
+ *
+ * @tparam T element type (Half for data fragments, float for accumulators).
+ */
+template <typename T>
+using WarpFragment = std::vector<std::array<T, 8>>;
+
+/** Allocates a zeroed warp fragment able to hold @p elts per lane. */
+template <typename T>
+WarpFragment<T>
+makeFragment()
+{
+    return WarpFragment<T>(kWarpSize);
+}
+
+/**
+ * Functional ldmatrix: loads an 8x8 tile of 16-bit values from a row-major
+ * source into per-lane registers using the documented mapping
+ * (lane i holds (row = i/4, col = 2*(i%4) + {0,1})).
+ *
+ * @param src        source tensor (rows x cols), e.g. a shared-memory tile
+ * @param row0,col0  top-left corner of the 8x8 tile
+ * @param trans      ldmatrix.trans: transposes the tile while loading
+ * @param lane_vals  output: two 16-bit values per lane
+ */
+void ldmatrix8x8(const Tensor<Half>& src, int row0, int col0, bool trans,
+                 std::array<std::array<Half, 2>, kWarpSize>& lane_vals);
+
+/**
+ * Loads an MMA operand fragment from a row-major tile via repeated
+ * ldmatrix-style mapping, producing registers that satisfy the documented
+ * mma.sync layout for that operand.
+ *
+ * @param layout fragment layout to satisfy
+ * @param src    source tile; must be at least layout.rows() x layout.cols()
+ *               starting at (row0, col0)
+ */
+WarpFragment<Half> loadFragment(const FragmentLayout& layout,
+                                const Tensor<Half>& src, int row0, int col0);
+
+/**
+ * Stores an accumulator fragment back to a row-major tile using the C
+ * layout (the inverse of loadFragment for Operand::C).
+ */
+void storeAccumFragment(const FragmentLayout& layout,
+                        const WarpFragment<float>& frag, Tensor<float>& dst,
+                        int row0, int col0);
+
+/**
+ * Functional mma.sync: D = A * B + C, computed from the values each lane
+ * holds, interpreted through the instruction's layout. Accumulation is
+ * FP32, matching mma.sync.*.f32.f16.f16.f32.
+ *
+ * The multiply reconstructs the logical operands via the layouts; callers
+ * that populated registers in the wrong order get wrong products, exactly
+ * as on hardware.
+ */
+WarpFragment<float> mmaSync(MmaShape shape, const WarpFragment<Half>& a,
+                            const WarpFragment<Half>& b,
+                            const WarpFragment<float>& c);
+
+/**
+ * Reconstructs the logical matrix an operand fragment represents.
+ * Used by tests to check layout alignment element-by-element.
+ */
+Tensor<Half> fragmentToMatrix(const FragmentLayout& layout,
+                              const WarpFragment<Half>& frag);
+
+} // namespace bitdec::sim
+
+#endif // BITDEC_GPUSIM_FRAGMENT_H

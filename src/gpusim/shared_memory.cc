@@ -1,0 +1,62 @@
+#include "gpusim/shared_memory.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace bitdec::sim {
+
+int
+xorSwizzleCol(int row, int col, int col_chunks)
+{
+    BITDEC_ASSERT(col_chunks > 0 && (col_chunks & (col_chunks - 1)) == 0,
+                  "swizzle requires a power-of-two chunk count");
+    return (col ^ (row % col_chunks)) % col_chunks;
+}
+
+int
+smemConflictPhases(const std::vector<std::uint32_t>& byte_addrs)
+{
+    // bank -> set of distinct 4-byte word addresses requested in that bank
+    std::map<int, std::set<std::uint32_t>> per_bank;
+    for (std::uint32_t addr : byte_addrs) {
+        const std::uint32_t word = addr / kSmemBankBytes;
+        const int bank = static_cast<int>(word % kSmemBanks);
+        per_bank[bank].insert(word);
+    }
+    int phases = 1;
+    for (const auto& [bank, words] : per_bank)
+        phases = std::max(phases, static_cast<int>(words.size()));
+    return phases;
+}
+
+int
+ldmatrixConflictPhases(int row_bytes, bool swizzled)
+{
+    // ldmatrix reads one 8x8 16-bit matrix per phase group: 8 rows of 16
+    // bytes, i.e. four 4-byte words per row, all issued together. Each x4
+    // group targets a different chunk column; conflicts are counted within
+    // a group (hardware serializes bank collisions inside one matrix
+    // transaction).
+    const int chunk_bytes = 16;
+    const int chunks_per_row = std::max(1, row_bytes / chunk_bytes);
+    int worst = 1;
+    for (int group = 0; group < 4; group++) {
+        std::vector<std::uint32_t> addrs;
+        for (int row = 0; row < 8; row++) {
+            int chunk = group % chunks_per_row;
+            if (swizzled)
+                chunk = xorSwizzleCol(row, chunk, chunks_per_row);
+            for (int word = 0; word < 4; word++) {
+                addrs.push_back(static_cast<std::uint32_t>(
+                    row * row_bytes + chunk * chunk_bytes + word * 4));
+            }
+        }
+        worst = std::max(worst, smemConflictPhases(addrs));
+    }
+    return worst;
+}
+
+} // namespace bitdec::sim

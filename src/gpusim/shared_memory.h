@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared-memory bank model with XOR swizzling.
+ *
+ * Models the 32-bank, 4-byte-per-bank shared memory of every NVIDIA
+ * generation this library targets. Used to (i) verify that the Packing
+ * Kernel's swizzled layouts are conflict-free (Eq. 2 in the paper:
+ * col' = row ^ col) and (ii) feed the bank-conflict factor of the
+ * timing model.
+ */
+#ifndef BITDEC_GPUSIM_SHARED_MEMORY_H
+#define BITDEC_GPUSIM_SHARED_MEMORY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bitdec::sim {
+
+/** Number of shared-memory banks (all modeled generations). */
+constexpr int kSmemBanks = 32;
+
+/** Bytes per bank per cycle. */
+constexpr int kSmemBankBytes = 4;
+
+/**
+ * XOR swizzle of Eq. 2: permutes the column of a (row, col) tile address so
+ * that column-strided warp accesses hit distinct banks.
+ *
+ * @param row       tile row
+ * @param col       tile column (in 128-bit / 8-half chunks, as on device)
+ * @param col_chunks number of chunks per row (power of two)
+ */
+int xorSwizzleCol(int row, int col, int col_chunks);
+
+/**
+ * Counts the number of shared-memory transaction phases for one warp-wide
+ * access: the maximum number of distinct 4-byte words any single bank must
+ * serve (1 = conflict free). Accesses to the same word broadcast.
+ *
+ * @param byte_addrs per-lane byte addresses of a 4-byte access
+ */
+int smemConflictPhases(const std::vector<std::uint32_t>& byte_addrs);
+
+/**
+ * Convenience: phases for a warp reading 16-bit rows of an 8x8 ldmatrix
+ * tile from a row-major shared buffer of @p row_bytes bytes per row,
+ * optionally applying the XOR swizzle.
+ */
+int ldmatrixConflictPhases(int row_bytes, bool swizzled);
+
+} // namespace bitdec::sim
+
+#endif // BITDEC_GPUSIM_SHARED_MEMORY_H

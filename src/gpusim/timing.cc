@@ -1,0 +1,135 @@
+#include "gpusim/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bitdec::sim {
+
+CudaCoreOps&
+CudaCoreOps::operator+=(const CudaCoreOps& o)
+{
+    fma += o.fma;
+    alu += o.alu;
+    sfu += o.sfu;
+    return *this;
+}
+
+double
+warpOverlapEfficiency(int wn)
+{
+    if (wn <= 1)
+        return 0.0;
+    // Each extra independent warp gives the scheduler another instruction
+    // stream to hide dequantization latency behind MMA/memory. Saturates
+    // quickly, as observed on hardware (Table III: 4 warps recover most).
+    return static_cast<double>(wn - 1) / static_cast<double>(wn);
+}
+
+KernelTiming
+resolveKernel(const GpuArch& arch, const KernelWorkload& wl)
+{
+    BITDEC_ASSERT(wl.ctas >= 1, "kernel must launch at least one CTA");
+    KernelTiming t;
+
+    // --- Occupancy: how much of the chip the launch covers. -------------
+    // A decode CTA of W warps occupies one SM slice; fewer CTAs than SMs
+    // leaves SMs idle and scales achievable compute/smem throughput.
+    const double cta_cover =
+        std::min(1.0, static_cast<double>(wl.ctas) /
+                          static_cast<double>(arch.num_sms));
+    // Very small CTAs (few warps) cannot saturate an SM's issue slots.
+    const double warp_cover =
+        std::min(1.0, static_cast<double>(wl.warps_per_cta) / 4.0);
+    t.occupancy = cta_cover;
+
+    // --- Standalone pipe times. -----------------------------------------
+    const double dram_bytes = wl.dram_read_bytes + wl.dram_write_bytes;
+    t.t_dram_s = dram_bytes * std::max(1.0, wl.dram_derate) /
+                 arch.dramBytesPerSec();
+
+    const double tc_rate_scale = std::max(1e-3, cta_cover * warp_cover);
+    double t_tc = 0;
+    if (wl.tc_flops_fp16 > 0)
+        t_tc += wl.tc_flops_fp16 / (arch.tcFlops(16) * tc_rate_scale);
+    if (wl.tc_flops_lowbit > 0) {
+        t_tc += wl.tc_flops_lowbit /
+                (arch.tcFlops(wl.lowbit_width) * tc_rate_scale);
+    }
+    t.t_tc_s = t_tc;
+
+    const double cuda_rate = arch.cudaOps() * std::max(1e-3, cta_cover);
+    t.t_cuda_s = wl.cuda.weighted() / cuda_rate;
+
+    const double smem_rate = arch.smem_bytes_per_clk * arch.clock_ghz * 1e9 *
+                             arch.num_sms * std::max(1e-3, cta_cover);
+    t.t_smem_s = wl.smem_bytes * wl.smem_conflict_factor / smem_rate;
+
+    // --- Overlap model. ---------------------------------------------------
+    // DRAM, Tensor-Core and shared-memory traffic pipeline against each
+    // other via cp.async / ldmatrix double buffering; CUDA-core work hides
+    // behind them only to the extent the warp layout provides independent
+    // warps (the paper's Wn insight).
+    const double t_parallel =
+        wl.serialize_pipes ? (t.t_dram_s + t.t_tc_s + t.t_smem_s)
+                           : std::max({t.t_dram_s, t.t_tc_s, t.t_smem_s});
+
+    const double overlap = warpOverlapEfficiency(wl.wn) *
+                           std::clamp(wl.overlappable_cuda_fraction, 0.0, 1.0);
+    const double cuda_hidable = t.t_cuda_s * overlap;
+    const double cuda_hidden = std::min(cuda_hidable, t_parallel);
+    t.exposed_cuda_s = t.t_cuda_s - cuda_hidden;
+
+    const double body = t_parallel + t.exposed_cuda_s;
+    t.total_s = body * (1.0 + wl.pipeline_fill_overhead);
+
+    // --- Utilization statistics (for Figs. 4b / 15 / Table III). ---------
+    if (t.total_s > 0) {
+        // Fraction of the chip's peak Tensor-Core rate actually used:
+        // busy time re-scaled by the launch's achievable rate fraction.
+        t.tc_utilization = t.t_tc_s * tc_rate_scale / t.total_s;
+        t.mem_bw_utilization = t.t_dram_s / t.total_s;
+        t.cuda_utilization = t.t_cuda_s / t.total_s;
+        // Stall time the memory system is responsible for: the part of the
+        // critical path where neither compute pipe has work queued.
+        const double compute_busy = std::max(t.t_tc_s, cuda_hidden);
+        t.mem_stall_frac =
+            std::max(0.0, t_parallel - compute_busy) / t.total_s;
+    }
+    return t;
+}
+
+SequenceTiming
+resolveSequence(const GpuArch& arch, const std::vector<KernelWorkload>& kernels)
+{
+    SequenceTiming seq;
+    for (const auto& wl : kernels) {
+        seq.kernels.push_back(resolveKernel(arch, wl));
+        seq.total_s += seq.kernels.back().total_s;
+    }
+    seq.launch_overhead_s =
+        static_cast<double>(kernels.size()) * arch.launch_overhead_us * 1e-6;
+    seq.total_s += seq.launch_overhead_s;
+    return seq;
+}
+
+double
+SequenceTiming::tcUtilization() const
+{
+    double busy = 0;
+    for (const auto& k : kernels)
+        busy += k.tc_utilization * k.total_s;
+    return total_s > 0 ? busy / total_s : 0;
+}
+
+double
+SequenceTiming::memUtilization() const
+{
+    double busy = 0;
+    for (const auto& k : kernels)
+        busy += k.mem_bw_utilization * k.total_s;
+    return total_s > 0 ? busy / total_s : 0;
+}
+
+} // namespace bitdec::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Analytical kernel timing model.
+ *
+ * Every kernel in this library (BitDecoding's and the baselines') describes
+ * the work one launch performs as a KernelWorkload: bytes moved, FLOPs per
+ * pipe, CUDA-core instruction mix, shared-memory traffic, CTA/warp shape
+ * and pipelining behaviour. resolveKernel() turns that into latency and
+ * pipe-utilization statistics against a GpuArch.
+ *
+ * The model is a roofline with three refinements that the paper's results
+ * hinge on:
+ *  1. Occupancy: decode launches few CTAs; throughput scales with the
+ *     fraction of SMs actually covered (why split-KV / query transformation
+ *     matter).
+ *  2. Warp-level overlap: CUDA-core work (dequantization) hides behind
+ *     Tensor-Core/memory time only in proportion to the number of
+ *     independent warps along N (the paper's Wn insight, Fig. 4/6 and
+ *     Table III).
+ *  3. Fusion: non-fused systems pay per-kernel launch overhead and round
+ *     intermediate tensors through DRAM.
+ */
+#ifndef BITDEC_GPUSIM_TIMING_H
+#define BITDEC_GPUSIM_TIMING_H
+
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.h"
+
+namespace bitdec::sim {
+
+/** CUDA-core scalar-op counts by category. */
+struct CudaCoreOps
+{
+    double fma = 0; //!< fused multiply-adds (dequant scale/zero, GEMV FMA)
+    double alu = 0; //!< integer/bit ops (lop3, shifts, pack, compare)
+    double sfu = 0; //!< special-function ops (exp in softmax)
+
+    /** Issue-slot-weighted op count (SFU ops cost ~4 CUDA-core slots). */
+    double weighted() const { return fma + alu + 4.0 * sfu; }
+
+    CudaCoreOps& operator+=(const CudaCoreOps& o);
+};
+
+/** Description of the work one kernel launch performs. */
+struct KernelWorkload
+{
+    std::string label;
+
+    double dram_read_bytes = 0;  //!< global-memory bytes read
+    double dram_write_bytes = 0; //!< global-memory bytes written
+
+    double tc_flops_fp16 = 0;    //!< Tensor-Core FLOPs with FP16 operands
+    double tc_flops_lowbit = 0;  //!< Tensor-Core FLOPs at native low bits
+    int lowbit_width = 4;        //!< operand width of tc_flops_lowbit
+
+    CudaCoreOps cuda;            //!< CUDA-core op mix
+
+    double smem_bytes = 0;             //!< shared-memory traffic (read+write)
+    double smem_conflict_factor = 1.0; //!< >1 when accesses serialize
+
+    /**
+     * Sustained-DRAM-bandwidth derate (>= 1). CUDA-core GEMV kernels with
+     * inline dequantization cannot keep the memory pipeline saturated the
+     * way tiled Tensor-Core kernels do (load slots compete with ALU work,
+     * occupancy is register-limited); profiled QServe/Atom-class kernels
+     * sustain roughly half the streaming bandwidth.
+     */
+    double dram_derate = 1.0;
+
+    int ctas = 1;          //!< thread blocks launched
+    int warps_per_cta = 4; //!< resident warps per block
+    int wn = 4;            //!< warps along the N (KV) dimension
+
+    /** Fraction of CUDA-core work the pipeline may overlap with TC/memory. */
+    double overlappable_cuda_fraction = 1.0;
+
+    /** Pipeline fill/drain and sync overhead as a fraction of body time. */
+    double pipeline_fill_overhead = 0.02;
+
+    /**
+     * When true, DRAM / Tensor-Core / shared-memory phases do not overlap
+     * (no cp.async double buffering): the kernel pays their sum. Models the
+     * "no software pipeline" ablation of Fig. 16.
+     */
+    bool serialize_pipes = false;
+};
+
+/** Resolved latency and utilization statistics for one kernel. */
+struct KernelTiming
+{
+    double t_dram_s = 0;  //!< standalone DRAM time
+    double t_tc_s = 0;    //!< standalone Tensor-Core time
+    double t_cuda_s = 0;  //!< standalone CUDA-core time
+    double t_smem_s = 0;  //!< standalone shared-memory time
+    double total_s = 0;   //!< modeled kernel latency (no launch overhead)
+
+    double occupancy = 1;        //!< fraction of SMs covered
+    double tc_utilization = 0;   //!< TC busy fraction of total
+    double mem_bw_utilization = 0; //!< DRAM busy fraction of total
+    double cuda_utilization = 0; //!< CUDA-core busy fraction of total
+    double mem_stall_frac = 0;   //!< stall fraction attributable to memory
+    double exposed_cuda_s = 0;   //!< dequant/softmax time not hidden
+};
+
+/** Resolves one kernel workload against an architecture. */
+KernelTiming resolveKernel(const GpuArch& arch, const KernelWorkload& wl);
+
+/** Timing for a sequence of dependent kernel launches. */
+struct SequenceTiming
+{
+    double total_s = 0;          //!< end-to-end time incl. launch overheads
+    double launch_overhead_s = 0;
+    std::vector<KernelTiming> kernels;
+
+    /** Aggregate TC utilization across the sequence (time-weighted). */
+    double tcUtilization() const;
+
+    /** Aggregate DRAM utilization across the sequence (time-weighted). */
+    double memUtilization() const;
+};
+
+/**
+ * Resolves a dependent sequence of kernel launches (e.g. a non-fused
+ * attention made of quant + matmul + softmax + matmul kernels).
+ */
+SequenceTiming resolveSequence(const GpuArch& arch,
+                               const std::vector<KernelWorkload>& kernels);
+
+/**
+ * Warp-scheduler overlap efficiency for @p wn independent warps along N:
+ * the fraction of overlappable CUDA-core work that hides behind
+ * Tensor-Core/memory time. wn = 1 reproduces the serialized original
+ * FlashAttention partitioning (Fig. 4a).
+ */
+double warpOverlapEfficiency(int wn);
+
+} // namespace bitdec::sim
+
+#endif // BITDEC_GPUSIM_TIMING_H

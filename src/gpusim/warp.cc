@@ -1,0 +1,16 @@
+#include "gpusim/warp.h"
+
+namespace bitdec::sim {
+
+std::uint32_t
+ballot(const WarpVar<bool>& pred)
+{
+    std::uint32_t mask = 0;
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        if (pred[static_cast<std::size_t>(lane)])
+            mask |= 1u << lane;
+    }
+    return mask;
+}
+
+} // namespace bitdec::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Warp-level functional primitives: per-lane variables and the shuffle /
+ * vote intrinsics the Residual Kernel uses for min/max reductions.
+ */
+#ifndef BITDEC_GPUSIM_WARP_H
+#define BITDEC_GPUSIM_WARP_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "gpusim/fragment.h"
+
+namespace bitdec::sim {
+
+/** One value per lane of a warp. */
+template <typename T>
+using WarpVar = std::array<T, kWarpSize>;
+
+/**
+ * Functional __shfl_xor_sync with full mask: every lane receives the value
+ * held by (lane ^ lane_mask).
+ */
+template <typename T>
+WarpVar<T>
+shflXor(const WarpVar<T>& v, int lane_mask)
+{
+    WarpVar<T> out{};
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        out[static_cast<std::size_t>(lane)] =
+            v[static_cast<std::size_t>(lane ^ lane_mask)];
+    }
+    return out;
+}
+
+/**
+ * Butterfly reduction across a group of lanes using shfl_xor, exactly the
+ * pattern the Residual Kernel issues: log2(width) exchange+combine steps.
+ *
+ * @param v      per-lane inputs
+ * @param width  group width (power of two, <= 32); lanes reduce within
+ *               aligned groups of this size
+ * @param op     combine function (min, max, add, ...)
+ * @return per-lane result; every lane of a group holds the group's value
+ */
+template <typename T, typename Op>
+WarpVar<T>
+butterflyReduce(WarpVar<T> v, int width, Op op)
+{
+    for (int mask = width / 2; mask >= 1; mask /= 2) {
+        const WarpVar<T> other = shflXor(v, mask);
+        for (int lane = 0; lane < kWarpSize; lane++) {
+            v[static_cast<std::size_t>(lane)] =
+                op(v[static_cast<std::size_t>(lane)],
+                   other[static_cast<std::size_t>(lane)]);
+        }
+    }
+    return v;
+}
+
+/** Functional __ballot_sync with full mask. */
+std::uint32_t ballot(const WarpVar<bool>& pred);
+
+} // namespace bitdec::sim
+
+#endif // BITDEC_GPUSIM_WARP_H

@@ -1,0 +1,152 @@
+#include "kvcache/paged_cache.h"
+
+#include "common/logging.h"
+
+namespace bitdec::kv {
+
+PageAllocator::PageAllocator(int num_pages)
+    : total_(num_pages), allocated_(static_cast<std::size_t>(num_pages), false)
+{
+    BITDEC_ASSERT(num_pages > 0, "page pool must be non-empty");
+    free_.reserve(static_cast<std::size_t>(num_pages));
+    // Hand out low page ids first: push high ids so pop_back yields low.
+    for (int p = num_pages - 1; p >= 0; p--)
+        free_.push_back(p);
+}
+
+std::optional<int>
+PageAllocator::allocate()
+{
+    if (free_.empty())
+        return std::nullopt;
+    const int page = free_.back();
+    free_.pop_back();
+    allocated_[static_cast<std::size_t>(page)] = true;
+    return page;
+}
+
+void
+PageAllocator::release(int page)
+{
+    BITDEC_ASSERT(page >= 0 && page < total_, "bad page id");
+    BITDEC_ASSERT(allocated_[static_cast<std::size_t>(page)],
+                  "double free of page ", page);
+    allocated_[static_cast<std::size_t>(page)] = false;
+    free_.push_back(page);
+}
+
+PagedHeadCache::PagedHeadCache(int head_dim, int page_size, int num_pages)
+    : head_dim_(head_dim),
+      page_size_(page_size),
+      allocator_(num_pages),
+      k_pool_({static_cast<std::size_t>(num_pages),
+               static_cast<std::size_t>(page_size),
+               static_cast<std::size_t>(head_dim)}),
+      v_pool_({static_cast<std::size_t>(num_pages),
+               static_cast<std::size_t>(page_size),
+               static_cast<std::size_t>(head_dim)})
+{
+    BITDEC_ASSERT(head_dim > 0 && page_size > 0, "bad paged cache shape");
+}
+
+int
+PagedHeadCache::addSequence()
+{
+    for (std::size_t i = 0; i < seqs_.size(); i++) {
+        if (!seqs_[i].live) {
+            seqs_[i] = Sequence{true, 0, {}};
+            return static_cast<int>(i);
+        }
+    }
+    seqs_.push_back(Sequence{true, 0, {}});
+    return static_cast<int>(seqs_.size()) - 1;
+}
+
+void
+PagedHeadCache::removeSequence(int seq)
+{
+    auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    for (int p : s.pages)
+        allocator_.release(p);
+    s = Sequence{};
+}
+
+bool
+PagedHeadCache::append(int seq, const std::vector<Half>& k,
+                       const std::vector<Half>& v)
+{
+    auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    BITDEC_ASSERT(static_cast<int>(k.size()) == head_dim_ &&
+                  static_cast<int>(v.size()) == head_dim_,
+                  "K/V vector length must equal head_dim");
+    const int slot = s.len % page_size_;
+    if (slot == 0) {
+        const auto page = allocator_.allocate();
+        if (!page)
+            return false; // OOM: caller decides (evict / reject)
+        s.pages.push_back(*page);
+    }
+    const std::size_t page = static_cast<std::size_t>(s.pages.back());
+    for (int d = 0; d < head_dim_; d++) {
+        k_pool_.at(page, static_cast<std::size_t>(slot),
+                   static_cast<std::size_t>(d)) = k[static_cast<std::size_t>(d)];
+        v_pool_.at(page, static_cast<std::size_t>(slot),
+                   static_cast<std::size_t>(d)) = v[static_cast<std::size_t>(d)];
+    }
+    s.len++;
+    return true;
+}
+
+int
+PagedHeadCache::length(int seq) const
+{
+    return seqs_.at(static_cast<std::size_t>(seq)).len;
+}
+
+const std::vector<int>&
+PagedHeadCache::pageTable(int seq) const
+{
+    return seqs_.at(static_cast<std::size_t>(seq)).pages;
+}
+
+Tensor<Half>
+PagedHeadCache::gatherKeys(int seq) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    Tensor<Half> out({static_cast<std::size_t>(std::max(s.len, 1)),
+                      static_cast<std::size_t>(head_dim_)});
+    for (int t = 0; t < s.len; t++) {
+        const std::size_t page =
+            static_cast<std::size_t>(s.pages[static_cast<std::size_t>(
+                t / page_size_)]);
+        const std::size_t slot = static_cast<std::size_t>(t % page_size_);
+        for (int d = 0; d < head_dim_; d++) {
+            out.at(static_cast<std::size_t>(t), static_cast<std::size_t>(d)) =
+                k_pool_.at(page, slot, static_cast<std::size_t>(d));
+        }
+    }
+    return out;
+}
+
+Tensor<Half>
+PagedHeadCache::gatherValues(int seq) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    Tensor<Half> out({static_cast<std::size_t>(std::max(s.len, 1)),
+                      static_cast<std::size_t>(head_dim_)});
+    for (int t = 0; t < s.len; t++) {
+        const std::size_t page =
+            static_cast<std::size_t>(s.pages[static_cast<std::size_t>(
+                t / page_size_)]);
+        const std::size_t slot = static_cast<std::size_t>(t % page_size_);
+        for (int d = 0; d < head_dim_; d++) {
+            out.at(static_cast<std::size_t>(t), static_cast<std::size_t>(d)) =
+                v_pool_.at(page, slot, static_cast<std::size_t>(d));
+        }
+    }
+    return out;
+}
+
+} // namespace bitdec::kv

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * PagedAttention-style KV-cache page management (the "Pages" evaluation
+ * setting). A fixed pool of fixed-size token pages is shared by all
+ * sequences; each sequence maps logical token blocks to physical pages.
+ */
+#ifndef BITDEC_KVCACHE_PAGED_CACHE_H
+#define BITDEC_KVCACHE_PAGED_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/half.h"
+#include "common/tensor.h"
+
+namespace bitdec::kv {
+
+/** Fixed-pool page allocator with a free list. */
+class PageAllocator
+{
+  public:
+    /** @param num_pages total physical pages in the pool */
+    explicit PageAllocator(int num_pages);
+
+    /** Allocates one page; std::nullopt when the pool is exhausted (OOM). */
+    std::optional<int> allocate();
+
+    /** Returns a page to the pool. */
+    void release(int page);
+
+    /** Pages currently free. */
+    int freePages() const { return static_cast<int>(free_.size()); }
+
+    /** Total pool size. */
+    int totalPages() const { return total_; }
+
+  private:
+    int total_;
+    std::vector<int> free_;
+    std::vector<bool> allocated_;
+};
+
+/**
+ * Paged FP16 KV storage for one head across many sequences.
+ *
+ * Functional model: physical pages live in one big tensor pool; the page
+ * table provides the logical->physical indirection that the paged kernels
+ * traverse. Low-bit paged caches reuse the same table over packed pages.
+ */
+class PagedHeadCache
+{
+  public:
+    /**
+     * @param head_dim  per-head hidden size
+     * @param page_size tokens per page
+     * @param num_pages physical pool size
+     */
+    PagedHeadCache(int head_dim, int page_size, int num_pages);
+
+    /** Registers a new sequence; returns its id. */
+    int addSequence();
+
+    /** Removes a sequence and frees its pages. */
+    void removeSequence(int seq);
+
+    /**
+     * Appends one token to a sequence.
+     * @return false when the page pool is exhausted (OOM).
+     */
+    bool append(int seq, const std::vector<Half>& k,
+                const std::vector<Half>& v);
+
+    /** Tokens stored for a sequence. */
+    int length(int seq) const;
+
+    /** Physical page list of a sequence (logical order). */
+    const std::vector<int>& pageTable(int seq) const;
+
+    /** Gathers a sequence's keys into a contiguous [len x d] matrix. */
+    Tensor<Half> gatherKeys(int seq) const;
+
+    /** Gathers a sequence's values. */
+    Tensor<Half> gatherValues(int seq) const;
+
+    /** Tokens per page. */
+    int pageSize() const { return page_size_; }
+
+    /** Pages still free in the pool. */
+    int freePages() const { return allocator_.freePages(); }
+
+  private:
+    struct Sequence
+    {
+        bool live = false;
+        int len = 0;
+        std::vector<int> pages;
+    };
+
+    int head_dim_;
+    int page_size_;
+    PageAllocator allocator_;
+    // Pool layout: [page][slot][d] for K and V.
+    Tensor<Half> k_pool_;
+    Tensor<Half> v_pool_;
+    std::vector<Sequence> seqs_;
+};
+
+} // namespace bitdec::kv
+
+#endif // BITDEC_KVCACHE_PAGED_CACHE_H

@@ -1,0 +1,16 @@
+#include "layout/tile.h"
+
+#include "common/logging.h"
+
+namespace bitdec::layout {
+
+int
+residualBlockSize(const WarpTiling& tiling, int bits, int word_bits)
+{
+    BITDEC_ASSERT(bits > 0 && word_bits % bits == 0,
+                  "word size must be a multiple of the bit width");
+    const int packing_ratio = word_bits / bits; // R = omega / beta
+    return tiling.pn() * tiling.wn * packing_ratio;
+}
+
+} // namespace bitdec::layout

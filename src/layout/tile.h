@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Warp-tiling descriptors and the residual-block sizing rule (Eq. 1).
+ */
+#ifndef BITDEC_LAYOUT_TILE_H
+#define BITDEC_LAYOUT_TILE_H
+
+#include "gpusim/fragment.h"
+
+namespace bitdec::layout {
+
+/**
+ * Warp partitioning of an attention thread block.
+ *
+ * BitDecoding's key scheduling choice (Section IV-B) is wm = 1 with a wide
+ * wn: the decode query tile is short (after query transformation it is at
+ * most gq rows), so all warps spread along the KV (N) dimension, giving
+ * the scheduler independent dequantization streams.
+ */
+struct WarpTiling
+{
+    sim::MmaShape mma = sim::MmaShape::M16N8K16;
+    int wm = 1; //!< warps along the query (M) dimension
+    int wn = 4; //!< warps along the KV (N) dimension
+
+    /** N-extent of one MMA tile (Pn in the paper). */
+    int
+    pn() const
+    {
+        return 8; // both m16n8k8 and m16n8k16 have n = 8
+    }
+
+    /** K-extent of one MMA tile. */
+    int
+    pk() const
+    {
+        return mma == sim::MmaShape::M16N8K16 ? 16 : 8;
+    }
+
+    /** M-extent of one MMA tile. */
+    int
+    pm() const
+    {
+        return 16;
+    }
+
+    /** Total warps per CTA. */
+    int warps() const { return wm * wn; }
+};
+
+/**
+ * Residual block size Nr = Pn * Wn * R (Eq. 1): the number of tokens whose
+ * packed codes exactly fill every warp's Tensor-Core fragments.
+ *
+ * @param tiling    warp partitioning
+ * @param bits      quantization bit-width (beta)
+ * @param word_bits packed word size (omega, 16 for INT16 storage)
+ */
+int residualBlockSize(const WarpTiling& tiling, int bits, int word_bits = 16);
+
+} // namespace bitdec::layout
+
+#endif // BITDEC_LAYOUT_TILE_H

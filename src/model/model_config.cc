@@ -1,0 +1,101 @@
+#include "model/model_config.h"
+
+#include "common/logging.h"
+
+namespace bitdec::model {
+
+double
+ModelConfig::kvBytesFp16(int len) const
+{
+    return 2.0 * layers * num_kv_heads * head_dim * static_cast<double>(len) *
+           2.0;
+}
+
+double
+ModelConfig::gemmFlopsPerToken() const
+{
+    // QKVO projections + gated FFN (3 matrices) per layer, 2 FLOPs/MAC.
+    const double qkvo = 2.0 * hidden *
+                        (hidden + 2.0 * num_kv_heads * head_dim + hidden);
+    const double ffn = 2.0 * 3.0 * hidden * static_cast<double>(intermediate);
+    return layers * (qkvo + ffn) + 2.0 * hidden * vocab;
+}
+
+namespace {
+
+ModelConfig
+make(const std::string& name, int layers, int hq, int hkv, int d, int hidden,
+     int inter, int vocab, double params)
+{
+    ModelConfig m;
+    m.name = name;
+    m.layers = layers;
+    m.num_q_heads = hq;
+    m.num_kv_heads = hkv;
+    m.head_dim = d;
+    m.hidden = hidden;
+    m.intermediate = inter;
+    m.vocab = vocab;
+    m.params = params;
+    return m;
+}
+
+} // namespace
+
+const ModelConfig&
+llama2_7b()
+{
+    static const ModelConfig m =
+        make("llama-2-7B", 32, 32, 32, 128, 4096, 11008, 32000, 6.74e9);
+    return m;
+}
+
+const ModelConfig&
+llama31_8b()
+{
+    static const ModelConfig m =
+        make("llama-3.1-8B", 32, 32, 8, 128, 4096, 14336, 128256, 8.03e9);
+    return m;
+}
+
+const ModelConfig&
+llama31_70b()
+{
+    static const ModelConfig m =
+        make("llama-3.1-70B", 80, 64, 8, 128, 8192, 28672, 128256, 70.6e9);
+    return m;
+}
+
+const ModelConfig&
+qwen3_8b()
+{
+    static const ModelConfig m =
+        make("Qwen3-8B", 36, 32, 8, 128, 4096, 12288, 151936, 8.19e9);
+    return m;
+}
+
+const ModelConfig&
+qwen3_14b()
+{
+    static const ModelConfig m =
+        make("Qwen3-14B", 40, 40, 8, 128, 5120, 17408, 151936, 14.8e9);
+    return m;
+}
+
+const ModelConfig&
+modelByName(const std::string& name)
+{
+    if (name == "llama-2-7B")
+        return llama2_7b();
+    if (name == "llama-3.1-8B")
+        return llama31_8b();
+    if (name == "llama-3.1-70B")
+        return llama31_70b();
+    if (name == "Qwen3-8B")
+        return qwen3_8b();
+    if (name == "Qwen3-14B")
+        return qwen3_14b();
+    BITDEC_FATAL("unknown model: ", name);
+}
+
+} // namespace bitdec::model

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shape configurations of the LLMs the paper evaluates end-to-end.
+ * Only tensor shapes matter for latency/throughput simulation; no weights
+ * are involved.
+ */
+#ifndef BITDEC_MODEL_MODEL_CONFIG_H
+#define BITDEC_MODEL_MODEL_CONFIG_H
+
+#include <string>
+
+namespace bitdec::model {
+
+/** Transformer shape parameters of one model. */
+struct ModelConfig
+{
+    std::string name;
+    int layers;
+    int num_q_heads;
+    int num_kv_heads;
+    int head_dim;
+    int hidden;       //!< model width (= num_q_heads * head_dim here)
+    int intermediate; //!< FFN width
+    int vocab;
+    double params;    //!< total parameter count
+
+    /** True for multi-head attention (no KV sharing). */
+    bool isMha() const { return num_q_heads == num_kv_heads; }
+
+    /** FP16 bytes of all weights. */
+    double weightBytesFp16() const { return params * 2.0; }
+
+    /** FP16 KV-cache bytes for one sequence of @p len tokens. */
+    double kvBytesFp16(int len) const;
+
+    /** Per-token FLOPs of the non-attention GEMMs (decode step). */
+    double gemmFlopsPerToken() const;
+};
+
+/** LLaMA-2-7B (MHA). */
+const ModelConfig& llama2_7b();
+
+/** LLaMA-3.1-8B (GQA 4:1). */
+const ModelConfig& llama31_8b();
+
+/** LLaMA-3.1-70B (GQA 8:1). */
+const ModelConfig& llama31_70b();
+
+/** Qwen3-8B (GQA 4:1). */
+const ModelConfig& qwen3_8b();
+
+/** Qwen3-14B (GQA 5:1). */
+const ModelConfig& qwen3_14b();
+
+/** Looks a model up by name; fatal on unknown names. */
+const ModelConfig& modelByName(const std::string& name);
+
+} // namespace bitdec::model
+
+#endif // BITDEC_MODEL_MODEL_CONFIG_H

@@ -1,0 +1,76 @@
+#include "quant/packing.h"
+
+#include "common/logging.h"
+
+namespace bitdec::quant {
+
+int
+packFieldIndex(int i, int bits, PackOrder order)
+{
+    const int n = codesPerWord(bits);
+    BITDEC_ASSERT(i >= 0 && i < n, "code index out of range");
+    if (order == PackOrder::Linear)
+        return i;
+    // Interleaved: even logical codes occupy the fields of the low 16-bit
+    // lane, odd codes the high lane, pairwise: code 2j -> field j,
+    // code 2j+1 -> field j + n/2. A shift by j*bits then a 0x000F000F-style
+    // mask extracts the half2 (code 2j, code 2j+1) in one lop3.
+    const int half_fields = n / 2;
+    if ((i & 1) == 0)
+        return i / 2;
+    return i / 2 + half_fields;
+}
+
+std::uint32_t
+packWord(const std::uint8_t* codes, int bits, PackOrder order)
+{
+    const int n = codesPerWord(bits);
+    const std::uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+    std::uint32_t word = 0;
+    for (int i = 0; i < n; i++) {
+        const std::uint32_t c = codes[i] & mask;
+        BITDEC_ASSERT(codes[i] == c, "code does not fit in ", bits, " bits");
+        const int field = packFieldIndex(i, bits, order);
+        word |= c << (field * bits);
+    }
+    return word;
+}
+
+void
+unpackWord(std::uint32_t word, int bits, PackOrder order,
+           std::uint8_t* codes_out)
+{
+    const int n = codesPerWord(bits);
+    const std::uint32_t mask = (1u << bits) - 1u;
+    for (int i = 0; i < n; i++) {
+        const int field = packFieldIndex(i, bits, order);
+        codes_out[i] =
+            static_cast<std::uint8_t>((word >> (field * bits)) & mask);
+    }
+}
+
+std::vector<std::uint32_t>
+packStream(const std::vector<std::uint8_t>& codes, int bits, PackOrder order)
+{
+    const int n = codesPerWord(bits);
+    BITDEC_ASSERT(codes.size() % static_cast<std::size_t>(n) == 0,
+                  "code stream not a multiple of the word capacity");
+    std::vector<std::uint32_t> words(codes.size() / static_cast<std::size_t>(n));
+    for (std::size_t w = 0; w < words.size(); w++)
+        words[w] = packWord(&codes[w * static_cast<std::size_t>(n)], bits,
+                            order);
+    return words;
+}
+
+std::vector<std::uint8_t>
+unpackStream(const std::vector<std::uint32_t>& words, int bits, PackOrder order)
+{
+    const int n = codesPerWord(bits);
+    std::vector<std::uint8_t> codes(words.size() * static_cast<std::size_t>(n));
+    for (std::size_t w = 0; w < words.size(); w++)
+        unpackWord(words[w], bits, order,
+                   &codes[w * static_cast<std::size_t>(n)]);
+    return codes;
+}
+
+} // namespace bitdec::quant

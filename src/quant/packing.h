@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Low-bit packing into 32-bit register words.
+ *
+ * The KV cache stores packed INT16 words (word size omega = 16, packing
+ * ratio R = 16/beta); the device always manipulates them as 32-bit
+ * registers holding 32/beta codes. Two packing orders are modeled:
+ *
+ *  - Linear: code i sits in bit-field i. This is what a naive "pack
+ *    consecutive values" quantizer produces (Fig. 3b) and what the
+ *    continuous-packing ablation baseline uses.
+ *  - Interleaved ("75316420"): even codes fill the low 16-bit lane's
+ *    fields, odd codes the high lane's, so that each lop3 extraction step
+ *    yields one half2 of *consecutive* logical values. Reading the int4
+ *    nibble indices from MSB to LSB spells 7-5-3-1-6-4-2-0, the pattern
+ *    named in Section IV-A(3).
+ */
+#ifndef BITDEC_QUANT_PACKING_H
+#define BITDEC_QUANT_PACKING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bitdec::quant {
+
+/** Packing orders for codes inside a 32-bit register word. */
+enum class PackOrder
+{
+    Linear,      //!< code i in field i (naive packing)
+    Interleaved, //!< 75316420-style lop3-friendly ordering
+};
+
+/** Number of codes a 32-bit register holds at @p bits per code. */
+constexpr int
+codesPerWord(int bits)
+{
+    return 32 / bits;
+}
+
+/**
+ * Field index (position inside the 32-bit word, in units of @p bits)
+ * where logical code @p i lands under @p order.
+ */
+int packFieldIndex(int i, int bits, PackOrder order);
+
+/**
+ * Packs codesPerWord(bits) codes into one 32-bit word.
+ *
+ * @param codes logical values in order; each must fit in @p bits
+ */
+std::uint32_t packWord(const std::uint8_t* codes, int bits, PackOrder order);
+
+/** Unpacks a 32-bit word back into logical code order. */
+void unpackWord(std::uint32_t word, int bits, PackOrder order,
+                std::uint8_t* codes_out);
+
+/**
+ * Packs a flat code stream into 32-bit words; the stream length must be a
+ * multiple of codesPerWord(bits).
+ */
+std::vector<std::uint32_t> packStream(const std::vector<std::uint8_t>& codes,
+                                      int bits, PackOrder order);
+
+/** Unpacks a word stream back into codes. */
+std::vector<std::uint8_t> unpackStream(const std::vector<std::uint32_t>& words,
+                                       int bits, PackOrder order);
+
+} // namespace bitdec::quant
+
+#endif // BITDEC_QUANT_PACKING_H

@@ -1,0 +1,18 @@
+#include "quant/quant_params.h"
+
+namespace bitdec::quant {
+
+const char*
+granularityCode(Granularity g)
+{
+    return g == Granularity::TensorWise ? "KT" : "KC";
+}
+
+std::string
+QuantConfig::label() const
+{
+    return std::string(granularityCode(key_granularity)) + "-" +
+           std::to_string(bits);
+}
+
+} // namespace bitdec::quant

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quantization parameter types shared by all low-bit KV-cache code.
+ */
+#ifndef BITDEC_QUANT_QUANT_PARAMS_H
+#define BITDEC_QUANT_QUANT_PARAMS_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/half.h"
+
+namespace bitdec::quant {
+
+/**
+ * Scaling granularity for the Key tensor, following the paper's taxonomy:
+ * tensor-wise groups run along the hidden dimension (KVQuant/Atom style),
+ * channel-wise groups run along the sequence dimension (KIVI/GEAR style).
+ */
+enum class Granularity
+{
+    TensorWise,  //!< scale per (token, hidden-dim group) — "KT"
+    ChannelWise, //!< scale per (token group, channel)    — "KC"
+};
+
+/** Returns the paper's short code for a granularity ("KT" / "KC"). */
+const char* granularityCode(Granularity g);
+
+/**
+ * Asymmetric uniform quantization parameters for one group.
+ *
+ * Stored as half precision because the kernels keep (scale, zero) packed in
+ * one half2 register so a single 32-bit load fetches both (Section V-B).
+ */
+struct QuantParams
+{
+    Half scale; //!< step size
+    Half zero;  //!< zero-point, in quantized-integer units
+
+    /** Packs as half2 exactly like the device metadata buffers. */
+    Half2 asHalf2() const { return {scale, zero}; }
+
+    /** Unpacks from the half2 metadata representation. */
+    static QuantParams
+    fromHalf2(Half2 h)
+    {
+        return {h.x, h.y};
+    }
+};
+
+/** Full low-bit KV-cache quantization configuration. */
+struct QuantConfig
+{
+    int bits = 4;                                  //!< 2, 4 or 8
+    Granularity key_granularity = Granularity::ChannelWise;
+    int group_size = 32;                           //!< elements per group
+
+    /** Packing ratio R = word bits / element bits for INT16 words. */
+    int packingRatio() const { return 16 / bits; }
+
+    /** Number of quantization levels. */
+    int levels() const { return 1 << bits; }
+
+    /** Paper-style label, e.g. "KC-4" or "KT-2". */
+    std::string label() const;
+};
+
+} // namespace bitdec::quant
+
+#endif // BITDEC_QUANT_QUANT_PARAMS_H

@@ -1,0 +1,170 @@
+#include "quant/repack_baselines.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gpusim/timing.h"
+#include "quant/packing.h"
+
+namespace bitdec::quant {
+
+namespace {
+
+constexpr int kTileRows = 16;
+constexpr int kTileCols = 64;
+
+/** Marlin's intra-tile permutation: interleave rows by quads. */
+std::size_t
+permutedIndex(std::size_t r, std::size_t c)
+{
+    // Row quads interleave (0,4,8,12,1,5,...) and columns pair-swap so a
+    // thread's consecutive loads feed alternate fragments.
+    const std::size_t rp = (r % 4) * 4 + r / 4;
+    const std::size_t cp = (c % 2) * (kTileCols / 2) + c / 2;
+    return rp * kTileCols + cp;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+marlinRepack(const Tensor<std::uint8_t>& codes, int bits)
+{
+    BITDEC_ASSERT(codes.rank() == 2, "repack expects a 2-D code matrix");
+    const std::size_t rows = codes.dim(0);
+    const std::size_t cols = codes.dim(1);
+    BITDEC_ASSERT(rows % kTileRows == 0 && cols % kTileCols == 0,
+                  "matrix must tile by 16x64");
+    const int per_word = codesPerWord(bits);
+
+    std::vector<std::uint8_t> stream;
+    stream.reserve(rows * cols);
+    for (std::size_t tr = 0; tr < rows / kTileRows; tr++) {
+        for (std::size_t tc = 0; tc < cols / kTileCols; tc++) {
+            std::vector<std::uint8_t> tile(kTileRows * kTileCols);
+            for (std::size_t r = 0; r < kTileRows; r++) {
+                for (std::size_t c = 0; c < kTileCols; c++) {
+                    tile[permutedIndex(r, c)] =
+                        codes.at(tr * kTileRows + r, tc * kTileCols + c);
+                }
+            }
+            stream.insert(stream.end(), tile.begin(), tile.end());
+        }
+    }
+    BITDEC_ASSERT(stream.size() % static_cast<std::size_t>(per_word) == 0,
+                  "tile size must fill whole words");
+    return packStream(stream, bits, PackOrder::Linear);
+}
+
+Tensor<std::uint8_t>
+marlinUnpack(const std::vector<std::uint32_t>& words, int bits,
+             std::size_t rows, std::size_t cols)
+{
+    const std::vector<std::uint8_t> stream =
+        unpackStream(words, bits, PackOrder::Linear);
+    BITDEC_ASSERT(stream.size() == rows * cols, "word count mismatch");
+    Tensor<std::uint8_t> codes({rows, cols});
+    std::size_t base = 0;
+    for (std::size_t tr = 0; tr < rows / kTileRows; tr++) {
+        for (std::size_t tc = 0; tc < cols / kTileCols; tc++) {
+            for (std::size_t r = 0; r < kTileRows; r++) {
+                for (std::size_t c = 0; c < kTileCols; c++) {
+                    codes.at(tr * kTileRows + r, tc * kTileCols + c) =
+                        stream[base + permutedIndex(r, c)];
+                }
+            }
+            base += kTileRows * kTileCols;
+        }
+    }
+    return codes;
+}
+
+double
+quantPackLatencyMs(const sim::GpuArch& arch, RepackSystem system, bool prefill,
+                   int seq_len, int heads, int head_dim, int bits)
+{
+    const double elems =
+        2.0 * static_cast<double>(seq_len) * heads * head_dim; // K and V
+    const double fp16_bytes = elems * 2.0;
+    const double packed_bytes = elems * bits / 8.0;
+
+    std::vector<sim::KernelWorkload> seq;
+    switch (system) {
+      case RepackSystem::Marlin: {
+        // Quantize pass, then the tile-permutation repack whose strided
+        // gathers defeat coalescing (Marlin's permute is designed for an
+        // offline, one-time weight conversion).
+        sim::KernelWorkload quantize;
+        quantize.label = "marlin-quantize";
+        quantize.dram_read_bytes = prefill ? fp16_bytes : fp16_bytes;
+        quantize.dram_write_bytes = packed_bytes;
+        quantize.cuda.alu = elems * 3.0;
+        quantize.cuda.fma = elems;
+        quantize.ctas = arch.num_sms * 4;
+        seq.push_back(quantize);
+
+        sim::KernelWorkload repack;
+        repack.label = "marlin-repack";
+        // Scattered 8-bit accesses: ~1/32 of a coalesced transaction is
+        // useful, so charge 32x the packed bytes.
+        repack.dram_read_bytes = packed_bytes * 32.0;
+        repack.dram_write_bytes = packed_bytes * 32.0;
+        repack.cuda.alu = elems * 6.0; // index arithmetic of the permute
+        repack.ctas = arch.num_sms * 4;
+        seq.push_back(repack);
+        if (!prefill) {
+            // A decode step rewrites the 16-row tile panel the new token
+            // lands in, but the kernel relaunches over the whole tensor to
+            // keep the layout consistent.
+            seq[0].dram_read_bytes /= 64.0;
+            seq[0].dram_write_bytes /= 64.0;
+            seq[0].cuda.alu /= 64.0;
+            seq[0].cuda.fma /= 64.0;
+            seq[1].dram_read_bytes /= 256.0;
+            seq[1].dram_write_bytes /= 256.0;
+            seq[1].cuda.alu /= 256.0;
+        }
+        break;
+      }
+      case RepackSystem::Ladder: {
+        // Ladder's searched transform runs as two coalesced tiling passes.
+        for (int pass = 0; pass < 2; pass++) {
+            sim::KernelWorkload wl;
+            wl.label = pass == 0 ? "ladder-quantize" : "ladder-transform";
+            wl.dram_read_bytes = pass == 0 ? fp16_bytes : packed_bytes * 2.0;
+            wl.dram_write_bytes = packed_bytes * (pass == 0 ? 1.0 : 2.0);
+            wl.cuda.alu = elems * (pass == 0 ? 3.0 : 4.0);
+            wl.cuda.fma = pass == 0 ? elems : 0.0;
+            wl.ctas = arch.num_sms * 2;
+            if (!prefill) {
+                // Decode transforms the trailing block only, but pays both
+                // launches plus a tail of strided fix-ups.
+                wl.dram_read_bytes /= 128.0;
+                wl.dram_write_bytes /= 128.0;
+                wl.cuda.alu /= 128.0;
+                wl.cuda.fma /= 128.0;
+            }
+            seq.push_back(wl);
+        }
+        break;
+      }
+      case RepackSystem::BitDecoding: {
+        // Fused into the attention kernels: the only standalone cost is
+        // the Residual Kernel's quantize+pack of completed blocks.
+        sim::KernelWorkload wl;
+        wl.label = "bitdecoding-fused-pack";
+        const double block_elems =
+            prefill ? elems : 2.0 * 128.0 * heads * head_dim / 128.0;
+        wl.dram_read_bytes = prefill ? fp16_bytes : block_elems * 2.0;
+        wl.dram_write_bytes =
+            prefill ? packed_bytes : block_elems * bits / 8.0;
+        wl.cuda.alu = (prefill ? elems : block_elems) * 2.0;
+        wl.cuda.fma = prefill ? elems : block_elems;
+        wl.ctas = arch.num_sms * 4;
+        seq.push_back(wl);
+        break;
+      }
+    }
+    return resolveSequence(arch, seq).total_s * 1e3;
+}
+
+} // namespace bitdec::quant

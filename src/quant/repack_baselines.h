@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static-weight repacking baselines (Marlin, Ladder) applied to the
+ * dynamic KV cache, for the Table II comparison.
+ *
+ * Both systems make mixed-precision GEMMs fast by transforming the
+ * quantized operand into a Tensor-Core-friendly layout in a separate
+ * pass: affordable offline for static weights, but on a KV cache the
+ * transform must rerun as the cache grows. BitDecoding's induced layout
+ * removes the pass entirely.
+ */
+#ifndef BITDEC_QUANT_REPACK_BASELINES_H
+#define BITDEC_QUANT_REPACK_BASELINES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tensor.h"
+#include "gpusim/arch.h"
+
+namespace bitdec::quant {
+
+/**
+ * Marlin-style tile-interleaved repack of a code matrix: codes regroup
+ * into 16x64 tiles with an interleaved permutation so each thread's
+ * 128-bit load feeds its MMA fragments. Functional (and invertible —
+ * tests rely on marlinUnpack reversing it).
+ */
+std::vector<std::uint32_t> marlinRepack(const Tensor<std::uint8_t>& codes,
+                                        int bits);
+
+/** Inverse of marlinRepack. */
+Tensor<std::uint8_t> marlinUnpack(const std::vector<std::uint32_t>& words,
+                                  int bits, std::size_t rows,
+                                  std::size_t cols);
+
+/** Which system performs the quantize+pack work (Table II rows). */
+enum class RepackSystem { Marlin, Ladder, BitDecoding };
+
+/**
+ * Latency of quantization + packing (+ layout transformation) in
+ * milliseconds.
+ *
+ * @param prefill  true for the prefill phase (whole context), false for
+ *                 one decode step
+ * @param seq_len  context length (tokens)
+ * @param heads    KV heads
+ * @param head_dim per-head hidden size
+ * @param bits     target bit width
+ */
+double quantPackLatencyMs(const sim::GpuArch& arch, RepackSystem system,
+                          bool prefill, int seq_len, int heads, int head_dim,
+                          int bits);
+
+} // namespace bitdec::quant
+
+#endif // BITDEC_QUANT_REPACK_BASELINES_H

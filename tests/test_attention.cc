@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the attention baselines: reference, FlashDecoding, KIVI,
+ * QServe/Atom — functional correctness and timing-model behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/flash_decoding.h"
+#include "attention/kivi_baseline.h"
+#include "attention/qserve_baseline.h"
+#include "attention/reference.h"
+#include "attention/workloads.h"
+#include "common/rng.h"
+#include "gpusim/arch.h"
+
+namespace bitdec::attn {
+namespace {
+
+/** Fills a tensor with unit-ish normal values. */
+void
+randomize(Tensor<Half>& t, Rng& rng, float stddev = 1.0f)
+{
+    for (std::size_t i = 0; i < t.numel(); i++)
+        t[i] = Half(rng.normal(0.f, stddev));
+}
+
+// ----------------------------------------------------------- reference ----
+
+TEST(Reference, UniformKeysGiveMeanOfValues)
+{
+    // Identical keys -> uniform attention -> output = mean of values.
+    Tensor<Half> q({1, 4}), k({8, 4}), v({8, 4});
+    q.fill(Half(1.0f));
+    k.fill(Half(0.5f));
+    for (std::size_t t = 0; t < 8; t++)
+        for (std::size_t c = 0; c < 4; c++)
+            v.at(t, c) = Half(static_cast<float>(t));
+    const Tensor<float> out = referenceAttention(q, k, v, 0.5f);
+    for (std::size_t c = 0; c < 4; c++)
+        EXPECT_NEAR(out.at(0, c), 3.5f, 1e-4f);
+}
+
+TEST(Reference, SharpKeyRetrievesItsValue)
+{
+    // One key matches the query strongly -> output ~= its value row.
+    Tensor<Half> q({1, 8}), k({16, 8}), v({16, 8});
+    Rng rng(81);
+    randomize(k, rng, 0.05f);
+    for (std::size_t c = 0; c < 8; c++) {
+        q.at(0, c) = Half(1.0f);
+        k.at(5, c) = Half(4.0f); // the needle
+    }
+    for (std::size_t t = 0; t < 16; t++)
+        for (std::size_t c = 0; c < 8; c++)
+            v.at(t, c) = Half(t == 5 ? 1.0f : 0.0f);
+    const Tensor<float> out = referenceAttention(q, k, v, 1.0f);
+    for (std::size_t c = 0; c < 8; c++)
+        EXPECT_GT(out.at(0, c), 0.99f);
+}
+
+TEST(OnlineSoftmax, IncrementalMatchesOneShot)
+{
+    Rng rng(82);
+    const int len = 64, d = 8;
+    Tensor<Half> q({1, static_cast<std::size_t>(d)});
+    Tensor<Half> k({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    Tensor<Half> v({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    randomize(q, rng);
+    randomize(k, rng);
+    randomize(v, rng);
+
+    const Tensor<float> want = referenceAttention(q, k, v, 0.3f);
+
+    OnlineSoftmaxRow row(d);
+    for (int b0 = 0; b0 < len; b0 += 16) {
+        std::vector<float> scores(16);
+        for (int t = b0; t < b0 + 16; t++) {
+            float s = 0;
+            for (int c = 0; c < d; c++)
+                s += q.at(0, static_cast<std::size_t>(c)).toFloat() *
+                     k.at(static_cast<std::size_t>(t),
+                          static_cast<std::size_t>(c))
+                         .toFloat();
+            scores[static_cast<std::size_t>(t - b0)] = s * 0.3f;
+        }
+        row.update(scores, v, b0);
+    }
+    const auto got = row.finalize();
+    for (int c = 0; c < d; c++)
+        EXPECT_NEAR(got[static_cast<std::size_t>(c)],
+                    want.at(0, static_cast<std::size_t>(c)), 1e-4f);
+}
+
+TEST(OnlineSoftmax, MergeIsOrderInvariant)
+{
+    Rng rng(83);
+    const int d = 4;
+    OnlineSoftmaxRow a(d), b(d);
+    Tensor<Half> v({8, static_cast<std::size_t>(d)});
+    randomize(v, rng);
+    a.update({1.f, 2.f, 0.5f}, v, 0);
+    b.update({3.f, -1.f}, v, 3);
+    const auto ab = mergeSoftmaxRows(a, b).finalize();
+    const auto ba = mergeSoftmaxRows(b, a).finalize();
+    for (int c = 0; c < d; c++)
+        EXPECT_NEAR(ab[static_cast<std::size_t>(c)],
+                    ba[static_cast<std::size_t>(c)], 1e-6f);
+}
+
+// ------------------------------------------------------- flash decoding ----
+
+class FlashSplitsP : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FlashSplitsP, MatchesReferenceForAnySplitCount)
+{
+    const int splits = GetParam();
+    Rng rng(84);
+    const int len = 300, d = 32, gq = 4; // non-multiple of split size
+    kv::Fp16HeadCache cache(d);
+    Tensor<Half> k({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    Tensor<Half> v({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    randomize(k, rng);
+    randomize(v, rng);
+    for (int t = 0; t < len; t++) {
+        std::vector<Half> kt(static_cast<std::size_t>(d)),
+            vt(static_cast<std::size_t>(d));
+        for (int c = 0; c < d; c++) {
+            kt[static_cast<std::size_t>(c)] =
+                k.at(static_cast<std::size_t>(t), static_cast<std::size_t>(c));
+            vt[static_cast<std::size_t>(c)] =
+                v.at(static_cast<std::size_t>(t), static_cast<std::size_t>(c));
+        }
+        cache.append(kt, vt);
+    }
+    Tensor<Half> q({static_cast<std::size_t>(gq), static_cast<std::size_t>(d)});
+    randomize(q, rng);
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    const Tensor<float> want = referenceAttention(q, k, v, scale);
+    const Tensor<float> got = flashDecodingAttention(q, cache, scale, splits);
+    EXPECT_LT(maxAbsDiff(got, want), 1e-3f) << "splits=" << splits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, FlashSplitsP, ::testing::Values(1, 2, 3, 8));
+
+// ----------------------------------------------------- KIVI functional ----
+
+TEST(Kivi, AttentionWithinQuantizationBound)
+{
+    Rng rng(85);
+    const int len = 128, d = 64, gq = 2;
+    Tensor<Half> k({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    Tensor<Half> v({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    Tensor<Half> q({static_cast<std::size_t>(gq), static_cast<std::size_t>(d)});
+    randomize(k, rng);
+    randomize(v, rng);
+    randomize(q, rng);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    const auto kq =
+        quant::quantizeMatrix(k, 4, quant::Granularity::ChannelWise, 32);
+    const auto vq =
+        quant::quantizeMatrix(v, 4, quant::Granularity::TensorWise, 32);
+    const Tensor<float> got = kiviAttention(q, kq, vq, scale);
+    const Tensor<float> want = referenceAttention(q, k, v, scale);
+    EXPECT_LT(maxAbsDiff(got, want), 0.35f); // 4-bit error bound
+    EXPECT_GT(maxAbsDiff(got, want), 0.0f);
+}
+
+TEST(QServe, FusedMatchesNonFusedMath)
+{
+    // The fused CUDA-core kernel computes the same function as KIVI's
+    // separated kernels — fusion changes performance, not semantics.
+    Rng rng(86);
+    const int len = 96, d = 32;
+    Tensor<Half> k({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    Tensor<Half> v({static_cast<std::size_t>(len), static_cast<std::size_t>(d)});
+    Tensor<Half> q({1, static_cast<std::size_t>(d)});
+    randomize(k, rng);
+    randomize(v, rng);
+    randomize(q, rng);
+    const auto kq =
+        quant::quantizeMatrix(k, 4, quant::Granularity::TensorWise, 32);
+    const auto vq =
+        quant::quantizeMatrix(v, 4, quant::Granularity::TensorWise, 32);
+    const Tensor<float> fused = cudaCoreFusedAttention(q, kq, vq, 0.2f);
+    const Tensor<float> separated = kiviAttention(q, kq, vq, 0.2f);
+    EXPECT_LT(maxAbsDiff(fused, separated), 1e-3f);
+}
+
+TEST(Atom, RejectsGqa)
+{
+    DecodeShape mha;
+    mha.num_q_heads = 32;
+    mha.num_kv_heads = 32;
+    EXPECT_TRUE(cudaCoreSystemSupports(CudaCoreSystem::Atom, mha));
+    DecodeShape gqa;
+    gqa.num_q_heads = 32;
+    gqa.num_kv_heads = 8;
+    EXPECT_FALSE(cudaCoreSystemSupports(CudaCoreSystem::Atom, gqa));
+    EXPECT_TRUE(cudaCoreSystemSupports(CudaCoreSystem::QServe, gqa));
+}
+
+// ------------------------------------------------------------ workloads ----
+
+TEST(Workloads, ByteAccounting)
+{
+    DecodeShape s;
+    s.batch = 2;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.head_dim = 128;
+    s.seq_len = 1024;
+    EXPECT_EQ(s.groupSize(), 4);
+    EXPECT_EQ(s.fp16KvBytes(), 2.0 * 2 * 8 * 1024 * 128 * 2);
+    EXPECT_EQ(s.packedKvBytes(4), s.fp16KvBytes() / 4);
+    EXPECT_EQ(s.packedKvBytes(2), s.fp16KvBytes() / 8);
+    quant::QuantConfig qc;
+    qc.bits = 4;
+    qc.group_size = 32;
+    EXPECT_GT(s.metadataBytes(qc), 0.0);
+    EXPECT_LT(s.metadataBytes(qc), s.packedKvBytes(4));
+}
+
+TEST(Workloads, SplitsFillTheGpu)
+{
+    DecodeShape s;
+    s.batch = 1;
+    s.num_kv_heads = 8;
+    s.seq_len = 131072;
+    const int splits = chooseNumSplits(sim::archA100(), s);
+    EXPECT_GE(splits * s.batch * s.num_kv_heads, sim::archA100().num_sms / 2);
+    s.batch = 64;
+    EXPECT_EQ(chooseNumSplits(sim::archA100(), s), 1);
+}
+
+TEST(Workloads, RereadFactorBehaviour)
+{
+    const auto& a100 = sim::archA100();
+    // Tiny working set: L2 absorbs re-reads.
+    EXPECT_NEAR(l2RereadFactor(a100, 1e6, 4), 1.0, 1e-9);
+    // Huge working set: every pass hits DRAM.
+    EXPECT_NEAR(l2RereadFactor(a100, 1e12, 4), 4.0, 0.01);
+    // MHA never re-reads.
+    EXPECT_EQ(l2RereadFactor(a100, 1e12, 1), 1.0);
+}
+
+TEST(Workloads, TcFlopsPadToM16)
+{
+    DecodeShape mha;
+    mha.num_q_heads = 32;
+    mha.num_kv_heads = 32; // gq = 1: tiles mostly padding
+    DecodeShape gqa = mha;
+    gqa.num_kv_heads = 8;  // gq = 4
+    // Same issued FLOPs per kv head; MHA has 4x the kv heads.
+    EXPECT_NEAR(tcFlopsIssued(mha), 4.0 * tcFlopsIssued(gqa), 1.0);
+}
+
+// --------------------------------------------------------- timing model ----
+
+TEST(Timing, FlashDecodingBandwidthBound)
+{
+    DecodeShape s;
+    s.batch = 1;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.seq_len = 131072;
+    const auto t = flashDecodingTime(sim::archA100(), s, 2);
+    const double ideal = s.fp16KvBytes() / sim::archA100().dramBytesPerSec();
+    EXPECT_GT(t.total_s, ideal * 0.9);
+    EXPECT_LT(t.total_s, ideal * 2.0); // long-context decode ~ BW bound
+}
+
+TEST(Timing, KiviSlowerThanFusedFp16AtShortContext)
+{
+    // Non-fused launches dominate at short context (Fig. 10 left edges).
+    DecodeShape s;
+    s.batch = 1;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.seq_len = 1024;
+    const auto fd = flashDecodingTime(sim::archA100(), s, 2);
+    const auto kivi = kiviTime(sim::archA100(), s, 4);
+    EXPECT_GT(kivi.total_s, fd.total_s);
+}
+
+TEST(Timing, KiviGqaPenalty)
+{
+    DecodeShape gqa;
+    gqa.batch = 8;
+    gqa.num_q_heads = 32;
+    gqa.num_kv_heads = 8;
+    gqa.seq_len = 32768;
+    DecodeShape mha = gqa;
+    mha.num_kv_heads = 32;
+    const double t_gqa = kiviTime(sim::archA100(), gqa, 4).total_s;
+    const double t_mha = kiviTime(sim::archA100(), mha, 4).total_s;
+    // MHA moves 4x the KV bytes, yet KIVI's GQA re-reads erase most of
+    // the advantage: the ratio stays well below the 4x byte ratio.
+    EXPECT_LT(t_mha / t_gqa, 2.5);
+}
+
+TEST(Timing, QServeWinsMhaLosesGqa)
+{
+    const auto& a100 = sim::archA100();
+    DecodeShape mha;
+    mha.batch = 8;
+    mha.num_q_heads = 32;
+    mha.num_kv_heads = 32;
+    mha.seq_len = 32768;
+    mha.scenario = Scenario::Pages;
+    const double fd_mha = flashDecodingTime(a100, mha, 2).total_s;
+    const double qs_mha =
+        cudaCoreFusedTime(a100, mha, CudaCoreSystem::QServe, 4).total_s;
+    EXPECT_LT(qs_mha, fd_mha); // 4-bit pays off under MHA
+
+    DecodeShape gqa = mha;
+    gqa.num_kv_heads = 8;
+    const double fd_gqa = flashDecodingTime(a100, gqa, 2).total_s;
+    const double qs_gqa =
+        cudaCoreFusedTime(a100, gqa, CudaCoreSystem::QServe, 4).total_s;
+    // Under GQA the per-query-head GEMV re-reads kill the advantage.
+    EXPECT_GT(qs_gqa / fd_gqa, 0.65);
+    EXPECT_GT((fd_mha / qs_mha) / (fd_gqa / qs_gqa), 1.5);
+}
+
+TEST(Timing, FlashV3FasterOnHopper)
+{
+    DecodeShape s;
+    s.batch = 16;
+    s.num_q_heads = 128;
+    s.num_kv_heads = 32;
+    s.seq_len = 32768;
+    const auto& h100 = sim::archH100();
+    const double v2 = flashDecodingTime(h100, s, 2).total_s;
+    const double v3 = flashDecodingTime(h100, s, 3).total_s;
+    EXPECT_LT(v3, v2);
+}
+
+TEST(Timing, PagesAddIndirectionOverhead)
+{
+    DecodeShape s;
+    s.batch = 16;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.seq_len = 8192;
+    DecodeShape p = s;
+    p.scenario = Scenario::Pages;
+    const double contiguous = flashDecodingTime(sim::archA100(), s, 2).total_s;
+    const double paged = flashDecodingTime(sim::archA100(), p, 2).total_s;
+    EXPECT_GE(paged, contiguous);
+    EXPECT_LT(paged, contiguous * 1.2); // small, not catastrophic
+}
+
+} // namespace
+} // namespace bitdec::attn

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for common utilities: Half arithmetic, Tensor, Rng.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/half.h"
+#include "common/rng.h"
+#include "common/tensor.h"
+
+namespace bitdec {
+namespace {
+
+// ---------------------------------------------------------------- Half ----
+
+TEST(Half, ZeroAndSignedZero)
+{
+    EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(Half(0.0f), Half(-0.0f));
+}
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(Half(1.0f).bits(), 0x3C00);
+    EXPECT_EQ(Half(-2.0f).bits(), 0xC000);
+    EXPECT_EQ(Half(1024.0f).bits(), 0x6400);  // the lop3 magic constant
+    EXPECT_EQ(Half(1025.0f).bits(), 0x6401);  // magic | code 1
+    EXPECT_EQ(Half(1039.0f).bits(), 0x640F);  // magic | code 15
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7BFF); // max finite
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns)
+{
+    // Every finite half converts to float and back without change.
+    for (std::uint32_t b = 0; b <= 0xFFFF; b++) {
+        const Half h = Half::fromBits(static_cast<std::uint16_t>(b));
+        if (h.isNan() || h.isInf())
+            continue;
+        const Half rt(h.toFloat());
+        EXPECT_EQ(rt.bits(), h.bits()) << "bits=" << b;
+    }
+}
+
+TEST(Half, RoundToNearestEvenTies)
+{
+    // 2048 + 1 is exactly between 2048 and 2050 (ulp = 2 there): ties to
+    // even mantissa -> 2048.
+    EXPECT_EQ(Half(2049.0f).toFloat(), 2048.0f);
+    // 2051 is between 2050 and 2052 -> even mantissa is 2052.
+    EXPECT_EQ(Half(2051.0f).toFloat(), 2052.0f);
+}
+
+TEST(Half, SubnormalsConvertExactly)
+{
+    const float smallest = std::ldexp(1.0f, -24); // 2^-24, smallest subnormal
+    EXPECT_EQ(Half(smallest).bits(), 0x0001);
+    EXPECT_FLOAT_EQ(Half::fromBits(0x0001).toFloat(), smallest);
+    const float sub = std::ldexp(3.0f, -24);
+    EXPECT_EQ(Half(sub).bits(), 0x0003);
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_TRUE(Half(1e6f).isInf());
+    EXPECT_TRUE(Half(-1e6f).isInf());
+    EXPECT_FALSE(Half(65504.0f).isInf());
+}
+
+TEST(Half, NanPropagation)
+{
+    const Half nan(std::nanf(""));
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_FALSE(nan == nan);
+    EXPECT_TRUE(nan != nan);
+}
+
+TEST(Half, ArithmeticMatchesFloatThenRound)
+{
+    const Half a(1.5f), b(2.25f);
+    EXPECT_EQ((a + b).toFloat(), 3.75f);
+    EXPECT_EQ((a * b).toFloat(), Half(1.5f * 2.25f).toFloat());
+    EXPECT_EQ((-a).toFloat(), -1.5f);
+    Half c(1.0f);
+    c += Half(0.5f);
+    EXPECT_EQ(c.toFloat(), 1.5f);
+}
+
+TEST(Half, ComparisonOperators)
+{
+    EXPECT_LT(Half(1.0f), Half(2.0f));
+    EXPECT_GT(Half(-1.0f), Half(-2.0f));
+    EXPECT_LE(Half(1.0f), Half(1.0f));
+    EXPECT_GE(Half(3.0f), Half(2.0f));
+}
+
+TEST(Half2, WordPackingLayout)
+{
+    const Half2 h2(Half(1.0f), Half(-2.0f));
+    const std::uint32_t w = h2.toWord();
+    EXPECT_EQ(w & 0xFFFF, 0x3C00u);       // x in the low lane
+    EXPECT_EQ(w >> 16, 0xC000u);          // y in the high lane
+    const Half2 back = Half2::fromWord(w);
+    EXPECT_EQ(back.x.bits(), h2.x.bits());
+    EXPECT_EQ(back.y.bits(), h2.y.bits());
+}
+
+// -------------------------------------------------------------- Tensor ----
+
+TEST(Tensor, ShapeAndNumel)
+{
+    Tensor<float> t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.dim(0), 2u);
+    EXPECT_EQ(t.dim(2), 4u);
+    EXPECT_EQ(t.numel(), 24u);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor<int> t({2, 3});
+    t.at(1, 2) = 42;
+    EXPECT_EQ(t[5], 42); // row-major: offset = 1*3 + 2
+    t.at(0, 1) = 7;
+    EXPECT_EQ(t[1], 7);
+}
+
+TEST(Tensor, FillAndReset)
+{
+    Tensor<float> t({4});
+    t.fill(2.5f);
+    for (std::size_t i = 0; i < t.numel(); i++)
+        EXPECT_EQ(t[i], 2.5f);
+    t.reset({2, 2});
+    EXPECT_EQ(t.numel(), 4u);
+    EXPECT_EQ(t[0], 0.0f); // value-initialized after reset
+}
+
+TEST(Tensor, FourDimensionalIndexing)
+{
+    Tensor<int> t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 9;
+    EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 9);
+}
+
+TEST(TensorDeath, OutOfBoundsPanics)
+{
+    Tensor<int> t({2, 2});
+    EXPECT_DEATH(t.at(2, 0), "out of bounds");
+}
+
+// ----------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntUnbiasedRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; i++) {
+        const std::uint64_t v = r.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NormalMomentsApproximate)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ScaledNormal)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        sum += r.normal(5.0f, 2.0f);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+} // namespace
+} // namespace bitdec

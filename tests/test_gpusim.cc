@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Unit + property tests for the GPU simulator substrate: PTX bit ops,
+ * fragment layouts, warp primitives, shared-memory banks and the timing
+ * model.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "gpusim/arch.h"
+#include "gpusim/bitops.h"
+#include "gpusim/fragment.h"
+#include "gpusim/shared_memory.h"
+#include "gpusim/timing.h"
+#include "gpusim/warp.h"
+
+namespace bitdec::sim {
+namespace {
+
+// -------------------------------------------------------------- bitops ----
+
+TEST(Lop3, ImplementsArbitraryTruthTables)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 50; trial++) {
+        const auto a = static_cast<std::uint32_t>(rng.next());
+        const auto b = static_cast<std::uint32_t>(rng.next());
+        const auto c = static_cast<std::uint32_t>(rng.next());
+        EXPECT_EQ(lop3(a, b, c, kLop3A & kLop3B & kLop3C), a & b & c);
+        EXPECT_EQ(lop3(a, b, c, kLop3A | kLop3B | kLop3C), a | b | c);
+        EXPECT_EQ(lop3(a, b, c, kLop3A ^ kLop3B ^ kLop3C), a ^ b ^ c);
+        EXPECT_EQ(lop3(a, b, c, kLutAndOr), (a & b) | c);
+    }
+}
+
+TEST(Lop3, ConstantTables)
+{
+    EXPECT_EQ(lop3(0xDEADBEEF, 0x12345678, 0x0F0F0F0F, 0x00), 0u);
+    EXPECT_EQ(lop3(0xDEADBEEF, 0x12345678, 0x0F0F0F0F, 0xFF), 0xFFFFFFFFu);
+}
+
+TEST(Prmt, SelectsBytes)
+{
+    const std::uint32_t a = 0x33221100; // bytes 0..3
+    const std::uint32_t b = 0x77665544; // bytes 4..7
+    EXPECT_EQ(prmt(a, b, 0x3210), a);
+    EXPECT_EQ(prmt(a, b, 0x7654), b);
+    EXPECT_EQ(prmt(a, b, 0x0246), 0x00224466u); // descending picks
+}
+
+TEST(Prmt, SignReplication)
+{
+    const std::uint32_t a = 0x00008000; // byte 1 has the sign bit set
+    // Selector nibble i picks output byte i; 0x8 | k sign-extends byte k.
+    EXPECT_EQ(prmt(a, 0, 0x0009) & 0x000000FFu, 0x000000FFu);
+    EXPECT_EQ(prmt(a, 0, 0x0008) & 0x000000FFu, 0x00000000u);
+}
+
+TEST(FunnelShift, CombinesWords)
+{
+    EXPECT_EQ(funnelShiftR(0xFFFF0000u, 0x12345678u, 16), 0x5678FFFFu);
+    EXPECT_EQ(funnelShiftR(0xAAAAAAAAu, 0xBBBBBBBBu, 0), 0xAAAAAAAAu);
+    EXPECT_EQ(funnelShiftR(0xAAAAAAAAu, 0xBBBBBBBBu, 32), 0xBBBBBBBBu);
+}
+
+// ----------------------------------------------------------- fragments ----
+
+struct LayoutCase
+{
+    MmaShape shape;
+    Operand op;
+};
+
+class FragmentLayoutP : public ::testing::TestWithParam<LayoutCase>
+{
+};
+
+TEST_P(FragmentLayoutP, CoversEveryCoordinateExactlyOnce)
+{
+    const FragmentLayout lay(GetParam().shape, GetParam().op);
+    std::map<std::pair<int, int>, int> hits;
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int e = 0; e < lay.eltsPerLane(); e++) {
+            const Coord c = lay.coordOf(lane, e);
+            EXPECT_GE(c.row, 0);
+            EXPECT_LT(c.row, lay.rows());
+            EXPECT_GE(c.col, 0);
+            EXPECT_LT(c.col, lay.cols());
+            hits[{c.row, c.col}]++;
+        }
+    }
+    EXPECT_EQ(hits.size(),
+              static_cast<std::size_t>(lay.rows() * lay.cols()));
+    for (const auto& [coord, n] : hits)
+        EXPECT_EQ(n, 1);
+}
+
+TEST_P(FragmentLayoutP, LaneOfInvertsCoordOf)
+{
+    const FragmentLayout lay(GetParam().shape, GetParam().op);
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int e = 0; e < lay.eltsPerLane(); e++) {
+            const Coord c = lay.coordOf(lane, e);
+            const auto [l2, e2] = lay.laneOf(c.row, c.col);
+            EXPECT_EQ(l2, lane);
+            EXPECT_EQ(e2, e);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, FragmentLayoutP,
+    ::testing::Values(LayoutCase{MmaShape::M16N8K16, Operand::A},
+                      LayoutCase{MmaShape::M16N8K16, Operand::B},
+                      LayoutCase{MmaShape::M16N8K16, Operand::C},
+                      LayoutCase{MmaShape::M16N8K8, Operand::A},
+                      LayoutCase{MmaShape::M16N8K8, Operand::B},
+                      LayoutCase{MmaShape::M16N8K8, Operand::C}));
+
+TEST(FragmentLayout, PtxDocumentedSpotChecksM16N8K16B)
+{
+    // PTX ISA: B fragment of m16n8k16, thread i holds rows
+    // {2*(i%4), 2*(i%4)+1, 2*(i%4)+8, 2*(i%4)+9} of column i/4.
+    const FragmentLayout lb(MmaShape::M16N8K16, Operand::B);
+    EXPECT_EQ(lb.coordOf(0, 0), (Coord{0, 0}));
+    EXPECT_EQ(lb.coordOf(0, 1), (Coord{1, 0}));
+    EXPECT_EQ(lb.coordOf(0, 2), (Coord{8, 0}));
+    EXPECT_EQ(lb.coordOf(0, 3), (Coord{9, 0}));
+    EXPECT_EQ(lb.coordOf(5, 0), (Coord{2, 1}));  // lane 5: t=1, g=1
+    EXPECT_EQ(lb.coordOf(31, 3), (Coord{15, 7})); // last lane, last elt
+}
+
+TEST(FragmentLayout, PtxDocumentedSpotChecksM16N8K16AC)
+{
+    const FragmentLayout la(MmaShape::M16N8K16, Operand::A);
+    EXPECT_EQ(la.coordOf(0, 0), (Coord{0, 0}));
+    EXPECT_EQ(la.coordOf(0, 1), (Coord{0, 1}));
+    EXPECT_EQ(la.coordOf(0, 2), (Coord{8, 0}));
+    EXPECT_EQ(la.coordOf(0, 4), (Coord{0, 8}));
+    EXPECT_EQ(la.coordOf(0, 7), (Coord{8, 9}));
+    const FragmentLayout lc(MmaShape::M16N8K16, Operand::C);
+    EXPECT_EQ(lc.coordOf(0, 0), (Coord{0, 0}));
+    EXPECT_EQ(lc.coordOf(0, 2), (Coord{8, 0}));
+    EXPECT_EQ(lc.coordOf(7, 1), (Coord{1, 7})); // lane 7: group 1, t 3
+}
+
+TEST(Ldmatrix, MatchesAccumulator8x8SubTile)
+{
+    // ldmatrix's 8x8 mapping is the C fragment's first 8 rows: lane i
+    // holds (i/4, 2*(i%4) + e).
+    Tensor<Half> src({8, 8});
+    for (std::size_t r = 0; r < 8; r++)
+        for (std::size_t c = 0; c < 8; c++)
+            src.at(r, c) = Half(static_cast<float>(r * 8 + c));
+    std::array<std::array<Half, 2>, kWarpSize> vals;
+    ldmatrix8x8(src, 0, 0, false, vals);
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int e = 0; e < 2; e++) {
+            const float want =
+                static_cast<float>((lane / 4) * 8 + (lane % 4) * 2 + e);
+            EXPECT_EQ(vals[lane][e].toFloat(), want);
+        }
+    }
+}
+
+TEST(Ldmatrix, TransposeSwapsCoordinates)
+{
+    Tensor<Half> src({8, 8});
+    for (std::size_t r = 0; r < 8; r++)
+        for (std::size_t c = 0; c < 8; c++)
+            src.at(r, c) = Half(static_cast<float>(r * 8 + c));
+    std::array<std::array<Half, 2>, kWarpSize> vals;
+    ldmatrix8x8(src, 0, 0, true, vals);
+    // Lane 1 element 0 maps to (row 0, col 2) transposed -> src(2, 0).
+    EXPECT_EQ(vals[1][0].toFloat(), 16.0f);
+}
+
+TEST(MmaSync, MatchesDirectMatrixProduct)
+{
+    Rng rng(11);
+    Tensor<Half> a({16, 16}), b({16, 8});
+    for (std::size_t i = 0; i < a.numel(); i++)
+        a[i] = Half(rng.uniformRange(-2.f, 2.f));
+    for (std::size_t i = 0; i < b.numel(); i++)
+        b[i] = Half(rng.uniformRange(-2.f, 2.f));
+
+    const FragmentLayout la(MmaShape::M16N8K16, Operand::A);
+    const FragmentLayout lb(MmaShape::M16N8K16, Operand::B);
+    const FragmentLayout lc(MmaShape::M16N8K16, Operand::C);
+    const auto fa = loadFragment(la, a, 0, 0);
+    const auto fb = loadFragment(lb, b, 0, 0);
+    auto fc = makeFragment<float>();
+    const auto fd = mmaSync(MmaShape::M16N8K16, fa, fb, fc);
+
+    Tensor<float> d({16, 8});
+    storeAccumFragment(lc, fd, d, 0, 0);
+    for (std::size_t r = 0; r < 16; r++) {
+        for (std::size_t c = 0; c < 8; c++) {
+            float want = 0;
+            for (std::size_t k = 0; k < 16; k++)
+                want += a.at(r, k).toFloat() * b.at(k, c).toFloat();
+            EXPECT_NEAR(d.at(r, c), want, 1e-3f);
+        }
+    }
+}
+
+TEST(MmaSync, MisalignedRegistersProduceWrongResults)
+{
+    // The Fig. 3b failure: registers filled in linear (wrong) order make
+    // the MMA compute the product of a permuted operand.
+    Rng rng(12);
+    Tensor<Half> a({16, 16}), b({16, 8});
+    for (std::size_t i = 0; i < a.numel(); i++)
+        a[i] = Half(rng.uniformRange(-2.f, 2.f));
+    for (std::size_t i = 0; i < b.numel(); i++)
+        b[i] = Half(rng.uniformRange(-2.f, 2.f));
+
+    const FragmentLayout la(MmaShape::M16N8K16, Operand::A);
+    const FragmentLayout lb(MmaShape::M16N8K16, Operand::B);
+    const auto fa = loadFragment(la, a, 0, 0);
+
+    // Wrong: assign B values linearly by lane (as a naive unpack would).
+    auto fb_bad = makeFragment<Half>();
+    int idx = 0;
+    for (int lane = 0; lane < kWarpSize; lane++) {
+        for (int e = 0; e < lb.eltsPerLane(); e++) {
+            fb_bad[lane][e] = b[static_cast<std::size_t>(idx++)];
+        }
+    }
+    const auto fd_bad =
+        mmaSync(MmaShape::M16N8K16, fa, fb_bad, makeFragment<float>());
+    const auto fd_good = mmaSync(MmaShape::M16N8K16, fa,
+                                 loadFragment(lb, b, 0, 0),
+                                 makeFragment<float>());
+    float max_diff = 0;
+    for (int lane = 0; lane < kWarpSize; lane++)
+        for (int e = 0; e < 4; e++)
+            max_diff = std::max(
+                max_diff, std::fabs(fd_bad[lane][e] - fd_good[lane][e]));
+    EXPECT_GT(max_diff, 0.1f); // materially wrong, not a rounding blip
+}
+
+// ----------------------------------------------------------------- warp ----
+
+TEST(Warp, ShflXorExchanges)
+{
+    WarpVar<float> v{};
+    for (int lane = 0; lane < kWarpSize; lane++)
+        v[lane] = static_cast<float>(lane);
+    const auto out = shflXor(v, 1);
+    for (int lane = 0; lane < kWarpSize; lane++)
+        EXPECT_EQ(out[lane], static_cast<float>(lane ^ 1));
+}
+
+TEST(Warp, ButterflyReduceMaxOverGroups)
+{
+    WarpVar<float> v{};
+    for (int lane = 0; lane < kWarpSize; lane++)
+        v[lane] = static_cast<float>((lane * 7) % 31);
+    const auto out =
+        butterflyReduce(v, 8, [](float a, float b) { return std::max(a, b); });
+    for (int group = 0; group < 4; group++) {
+        float want = 0;
+        for (int i = 0; i < 8; i++)
+            want = std::max(want, v[group * 8 + i]);
+        for (int i = 0; i < 8; i++)
+            EXPECT_EQ(out[group * 8 + i], want);
+    }
+}
+
+TEST(Warp, BallotBitsMatchPredicates)
+{
+    WarpVar<bool> p{};
+    for (int lane = 0; lane < kWarpSize; lane++)
+        p[lane] = lane % 3 == 0;
+    const std::uint32_t mask = ballot(p);
+    for (int lane = 0; lane < kWarpSize; lane++)
+        EXPECT_EQ((mask >> lane) & 1u, lane % 3 == 0 ? 1u : 0u);
+}
+
+// -------------------------------------------------------- shared memory ----
+
+TEST(SharedMemory, ConflictFreeWhenDistinctBanks)
+{
+    std::vector<std::uint32_t> addrs;
+    for (int lane = 0; lane < 32; lane++)
+        addrs.push_back(static_cast<std::uint32_t>(lane * 4));
+    EXPECT_EQ(smemConflictPhases(addrs), 1);
+}
+
+TEST(SharedMemory, BroadcastIsFree)
+{
+    std::vector<std::uint32_t> addrs(32, 64u);
+    EXPECT_EQ(smemConflictPhases(addrs), 1);
+}
+
+TEST(SharedMemory, StridedAccessConflicts)
+{
+    // Stride of 128 bytes: every lane hits bank 0 with distinct words.
+    std::vector<std::uint32_t> addrs;
+    for (int lane = 0; lane < 32; lane++)
+        addrs.push_back(static_cast<std::uint32_t>(lane * 128));
+    EXPECT_EQ(smemConflictPhases(addrs), 32);
+}
+
+TEST(SharedMemory, XorSwizzleRemovesLdmatrixConflicts)
+{
+    // The canonical 128-byte tile row (64 halves): without swizzling all
+    // rows of a chunk column land in the same bank.
+    const int conflicted = ldmatrixConflictPhases(128, false);
+    const int swizzled = ldmatrixConflictPhases(128, true);
+    EXPECT_GE(conflicted, 4);
+    EXPECT_EQ(swizzled, 1);
+}
+
+TEST(SharedMemory, SwizzleIsAPermutationPerRow)
+{
+    for (int row = 0; row < 8; row++) {
+        std::set<int> cols;
+        for (int col = 0; col < 8; col++)
+            cols.insert(xorSwizzleCol(row, col, 8));
+        EXPECT_EQ(cols.size(), 8u);
+    }
+}
+
+// ----------------------------------------------------------------- arch ----
+
+TEST(Arch, PresetsAreConsistent)
+{
+    for (const auto* a : {&archA100(), &archRTX4090(), &archH100(),
+                          &archRTX5090(), &archRTXPro6000()}) {
+        EXPECT_GT(a->num_sms, 0);
+        EXPECT_GT(a->dram_gbs, 0);
+        EXPECT_GT(a->tc_fp16_tflops, a->cuda_fp32_tflops);
+        EXPECT_GT(a->dramBytesPerSec(), 0);
+        EXPECT_GT(a->tcFlops(16), a->cudaOps());
+    }
+}
+
+TEST(Arch, GenerationFeatures)
+{
+    EXPECT_FALSE(archA100().has_wgmma);
+    EXPECT_TRUE(archH100().has_wgmma);
+    EXPECT_TRUE(archH100().has_tma);
+    EXPECT_TRUE(archRTX5090().has_mxfp4_mma);
+    EXPECT_FALSE(archRTX4090().has_mxfp4_mma);
+    EXPECT_GT(archRTX5090().tcFlops(4), archRTX5090().tcFlops(16));
+}
+
+TEST(Arch, LookupByName)
+{
+    EXPECT_EQ(archByName("H100").name, "H100");
+    EXPECT_DEATH(archByName("TPU"), "unknown GPU architecture");
+}
+
+// --------------------------------------------------------------- timing ----
+
+TEST(Timing, DramTimeScalesLinearly)
+{
+    KernelWorkload w;
+    w.dram_read_bytes = 1e9;
+    w.ctas = 1024;
+    const auto t1 = resolveKernel(archA100(), w);
+    w.dram_read_bytes = 2e9;
+    const auto t2 = resolveKernel(archA100(), w);
+    EXPECT_NEAR(t2.t_dram_s / t1.t_dram_s, 2.0, 1e-9);
+    EXPECT_GT(t2.total_s, t1.total_s);
+}
+
+TEST(Timing, OccupancyPenalizesSmallLaunches)
+{
+    KernelWorkload w;
+    w.tc_flops_fp16 = 1e12;
+    w.warps_per_cta = 4;
+    w.ctas = archA100().num_sms;
+    const auto full = resolveKernel(archA100(), w);
+    w.ctas = archA100().num_sms / 4;
+    const auto quarter = resolveKernel(archA100(), w);
+    EXPECT_GT(quarter.total_s, full.total_s * 3.0);
+}
+
+TEST(Timing, WarpOverlapEfficiency)
+{
+    EXPECT_EQ(warpOverlapEfficiency(1), 0.0);
+    EXPECT_NEAR(warpOverlapEfficiency(4), 0.75, 1e-12);
+    EXPECT_GT(warpOverlapEfficiency(8), warpOverlapEfficiency(4));
+    EXPECT_LT(warpOverlapEfficiency(32), 1.0);
+}
+
+TEST(Timing, WideWarpsHideCudaWork)
+{
+    KernelWorkload w;
+    w.dram_read_bytes = 4e8;
+    w.cuda.alu = 5e9;
+    w.ctas = 1024;
+    w.wn = 1;
+    w.warps_per_cta = 4;
+    const auto serial = resolveKernel(archA100(), w);
+    w.wn = 4;
+    const auto parallel = resolveKernel(archA100(), w);
+    EXPECT_LT(parallel.total_s, serial.total_s);
+    EXPECT_GT(parallel.tc_utilization, serial.tc_utilization - 1e-12);
+}
+
+TEST(Timing, SerializedPipesPayTheSum)
+{
+    KernelWorkload w;
+    w.dram_read_bytes = 2e9;
+    w.tc_flops_fp16 = 2.5e11; // ~balanced against the DRAM time
+    w.ctas = 1024;
+    const auto overlapped = resolveKernel(archA100(), w);
+    w.serialize_pipes = true;
+    const auto serial = resolveKernel(archA100(), w);
+    EXPECT_GT(serial.total_s, overlapped.total_s * 1.3);
+}
+
+TEST(Timing, SequenceAddsLaunchOverheads)
+{
+    KernelWorkload w;
+    w.dram_read_bytes = 1e6;
+    w.ctas = 1024;
+    const auto one = resolveSequence(archA100(), {w});
+    const auto five = resolveSequence(archA100(), {w, w, w, w, w});
+    EXPECT_NEAR(five.launch_overhead_s, 5 * one.launch_overhead_s, 1e-12);
+    EXPECT_GT(five.total_s, 5 * (one.total_s - one.launch_overhead_s));
+}
+
+TEST(Timing, UtilizationFractionsBounded)
+{
+    KernelWorkload w;
+    w.dram_read_bytes = 1e9;
+    w.tc_flops_fp16 = 1e12;
+    w.cuda.fma = 1e9;
+    w.cuda.sfu = 1e8;
+    w.ctas = 256;
+    const auto t = resolveKernel(archH100(), w);
+    EXPECT_GE(t.tc_utilization, 0.0);
+    EXPECT_LE(t.tc_utilization, 1.0);
+    EXPECT_GE(t.mem_bw_utilization, 0.0);
+    EXPECT_LE(t.mem_bw_utilization, 1.0 + 1e-9);
+    EXPECT_GE(t.mem_stall_frac, 0.0);
+}
+
+} // namespace
+} // namespace bitdec::sim

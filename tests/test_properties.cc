@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Cross-cutting property tests: invariants that must hold over swept
+ * configuration spaces (warp tilings, bit widths, architectures, shapes)
+ * rather than at single points.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/flash_decoding.h"
+#include "attention/workloads.h"
+#include "common/rng.h"
+#include "core/bitdecoding.h"
+#include "core/residual_kernel.h"
+#include "gpusim/arch.h"
+#include "layout/induced_layout.h"
+#include "model/decode_sim.h"
+#include "model/model_config.h"
+#include "quant/fast_dequant.h"
+
+namespace bitdec {
+namespace {
+
+// ---------------------------------------------- layout induction sweeps ----
+
+struct TilingCase
+{
+    sim::MmaShape mma;
+    int wn;
+    int bits;
+};
+
+class InductionSweepP : public ::testing::TestWithParam<TilingCase>
+{
+};
+
+TEST_P(InductionSweepP, ResidualBlockAlignsInducedLayout)
+{
+    // Eq. 1's purpose as a property: for ANY (mma, wn, bits), a block of
+    // Nr tokens yields an induced layout with zero partial units, and the
+    // warp-emulated Residual-Kernel pack equals the canonical pack.
+    const auto [mma, wn, bits] = GetParam();
+    layout::WarpTiling tiling;
+    tiling.mma = mma;
+    tiling.wn = wn;
+    const int nr = layout::residualBlockSize(tiling, bits);
+    // d must cover one full packing group along N (pn * R) for V blocks.
+    const int d = 64;
+
+    const layout::InducedLayout klay(tiling, bits, d, nr);
+    const layout::InducedLayout vlay(tiling, bits, nr, d);
+    EXPECT_EQ(static_cast<int>(klay.numUnits()) * klay.codesPerUnit(),
+              d * nr);
+    EXPECT_EQ(static_cast<int>(vlay.numUnits()) * vlay.codesPerUnit(),
+              d * nr);
+
+    quant::QuantConfig qc;
+    qc.bits = bits;
+    qc.key_granularity = quant::Granularity::ChannelWise;
+    qc.group_size = 16;
+
+    Rng rng(GetParam().wn * 100 + bits);
+    Tensor<Half> kb({static_cast<std::size_t>(nr), static_cast<std::size_t>(d)});
+    Tensor<Half> vb({static_cast<std::size_t>(nr), static_cast<std::size_t>(d)});
+    for (std::size_t i = 0; i < kb.numel(); i++) {
+        kb[i] = Half(rng.normal());
+        vb[i] = Half(rng.normal());
+    }
+    kv::PackedBlock ck, cv;
+    kv::packBlock(kb, vb, qc, klay, vlay, ck, cv);
+    EXPECT_EQ(core::residualKernelPackKeys(kb, qc, klay).units, ck.units);
+    EXPECT_EQ(core::residualKernelPackValues(vb, qc, vlay).units, cv.units);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InductionSweepP,
+    ::testing::Values(TilingCase{sim::MmaShape::M16N8K16, 1, 4},
+                      TilingCase{sim::MmaShape::M16N8K16, 2, 4},
+                      TilingCase{sim::MmaShape::M16N8K16, 8, 4},
+                      TilingCase{sim::MmaShape::M16N8K16, 2, 2},
+                      TilingCase{sim::MmaShape::M16N8K8, 4, 4},
+                      TilingCase{sim::MmaShape::M16N8K8, 2, 2}));
+
+// -------------------------------------------------- fast-dequant sweeps ----
+
+class DequantParamSweepP
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(DequantParamSweepP, FastPathBitExactOverParamGrid)
+{
+    // Bit-exactness must hold for every (scale magnitude, zero) corner,
+    // including subnormal-scale and large-zero regions.
+    const auto [bits, scale_exp] = GetParam();
+    const float scale = std::ldexp(1.0f, scale_exp);
+    for (float zero : {0.f, 1.f, 7.f, 15.f}) {
+        quant::QuantParams p{Half(scale), Half(zero)};
+        Rng rng(99);
+        for (int trial = 0; trial < 50; trial++) {
+            std::uint8_t codes[16];
+            const int n = quant::codesPerWord(bits);
+            for (int i = 0; i < n; i++)
+                codes[i] =
+                    static_cast<std::uint8_t>(rng.uniformInt(1u << bits));
+            const std::uint32_t w =
+                quant::packWord(codes, bits, quant::PackOrder::Interleaved);
+            Half fast[16], ref[16];
+            quant::fastDequantWord(w, bits, p, fast);
+            quant::referenceDequantWord(w, bits,
+                                        quant::PackOrder::Interleaved, p,
+                                        ref);
+            for (int i = 0; i < n; i++)
+                EXPECT_EQ(fast[i].bits(), ref[i].bits())
+                    << "bits=" << bits << " scale=2^" << scale_exp
+                    << " zero=" << zero;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DequantParamSweepP,
+                         ::testing::Values(std::pair{4, -10}, std::pair{4, -4},
+                                           std::pair{4, 0}, std::pair{4, 3},
+                                           std::pair{2, -8}, std::pair{2, -2},
+                                           std::pair{2, 2}));
+
+// ----------------------------------------------------- timing invariants ----
+
+TEST(TimingProperties, FasterMemoryNeverSlowsAttention)
+{
+    // Across architectures ordered by bandwidth, the same memory-bound
+    // decode never gets slower.
+    attn::DecodeShape s;
+    s.batch = 16;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.seq_len = 32768;
+    const double t4090 =
+        attn::flashDecodingTime(sim::archRTX4090(), s, 2).total_s;
+    const double t5090 =
+        attn::flashDecodingTime(sim::archRTX5090(), s, 2).total_s;
+    const double ta100 = attn::flashDecodingTime(sim::archA100(), s, 2).total_s;
+    const double th100 = attn::flashDecodingTime(sim::archH100(), s, 2).total_s;
+    EXPECT_GT(t4090, t5090); // 1.0 vs 1.8 TB/s
+    EXPECT_GT(t5090, ta100); // 1.8 vs 2.0 TB/s
+    EXPECT_GT(ta100, th100); // 2.0 vs 3.4 TB/s
+}
+
+TEST(TimingProperties, SpeedupMonotoneInBitWidth)
+{
+    // For every architecture and context length: fewer bits, never slower.
+    core::BitDecodingConfig c8, c4, c2;
+    c8.quant.bits = 8;
+    c4.quant.bits = 4;
+    c2.quant.bits = 2;
+    for (const auto* arch : {&sim::archA100(), &sim::archRTX4090(),
+                             &sim::archH100()}) {
+        for (int len : {4096, 65536}) {
+            attn::DecodeShape s;
+            s.batch = 4;
+            s.num_q_heads = 32;
+            s.num_kv_heads = 8;
+            s.seq_len = len;
+            const double t8 = core::bitDecodingTime(*arch, s, c8).total_s;
+            const double t4 = core::bitDecodingTime(*arch, s, c4).total_s;
+            const double t2 = core::bitDecodingTime(*arch, s, c2).total_s;
+            EXPECT_GE(t8, t4) << arch->name << " len=" << len;
+            EXPECT_GE(t4, t2) << arch->name << " len=" << len;
+        }
+    }
+}
+
+TEST(TimingProperties, LatencyMonotoneInContextAndBatch)
+{
+    core::BitDecodingConfig cfg;
+    double prev = 0;
+    for (int len : {1024, 4096, 16384, 65536}) {
+        attn::DecodeShape s;
+        s.batch = 4;
+        s.num_q_heads = 32;
+        s.num_kv_heads = 8;
+        s.seq_len = len;
+        const double t = core::bitDecodingTime(sim::archA100(), s, cfg).total_s;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    prev = 0;
+    for (int bs : {1, 4, 16, 64}) {
+        attn::DecodeShape s;
+        s.batch = bs;
+        s.num_q_heads = 32;
+        s.num_kv_heads = 8;
+        s.seq_len = 8192;
+        const double t = core::bitDecodingTime(sim::archA100(), s, cfg).total_s;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(TimingProperties, MetadataOverheadShrinksWithGroupSize)
+{
+    attn::DecodeShape s;
+    s.batch = 4;
+    s.num_q_heads = 32;
+    s.num_kv_heads = 8;
+    s.seq_len = 16384;
+    quant::QuantConfig a, b;
+    a.group_size = 32;
+    b.group_size = 128;
+    EXPECT_GT(s.metadataBytes(a), s.metadataBytes(b));
+}
+
+// ------------------------------------------------- functional invariants ----
+
+TEST(FunctionalProperties, AttentionOutputInConvexHullOfValues)
+{
+    // Attention output is a convex combination of value rows; this must
+    // survive quantization, packing and the fused kernel path.
+    core::BitDecodingConfig cfg;
+    core::HeadDecoder dec(32, cfg);
+    Rng rng(314);
+    const int nr = dec.cache().residualBlockSize();
+    Tensor<Half> k({static_cast<std::size_t>(nr), 32});
+    Tensor<Half> v({static_cast<std::size_t>(nr), 32});
+    float vmin = 1e9f, vmax = -1e9f;
+    for (std::size_t i = 0; i < k.numel(); i++) {
+        k[i] = Half(rng.normal());
+        v[i] = Half(rng.normal());
+        vmin = std::min(vmin, v[i].toFloat());
+        vmax = std::max(vmax, v[i].toFloat());
+    }
+    dec.prefill(k, v);
+    Tensor<Half> q({4, 32});
+    for (std::size_t i = 0; i < q.numel(); i++)
+        q[i] = Half(rng.normal());
+    const auto res = dec.decodeStep(q, 0.18f);
+    // Quantization can stretch the hull by its error bound only.
+    const float slack = 0.5f;
+    for (std::size_t g = 0; g < 4; g++) {
+        for (std::size_t c = 0; c < 32; c++) {
+            EXPECT_GE(res.out.at(g, c), vmin - slack);
+            EXPECT_LE(res.out.at(g, c), vmax + slack);
+        }
+    }
+}
+
+TEST(FunctionalProperties, ScaleInvarianceOfArgmaxRetrieval)
+{
+    // Scaling all keys by a constant multiplies logits uniformly and must
+    // not change which token the (packed, quantized) attention retrieves.
+    const int d = 32;
+    Rng rng(271);
+    core::BitDecodingConfig cfg;
+    for (float key_scale : {0.5f, 1.0f, 2.0f}) {
+        core::HeadDecoder dec(d, cfg);
+        const int nr = dec.cache().residualBlockSize();
+        Tensor<Half> k({static_cast<std::size_t>(nr),
+                        static_cast<std::size_t>(d)});
+        Tensor<Half> v({static_cast<std::size_t>(nr),
+                        static_cast<std::size_t>(d)});
+        Rng local(99);
+        for (std::size_t i = 0; i < k.numel(); i++) {
+            k[i] = Half(local.normal() * key_scale);
+            v[i] = Half(local.normal());
+        }
+        // Plant a strong needle at token 7 matching the query direction.
+        Tensor<Half> q({1, static_cast<std::size_t>(d)});
+        for (int c = 0; c < d; c++) {
+            q.at(0, static_cast<std::size_t>(c)) = Half(1.0f);
+            k.at(7, static_cast<std::size_t>(c)) = Half(3.0f * key_scale);
+            v.at(7, static_cast<std::size_t>(c)) = Half(5.0f);
+        }
+        dec.prefill(k, v);
+        const auto res = dec.decodeStep(q, 2.0f / key_scale);
+        // Needle value dominates the output for any key scale.
+        EXPECT_GT(res.out.at(0, 0), 4.0f) << "key_scale=" << key_scale;
+    }
+    (void)rng;
+}
+
+// -------------------------------------------------- e2e model invariants ----
+
+TEST(ModelProperties, ThroughputMonotoneInBatchUntilOom)
+{
+    model::E2EConfig bd;
+    bd.system = model::SystemKind::BitDecoding;
+    double prev = 0;
+    for (int bs = 1; bs <= 32; bs *= 2) {
+        const auto r = model::decodeThroughput(
+            sim::archA100(), model::llama31_8b(), 8192, bs, bd);
+        if (r.oom)
+            break;
+        EXPECT_GT(r.tokens_per_s, prev);
+        prev = r.tokens_per_s;
+    }
+    EXPECT_GT(prev, 0);
+}
+
+TEST(ModelProperties, LongerContextNeverRaisesThroughput)
+{
+    model::E2EConfig bd;
+    bd.system = model::SystemKind::BitDecoding;
+    double prev = 1e18;
+    for (int len : {4096, 16384, 65536}) {
+        const auto r = model::decodeThroughput(
+            sim::archA100(), model::llama31_8b(), len, 4, bd);
+        ASSERT_FALSE(r.oom);
+        EXPECT_LT(r.tokens_per_s, prev);
+        prev = r.tokens_per_s;
+    }
+}
+
+TEST(ModelProperties, EveryModelRunsEverySystemAt4k)
+{
+    for (const auto* m :
+         {&model::llama2_7b(), &model::llama31_8b(), &model::qwen3_8b(),
+          &model::qwen3_14b()}) {
+        for (auto sys : {model::SystemKind::FlashDecodingFp16,
+                         model::SystemKind::Kivi, model::SystemKind::QServe,
+                         model::SystemKind::BitDecoding}) {
+            model::E2EConfig c;
+            c.system = sys;
+            const auto t =
+                model::decodeStepTime(sim::archA100(), *m, 4096, 1, c);
+            EXPECT_GT(t.total_s, 0) << m->name;
+            EXPECT_TRUE(std::isfinite(t.total_s)) << m->name;
+        }
+    }
+}
+
+} // namespace
+} // namespace bitdec
