@@ -1,0 +1,159 @@
+/**
+ * @file
+ * End-to-end serving comparison on the continuous-batching engine:
+ * FP16 FlashDecoding vs KIVI vs BitDecoding-4 under a Poisson trace of
+ * 32K-context requests on A100 / llama-3.1-8B.
+ *
+ * Two views:
+ *  1. Tail latency at a common offered load: TTFT, TPOT, p99 request
+ *     latency, sustained tokens/s and preemptions.
+ *  2. Saturation sweep: the highest Poisson arrival rate each system
+ *     sustains with p99 TTFT under the SLO. The low-bit cache's ~4x page
+ *     capacity shows up here as a strictly higher max rate than FP16,
+ *     because FP16 runs out of KV pages (queueing for admission) long
+ *     before the device runs out of FLOPs.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "gpusim/arch.h"
+#include "model/decode_sim.h"
+#include "model/model_config.h"
+#include "serving/engine.h"
+#include "serving/trace.h"
+
+using namespace bitdec;
+using namespace bitdec::serving;
+
+namespace {
+
+constexpr double kTtftSloS = 15.0; //!< p99 TTFT budget for "sustained"
+constexpr int kNumRequests = 24;
+constexpr std::uint64_t kTraceSeed = 2026;
+
+struct SystemUnderTest
+{
+    const char* label;
+    model::SystemKind system;
+    int bits;
+};
+
+const SystemUnderTest kSystems[] = {
+    {"FD-v2 (fp16)", model::SystemKind::FlashDecodingFp16, 16},
+    {"KIVI-4", model::SystemKind::Kivi, 4},
+    {"BitDecoding-4", model::SystemKind::BitDecoding, 4},
+};
+
+TraceConfig
+traceAt(double rate_qps)
+{
+    TraceConfig tc;
+    tc.seed = kTraceSeed;
+    tc.num_requests = kNumRequests;
+    tc.arrival_rate_qps = rate_qps;
+    tc.prompt_median = 32768; // the paper's 32K-context serving regime
+    tc.prompt_log_sigma = 0.08;
+    tc.prompt_min = 24576;
+    tc.prompt_max = 40960;
+    tc.output_median = 1024; // long generations keep sequences resident
+    tc.output_log_sigma = 0.3;
+    tc.output_min = 256;
+    tc.output_max = 2048;
+    return tc;
+}
+
+EngineConfig
+engineConfig(const SystemUnderTest& sut)
+{
+    EngineConfig cfg;
+    cfg.system = sut.system;
+    cfg.bits = sut.bits;
+    cfg.page_size = 64;
+    cfg.num_pages = 0; // derive from the A100 HBM budget
+    cfg.cache_head_dim = 4;
+    cfg.sched.max_batch = 64;
+    cfg.sched.prefill_chunk = 2048;
+    return cfg;
+}
+
+ServingMetrics
+runOnce(const SystemUnderTest& sut, double rate_qps)
+{
+    auto trace = generateTrace(traceAt(rate_qps));
+    Engine engine(sim::archA100(), model::llama31_8b(), engineConfig(sut));
+    return engine.run(trace);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Serving E2E: continuous batching, 32K context "
+                  "(A100, llama-3.1-8B)");
+    std::printf("Poisson arrivals, lognormal prompts (median 32K) and "
+                "outputs (median 1K),\n%d requests per run, seed %llu.\n",
+                kNumRequests,
+                static_cast<unsigned long long>(kTraceSeed));
+
+    // ------------------------------------------------ fixed offered load
+    const double base_rate = 0.20;
+    bench::section("Tail latency at 0.20 req/s offered load");
+    bench::head("system", {"pages", "ttft-p50", "ttft-p99", "tpot-ms",
+                           "p99-lat", "tok/s", "preempt"});
+    for (const auto& sut : kSystems) {
+        Engine probe(sim::archA100(), model::llama31_8b(),
+                     engineConfig(sut));
+        const ServingMetrics m = runOnce(sut, base_rate);
+        bench::row(sut.label,
+                   {static_cast<double>(probe.numPages()), m.ttft_p50_s,
+                    m.ttft_p99_s, m.tpot_mean_s * 1e3, m.latency_p99_s,
+                    m.sustained_tokens_per_s,
+                    static_cast<double>(m.preemptions)});
+    }
+
+    // ------------------------------------------------- saturation sweep
+    bench::section("Saturation sweep: p99 TTFT vs arrival rate "
+                   "(SLO 15 s; '-' = violated)");
+    const std::vector<double> rates = {0.02, 0.03, 0.04, 0.06, 0.08,
+                                       0.10, 0.12, 0.16, 0.20, 0.25};
+    std::vector<std::string> rate_cols;
+    for (double r : rates) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.2f", r);
+        rate_cols.push_back(buf);
+    }
+    bench::head("system", rate_cols);
+
+    std::vector<double> max_rate(std::size(kSystems), 0.0);
+    for (std::size_t i = 0; i < std::size(kSystems); i++) {
+        std::printf("%-28s", kSystems[i].label);
+        for (double r : rates) {
+            const ServingMetrics m = runOnce(kSystems[i], r);
+            if (m.ttft_p99_s <= kTtftSloS) {
+                std::printf("%10.1f", m.ttft_p99_s);
+                max_rate[i] = r;
+            } else {
+                std::printf("%10s", "-");
+            }
+        }
+        std::printf("\n");
+    }
+
+    bench::section("Max sustained arrival rate (req/s)");
+    for (std::size_t i = 0; i < std::size(kSystems); i++)
+        bench::row(kSystems[i].label, {max_rate[i]}, "%10.2f");
+
+    const double fp16 = max_rate[0], bitdec = max_rate[2];
+    if (bitdec > fp16)
+        std::printf("\nBitDecoding-4 sustains %.2f req/s vs %.2f for FP16 "
+                    "(%.1fx): the 4-bit page pool admits ~4x the "
+                    "concurrent 32K sequences.\n",
+                    bitdec, fp16, fp16 > 0 ? bitdec / fp16 : 0.0);
+    else
+        std::printf("\nWARNING: BitDecoding-4 did not beat FP16 "
+                    "(%.2f vs %.2f req/s)\n",
+                    bitdec, fp16);
+    return 0;
+}

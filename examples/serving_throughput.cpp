@@ -1,79 +1,105 @@
 /**
  * @file
- * Serving scenario: paged KV management across models and systems —
- * the workload of the paper's Fig. 13, exposed as an explorable tool.
- * Also demonstrates the functional paged cache allocator under load.
+ * Serving explorer on the continuous-batching engine (src/serving): runs a
+ * Poisson trace of long-context requests through FP16 FlashDecoding,
+ * QServe and BitDecoding-4 for several models and reports page capacity,
+ * tail latency and sustained throughput — the workload of the paper's
+ * Fig. 13 upgraded from a single max-batch probe to latency under load.
  */
-#include <algorithm>
 #include <cstdio>
 
-#include "common/rng.h"
 #include "gpusim/arch.h"
-#include "kvcache/paged_cache.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
+#include "serving/engine.h"
+#include "serving/trace.h"
 
 using namespace bitdec;
-using namespace bitdec::model;
+using namespace bitdec::serving;
+
+namespace {
+
+TraceConfig
+exampleTrace()
+{
+    TraceConfig tc;
+    tc.seed = 7;
+    tc.num_requests = 16;
+    tc.arrival_rate_qps = 0.10;
+    tc.prompt_median = 32768;
+    tc.prompt_log_sigma = 0.1;
+    tc.prompt_min = 16384;
+    tc.prompt_max = 49152;
+    tc.output_median = 512;
+    tc.output_log_sigma = 0.3;
+    tc.output_min = 128;
+    tc.output_max = 1024;
+    return tc;
+}
+
+} // namespace
 
 int
 main()
 {
-    std::printf("Paged serving throughput explorer (A100, 32K)\n");
-    std::printf("=============================================\n\n");
+    std::printf("Continuous-batching serving explorer (A100, 32K)\n");
+    std::printf("================================================\n");
+    std::printf("16 Poisson arrivals at 0.10 req/s, 32K prompts, "
+                "512-token outputs.\n\n");
     const auto& a100 = sim::archA100();
 
-    for (const auto* m : {&llama2_7b(), &llama31_8b(), &qwen3_8b()}) {
+    for (const auto* m : {&model::llama2_7b(), &model::llama31_8b(),
+                          &model::qwen3_8b()}) {
         std::printf("%s (%s):\n", m->name.c_str(),
                     m->isMha() ? "MHA" : "GQA");
-        std::printf("  %-18s %8s %10s %10s\n", "system", "batch", "tok/s",
-                    "ms/step");
-        for (auto [sys, name] :
-             {std::pair{SystemKind::FlashDecodingFp16, "FD-v2 (fp16)"},
-              std::pair{SystemKind::QServe, "QServe (int4)"},
-              std::pair{SystemKind::BitDecoding, "BitDecoding-4"}}) {
-            E2EConfig c;
-            c.system = sys;
-            c.bits = 4;
-            c.scenario = attn::Scenario::Pages;
-            const auto r = maxBatchThroughput(a100, *m, 32768, c);
-            if (r.oom)
-                std::printf("  %-18s %8s %10s %10s\n", name, "-", "OOM", "-");
-            else
-                std::printf("  %-18s %8d %10.1f %10.2f\n", name, r.batch,
-                            r.tokens_per_s, r.step_latency_s * 1e3);
+        std::printf("  %-18s %8s %10s %10s %10s %10s %9s\n", "system",
+                    "pages", "ttft-p50", "ttft-p99", "p99-lat", "tok/s",
+                    "preempt");
+        struct Sut
+        {
+            model::SystemKind sys;
+            int bits;
+            const char* name;
+        };
+        for (const Sut& s :
+             {Sut{model::SystemKind::FlashDecodingFp16, 16, "FD-v2 (fp16)"},
+              Sut{model::SystemKind::QServe, 4, "QServe (int4)"},
+              Sut{model::SystemKind::BitDecoding, 4, "BitDecoding-4"}}) {
+            EngineConfig cfg;
+            cfg.system = s.sys;
+            cfg.bits = s.bits;
+            cfg.page_size = 64;
+            cfg.cache_head_dim = 4;
+            cfg.sched.max_batch = 64;
+            cfg.sched.prefill_chunk = 2048;
+
+            auto trace = generateTrace(exampleTrace());
+            Engine engine(a100, *m, cfg);
+            const ServingMetrics r = engine.run(trace);
+            std::printf("  %-18s %8d %10.2f %10.2f %10.2f %10.1f %9d\n",
+                        s.name, engine.numPages(), r.ttft_p50_s, r.ttft_p99_s,
+                        r.latency_p99_s, r.sustained_tokens_per_s,
+                        r.preemptions);
         }
         std::printf("\n");
     }
 
-    // Functional paged allocator under a mixed arrival/eviction workload.
-    std::printf("Functional paged-cache demo (page=16 tokens, pool=64):\n");
-    kv::PagedHeadCache cache(32, 16, 64);
-    Rng rng(11);
-    std::vector<int> seqs;
-    int admitted = 0, rejected = 0;
-    for (int event = 0; event < 200; event++) {
-        if (seqs.empty() || rng.uniform() < 0.3) {
-            seqs.push_back(cache.addSequence());
-            admitted++;
-        }
-        const int s = seqs[static_cast<std::size_t>(
-            rng.uniformInt(seqs.size()))];
-        std::vector<Half> k(32), v(32);
-        for (int c = 0; c < 32; c++)
-            k[static_cast<std::size_t>(c)] = Half(rng.normal());
-        if (!cache.append(s, k, v)) {
-            // Pool exhausted: evict the longest sequence (simple policy).
-            int victim = seqs[0];
-            for (int cand : seqs)
-                if (cache.length(cand) > cache.length(victim))
-                    victim = cand;
-            cache.removeSequence(victim);
-            seqs.erase(std::find(seqs.begin(), seqs.end(), victim));
-            rejected++;
-        }
-    }
-    std::printf("  %d sequences admitted, %d evictions, %d pages free\n",
-                admitted, rejected, cache.freePages());
+    // The fixed smoke trace through a deliberately tiny pool: watch the
+    // scheduler preempt-and-recompute instead of dropping requests.
+    std::printf("Preemption demo (smoke trace, 28-page pool):\n");
+    EngineConfig tiny;
+    tiny.page_size = 8;
+    tiny.num_pages = 28;
+    tiny.cache_head_dim = 4;
+    tiny.sched.max_batch = 8;
+    tiny.sched.prefill_chunk = 16;
+    auto smoke = smokeTrace();
+    Engine engine(a100, model::llama2_7b(), tiny);
+    const ServingMetrics m = engine.run(smoke);
+    std::printf("  %d/%zu finished, %d preemptions, peak pool use %.0f%%, "
+                "digest %016llx\n",
+                m.num_requests, smoke.size(), m.preemptions,
+                100.0 * m.peak_page_utilization,
+                static_cast<unsigned long long>(m.outputs_digest));
     return 0;
 }

@@ -89,7 +89,7 @@ flashDecodingTime(const sim::GpuArch& arch, const DecodeShape& shape,
         // (~35% sustained-throughput loss, Section III-A).
         main.dram_derate = 1.35;
     }
-    if (shape.scenario == Scenario::Pages) {
+    if (isPaged(shape.scenario)) {
         // Page-table indirection costs one extra pointer load per page.
         const double pages = 2.0 * shape.batch * shape.num_kv_heads *
                              (static_cast<double>(shape.seq_len) /

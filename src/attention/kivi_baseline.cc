@@ -16,7 +16,7 @@ kiviAttention(const Tensor<Half>& q, const quant::QuantizedMatrix& kq,
 sim::SequenceTiming
 kiviTime(const sim::GpuArch& arch, const DecodeShape& shape, int bits)
 {
-    BITDEC_ASSERT(shape.scenario != Scenario::Pages,
+    BITDEC_ASSERT(!isPaged(shape.scenario),
                   "KIVI has no paged-cache support");
     quant::QuantConfig qc;
     qc.bits = bits;

@@ -112,7 +112,7 @@ cudaCoreFusedTime(const sim::GpuArch& arch, const DecodeShape& shape,
     k.overlappable_cuda_fraction = 0.55;
     k.pipeline_fill_overhead = 0.04;
 
-    if (shape.scenario == Scenario::Pages) {
+    if (isPaged(shape.scenario)) {
         const double pages = 2.0 * shape.batch * shape.num_kv_heads *
                              (static_cast<double>(shape.seq_len) /
                               shape.page_size);

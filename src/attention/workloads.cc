@@ -17,6 +17,8 @@ toString(Scenario s)
         return "Batches";
       case Scenario::Pages:
         return "Pages";
+      case Scenario::Serving:
+        return "Serving";
     }
     return "unknown";
 }

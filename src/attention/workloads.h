@@ -18,10 +18,18 @@ enum class Scenario
     Single,  //!< batch 1, long context
     Batches, //!< larger batch, padded contiguous caches
     Pages,   //!< paged KV management (vLLM-style)
+    Serving, //!< continuous batching on paged KV (src/serving engine)
 };
 
 /** Returns a printable scenario name. */
 const char* toString(Scenario s);
+
+/** True for scenarios whose kernels traverse a page table. */
+inline bool
+isPaged(Scenario s)
+{
+    return s == Scenario::Pages || s == Scenario::Serving;
+}
 
 /** Shape of one decode-attention call (one layer, one step, full batch). */
 struct DecodeShape

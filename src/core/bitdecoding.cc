@@ -115,7 +115,7 @@ packingKernelWorkload(const sim::GpuArch& arch, const attn::DecodeShape& shape,
         // lose more sustained throughput than plain FP16 ones.
         wl.dram_derate = 1.5;
     }
-    if (shape.scenario == attn::Scenario::Pages) {
+    if (attn::isPaged(shape.scenario)) {
         const double pages = 2.0 * shape.batch * shape.num_kv_heads *
                              (static_cast<double>(shape.seq_len) /
                               shape.page_size);

@@ -111,11 +111,60 @@ PagedHeadCache::pageTable(int seq) const
     return seqs_.at(static_cast<std::size_t>(seq)).pages;
 }
 
+std::vector<Half>
+PagedHeadCache::tokenKey(int seq, int t) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    BITDEC_ASSERT(t >= 0 && t < s.len, "token index out of range");
+    const std::size_t page = static_cast<std::size_t>(
+        s.pages[static_cast<std::size_t>(t / page_size_)]);
+    const std::size_t slot = static_cast<std::size_t>(t % page_size_);
+    std::vector<Half> key(static_cast<std::size_t>(head_dim_));
+    for (int d = 0; d < head_dim_; d++)
+        key[static_cast<std::size_t>(d)] =
+            k_pool_.at(page, slot, static_cast<std::size_t>(d));
+    return key;
+}
+
+int
+PagedHeadCache::pagesFor(int tokens) const
+{
+    return (tokens + page_size_ - 1) / page_size_;
+}
+
+bool
+PagedHeadCache::hasHeadroom(int current_len, int extra_tokens) const
+{
+    const int needed =
+        pagesFor(current_len + extra_tokens) - pagesFor(current_len);
+    return allocator_.freePages() >= needed;
+}
+
+std::vector<int>
+PagedHeadCache::liveSequences() const
+{
+    std::vector<int> live;
+    for (std::size_t i = 0; i < seqs_.size(); i++)
+        if (seqs_[i].live)
+            live.push_back(static_cast<int>(i));
+    return live;
+}
+
+int
+PagedHeadCache::numLive() const
+{
+    int n = 0;
+    for (const auto& s : seqs_)
+        n += s.live ? 1 : 0;
+    return n;
+}
+
 Tensor<Half>
 PagedHeadCache::gatherKeys(int seq) const
 {
     const auto& s = seqs_.at(static_cast<std::size_t>(seq));
-    Tensor<Half> out({static_cast<std::size_t>(std::max(s.len, 1)),
+    Tensor<Half> out({static_cast<std::size_t>(s.len),
                       static_cast<std::size_t>(head_dim_)});
     for (int t = 0; t < s.len; t++) {
         const std::size_t page =
@@ -134,7 +183,7 @@ Tensor<Half>
 PagedHeadCache::gatherValues(int seq) const
 {
     const auto& s = seqs_.at(static_cast<std::size_t>(seq));
-    Tensor<Half> out({static_cast<std::size_t>(std::max(s.len, 1)),
+    Tensor<Half> out({static_cast<std::size_t>(s.len),
                       static_cast<std::size_t>(head_dim_)});
     for (int t = 0; t < s.len; t++) {
         const std::size_t page =

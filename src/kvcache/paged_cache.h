@@ -77,17 +77,43 @@ class PagedHeadCache
     /** Physical page list of a sequence (logical order). */
     const std::vector<int>& pageTable(int seq) const;
 
-    /** Gathers a sequence's keys into a contiguous [len x d] matrix. */
+    /**
+     * Gathers a sequence's keys into a contiguous [len x d] matrix.
+     * An empty sequence yields a [0 x d] tensor (numel() == 0).
+     */
     Tensor<Half> gatherKeys(int seq) const;
 
-    /** Gathers a sequence's values. */
+    /** Gathers a sequence's values; [0 x d] for an empty sequence. */
     Tensor<Half> gatherValues(int seq) const;
+
+    /** Reads the key vector of one stored token (0 <= t < length(seq)). */
+    std::vector<Half> tokenKey(int seq, int t) const;
 
     /** Tokens per page. */
     int pageSize() const { return page_size_; }
 
     /** Pages still free in the pool. */
     int freePages() const { return allocator_.freePages(); }
+
+    /** Total physical pages in the pool. */
+    int totalPages() const { return allocator_.totalPages(); }
+
+    /** Pages required to hold @p tokens tokens (ceiling). */
+    int pagesFor(int tokens) const;
+
+    /**
+     * True when the free pool can absorb @p extra_tokens more tokens for a
+     * sequence currently @p current_len tokens long (partial last pages
+     * already allocated are accounted for). Convenience for callers growing
+     * one sequence; batch planners aggregate pagesFor() deltas directly.
+     */
+    bool hasHeadroom(int current_len, int extra_tokens) const;
+
+    /** Ids of all live sequences, in ascending id order. */
+    std::vector<int> liveSequences() const;
+
+    /** Number of live sequences. */
+    int numLive() const;
 
   private:
     struct Sequence

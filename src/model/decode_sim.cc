@@ -39,6 +39,7 @@ layerShape(const ModelConfig& model, int seq_len, int batch,
     s.head_dim = model.head_dim;
     s.seq_len = seq_len;
     s.scenario = cfg.scenario;
+    s.page_size = cfg.page_size;
     return s;
 }
 
@@ -68,7 +69,7 @@ decodeStepTime(const sim::GpuArch& arch, const ModelConfig& model, int seq_len,
         break;
       case SystemKind::Kivi: {
         attn::DecodeShape s = shape;
-        if (s.scenario == attn::Scenario::Pages)
+        if (attn::isPaged(s.scenario))
             s.scenario = attn::Scenario::Batches; // KIVI has no paging
         attn_t = attn::kiviTime(arch, s, cfg.bits);
         break;
@@ -111,13 +112,22 @@ decodeStepTime(const sim::GpuArch& arch, const ModelConfig& model, int seq_len,
 }
 
 double
-peakMemoryBytes(const ModelConfig& model, int seq_len, int batch,
-                const E2EConfig& cfg)
+nonKvMemoryBytes(const ModelConfig& model, int batch, const E2EConfig& cfg)
 {
     const double weights =
         model.weightBytesFp16() / cfg.tensor_parallel *
         (cfg.system == SystemKind::QServe ? 0.25 : 1.0);
+    // Activations, allocator slack and framework overhead.
+    const double activations =
+        2.0 * batch * (model.hidden + model.intermediate) * model.layers * 2.0;
+    const double overhead = 1.5e9;
+    return weights + activations + overhead;
+}
 
+double
+peakMemoryBytes(const ModelConfig& model, int seq_len, int batch,
+                const E2EConfig& cfg)
+{
     double kv = model.kvBytesFp16(seq_len) * batch / cfg.tensor_parallel;
     if (cfg.system != SystemKind::FlashDecodingFp16)
         kv *= static_cast<double>(cfg.bits) / 16.0;
@@ -128,11 +138,7 @@ peakMemoryBytes(const ModelConfig& model, int seq_len, int batch,
         workspace = attn::kiviWorkspaceBytes(shape, model.layers);
     }
 
-    // Activations, allocator slack and framework overhead.
-    const double activations =
-        2.0 * batch * (model.hidden + model.intermediate) * model.layers * 2.0;
-    const double overhead = 1.5e9;
-    return weights + kv + workspace + activations + overhead;
+    return nonKvMemoryBytes(model, batch, cfg) + kv + workspace;
 }
 
 ThroughputResult

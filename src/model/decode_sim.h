@@ -33,6 +33,7 @@ struct E2EConfig
     quant::Granularity key_granularity = quant::Granularity::ChannelWise;
     int tensor_parallel = 1;    //!< GPUs sharding the model
     attn::Scenario scenario = attn::Scenario::Batches;
+    int page_size = 64;         //!< tokens per KV page in paged scenarios
 };
 
 /** Per-token decode-step timing breakdown. */
@@ -47,6 +48,15 @@ struct StepTiming
 /** Computes one decode step's latency for a full batch. */
 StepTiming decodeStepTime(const sim::GpuArch& arch, const ModelConfig& model,
                           int seq_len, int batch, const E2EConfig& cfg);
+
+/**
+ * Device bytes everything except the KV cache and per-shape workspaces
+ * occupies (per GPU): weights, activation high-water mark at @p batch, and
+ * allocator/framework overhead. peakMemoryBytes() and the serving page-pool
+ * sizing share this budget model.
+ */
+double nonKvMemoryBytes(const ModelConfig& model, int batch,
+                        const E2EConfig& cfg);
 
 /**
  * Peak device memory of a run (per GPU): weights + KV cache + transient

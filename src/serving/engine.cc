@@ -1,0 +1,231 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bitdec::serving {
+
+namespace {
+
+/** Half in [-1, 1) derived from 8 bits of a token seed. */
+Half
+seedHalf(std::uint64_t seed, int lane)
+{
+    const auto byte = static_cast<double>((seed >> (8 * (lane % 8))) & 0xFF);
+    return Half(static_cast<float>(byte / 128.0 - 1.0));
+}
+
+/** FNV-1a fold of a key row's bit patterns. */
+std::uint64_t
+hashKeyRow(const std::vector<Half>& row)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const Half& x : row) {
+        h ^= x.bits();
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+int
+Engine::derivePoolPages(const sim::GpuArch& arch,
+                        const model::ModelConfig& model,
+                        const EngineConfig& cfg)
+{
+    model::E2EConfig e2e;
+    e2e.system = cfg.system;
+    e2e.bits = cfg.bits;
+    const double budget =
+        arch.hbm_gb * 1e9 -
+        model::nonKvMemoryBytes(model, cfg.sched.max_batch, e2e);
+    BITDEC_ASSERT(budget > 0, "model does not fit on ", arch.name);
+
+    double bytes_per_token = model.kvBytesFp16(1);
+    if (cfg.system != model::SystemKind::FlashDecodingFp16)
+        bytes_per_token *= static_cast<double>(cfg.bits) / 16.0;
+    const double tokens = budget / bytes_per_token;
+    return std::max(1, static_cast<int>(tokens) / cfg.page_size);
+}
+
+Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
+               const EngineConfig& cfg)
+    : arch_(arch),
+      model_(model),
+      cfg_(cfg),
+      cache_(cfg.cache_head_dim, cfg.page_size,
+             cfg.num_pages > 0 ? cfg.num_pages
+                               : derivePoolPages(arch, model, cfg)),
+      sched_(cfg.sched)
+{
+    e2e_.system = cfg_.system;
+    e2e_.bits = cfg_.bits;
+    e2e_.scenario = attn::Scenario::Serving;
+    e2e_.page_size = cfg_.page_size;
+}
+
+void
+Engine::appendToken(Request& r, int pos)
+{
+    const std::uint64_t seed = tokenSeed(r.id, pos);
+    std::vector<Half> k(static_cast<std::size_t>(cfg_.cache_head_dim));
+    std::vector<Half> v(static_cast<std::size_t>(cfg_.cache_head_dim));
+    for (int d = 0; d < cfg_.cache_head_dim; d++) {
+        k[static_cast<std::size_t>(d)] = seedHalf(seed, d);
+        v[static_cast<std::size_t>(d)] = seedHalf(~seed, d);
+    }
+    const bool ok = cache_.append(r.seq, k, v);
+    BITDEC_ASSERT(ok, "append OOM after headroom planning");
+}
+
+double
+Engine::stepLatency(int decode_batch, long decode_len_sum,
+                    int prefill_tokens) const
+{
+    double t = 0;
+    if (decode_batch > 0) {
+        const int mean_len = static_cast<int>(
+            decode_len_sum / decode_batch);
+        t += model::decodeStepTime(arch_, model_, std::max(1, mean_len),
+                                   decode_batch, e2e_)
+                 .total_s;
+    }
+    if (prefill_tokens > 0) {
+        // Compute-bound prefill: ~2 FLOPs per parameter per token.
+        t += prefill_tokens * 2.0 * model_.params / arch_.tcFlops(16);
+    }
+    // A tick never takes less than one kernel launch.
+    return std::max(t, arch_.launch_overhead_us * 1e-6);
+}
+
+ServingMetrics
+Engine::run(std::vector<Request>& requests)
+{
+    BITDEC_ASSERT(!requests.empty(), "empty trace");
+    for (const Request& r : requests) {
+        if (r.prompt_tokens < 1 || r.output_tokens < 1)
+            BITDEC_FATAL("request ", r.id, " needs a non-empty prompt and "
+                         "output budget (got ", r.prompt_tokens, "/",
+                         r.output_tokens, ")");
+        if (cache_.pagesFor(r.prompt_tokens + r.output_tokens) +
+                cfg_.sched.reserve_pages >
+            cache_.totalPages())
+            BITDEC_FATAL("request ", r.id, " (", r.prompt_tokens, "+",
+                         r.output_tokens,
+                         " tokens) can never fit the page pool of ",
+                         cache_.totalPages(), " pages");
+    }
+
+    std::vector<Request*> order;
+    order.reserve(requests.size());
+    for (Request& r : requests)
+        order.push_back(&r);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Request* a, const Request* b) {
+                         return a->arrival_s < b->arrival_s;
+                     });
+
+    MetricsCollector mc;
+    const double first_arrival = order.front()->arrival_s;
+    const int n = static_cast<int>(order.size());
+    std::size_t next_arrival = 0;
+    int finished = 0;
+    double clock = first_arrival;
+
+    while (finished < n) {
+        while (next_arrival < order.size() &&
+               order[next_arrival]->arrival_s <= clock)
+            sched_.enqueue(order[next_arrival++]);
+        sched_.admit(cache_);
+
+        if (sched_.running().empty()) {
+            BITDEC_ASSERT(next_arrival < order.size(),
+                          "scheduler stalled with work pending");
+            clock = std::max(clock, order[next_arrival]->arrival_s);
+            continue;
+        }
+
+        // Plan this tick's appends; preempt (newest first) until they fit.
+        for (;;) {
+            int pages_needed = 0;
+            for (const Request* r : sched_.running()) {
+                const int len = cache_.length(r->seq);
+                const int append =
+                    r->state == RequestState::Prefill
+                        ? std::min(cfg_.sched.prefill_chunk,
+                                   r->prefillTarget() - r->prefilled)
+                        : 1;
+                pages_needed += cache_.pagesFor(len + append) -
+                                cache_.pagesFor(len);
+            }
+            if (pages_needed <= cache_.freePages())
+                break;
+            Request* victim = sched_.preemptVictim();
+            BITDEC_ASSERT(victim != nullptr && sched_.running().size() > 1,
+                          "single running request exceeded the pool");
+            sched_.preempt(victim, cache_);
+        }
+
+        // Execute the appends.
+        int decode_batch = 0;
+        int prefill_tokens = 0;
+        long decode_len_sum = 0;
+        const std::vector<Request*> batch = sched_.running();
+        for (Request* r : batch) {
+            if (r->state == RequestState::Prefill) {
+                const int chunk = std::min(
+                    cfg_.sched.prefill_chunk,
+                    r->prefillTarget() - r->prefilled);
+                for (int i = 0; i < chunk; i++)
+                    appendToken(*r, r->prefilled + i);
+                r->prefilled += chunk;
+                prefill_tokens += chunk;
+                if (r->prefilled == r->prefillTarget())
+                    r->state = RequestState::Decode;
+            } else {
+                const int pos = r->prompt_tokens + r->generated;
+                appendToken(*r, pos);
+                // Fold the previously cached key row into the output: the
+                // digest then certifies that preempt-and-recompute restored
+                // the exact cache content, not just the right lengths.
+                const std::uint64_t ctx =
+                    hashKeyRow(cache_.tokenKey(r->seq, pos - 1));
+                r->output_hash =
+                    r->output_hash * 0x100000001B3ull ^
+                    (tokenSeed(r->id, pos) ^ ctx);
+                r->generated++;
+                decode_batch++;
+                decode_len_sum += pos + 1;
+            }
+        }
+
+        const double step_s =
+            stepLatency(decode_batch, decode_len_sum, prefill_tokens);
+        clock += step_s;
+        BITDEC_ASSERT(clock < cfg_.max_clock_s,
+                      "virtual clock exceeded max_clock_s");
+
+        for (Request* r : batch) {
+            if (r->state != RequestState::Decode)
+                continue;
+            if (r->first_token_s < 0 && r->generated > 0)
+                r->first_token_s = clock;
+            if (r->generated == r->output_tokens) {
+                r->finish_s = clock;
+                sched_.finish(r, cache_);
+                mc.onFinish(*r);
+                finished++;
+            }
+        }
+        mc.onStep(step_s, decode_batch,
+                  cache_.totalPages() - cache_.freePages(),
+                  cache_.totalPages());
+    }
+
+    return mc.finalize(clock - first_arrival, sched_.preemptionCount());
+}
+
+} // namespace bitdec::serving

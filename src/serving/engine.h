@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Continuous-batching serving engine on a virtual clock.
+ *
+ * Each tick the engine admits arrived requests (FCFS), appends tokens into
+ * the functional paged KV cache — chunked prefill for PREFILL requests, one
+ * token per DECODE request — and advances the clock by the step latency the
+ * analytical model charges for the configured system (FP16 FlashDecoding,
+ * KIVI, QServe or BitDecoding). Page-pool exhaustion mid-step triggers
+ * preempt-and-recompute via the scheduler; no request is ever dropped.
+ *
+ * Two concerns are deliberately decoupled:
+ *  - Capacity is modeled in page *counts*: the pool size is derived from
+ *    the device HBM budget and the system's KV bytes per token, so a 4-bit
+ *    cache gets ~4x the pages of FP16 for the same device.
+ *  - Content is modeled in a narrow functional cache (cache_head_dim wide,
+ *    one representative head) so token data stays cheap to store while
+ *    preemption/resume correctness remains observable: every decode token
+ *    folds the previously cached key row into the request's output hash.
+ */
+#ifndef BITDEC_SERVING_ENGINE_H
+#define BITDEC_SERVING_ENGINE_H
+
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "kvcache/paged_cache.h"
+#include "model/decode_sim.h"
+#include "model/model_config.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "serving/scheduler.h"
+
+namespace bitdec::serving {
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    model::SystemKind system = model::SystemKind::BitDecoding;
+    int bits = 4; //!< KV bit width for low-bit systems
+
+    SchedulerConfig sched;
+
+    int page_size = 64;     //!< tokens per KV page
+    int num_pages = 0;      //!< pool size; 0 derives it from device HBM
+    int cache_head_dim = 8; //!< functional cache width (content modeling)
+
+    double max_clock_s = 1e6; //!< safety stop for runaway configurations
+};
+
+/** Continuous-batching serving engine. */
+class Engine
+{
+  public:
+    Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
+           const EngineConfig& cfg);
+
+    /**
+     * Runs @p requests to completion and returns the run's metrics.
+     * Requests are mutated in place (timestamps, hashes, final states), so
+     * callers can inspect per-request results afterwards. Every request
+     * must individually fit the page pool; traces that cannot ever finish
+     * are a fatal configuration error.
+     */
+    ServingMetrics run(std::vector<Request>& requests);
+
+    /** Page-pool size the engine operates with. */
+    int numPages() const { return cache_.totalPages(); }
+
+    /**
+     * Pool pages a device budget affords: HBM minus weights, activations
+     * and allocator overhead, divided by the system's per-page KV bytes
+     * (all layers and KV heads). This is where a low-bit cache turns into
+     * serving capacity.
+     */
+    static int derivePoolPages(const sim::GpuArch& arch,
+                               const model::ModelConfig& model,
+                               const EngineConfig& cfg);
+
+  private:
+    /** Writes token @p pos of request @p r into the cache (OOM is a bug:
+     *  the step planner must have ensured headroom). */
+    void appendToken(Request& r, int pos);
+
+    /** Step latency charged for this tick's decode batch and prefill. */
+    double stepLatency(int decode_batch, long decode_len_sum,
+                       int prefill_tokens) const;
+
+    const sim::GpuArch& arch_;
+    const model::ModelConfig& model_;
+    EngineConfig cfg_;
+    model::E2EConfig e2e_;
+    kv::PagedHeadCache cache_;
+    Scheduler sched_;
+};
+
+} // namespace bitdec::serving
+
+#endif // BITDEC_SERVING_ENGINE_H

@@ -1,0 +1,95 @@
+#include "serving/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bitdec::serving {
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0;
+    BITDEC_ASSERT(p >= 0 && p <= 100, "percentile out of range");
+    std::sort(xs.begin(), xs.end());
+    const auto n = static_cast<double>(xs.size());
+    const auto rank = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(p / 100.0 * n) - 1.0));
+    return xs[std::min(rank, xs.size() - 1)];
+}
+
+void
+MetricsCollector::onStep(double step_s, int decode_batch, int used_pages,
+                         int total_pages)
+{
+    BITDEC_ASSERT(step_s >= 0, "negative step time");
+    const double util =
+        total_pages > 0 ? static_cast<double>(used_pages) / total_pages : 0;
+    step_time_sum_ += step_s;
+    decode_batch_weighted_ += step_s * decode_batch;
+    page_util_weighted_ += step_s * util;
+    peak_page_util_ = std::max(peak_page_util_, util);
+}
+
+void
+MetricsCollector::onFinish(const Request& r)
+{
+    BITDEC_ASSERT(r.state == RequestState::Finished,
+                  "onFinish expects a FINISHED request");
+    ttft_.push_back(r.first_token_s - r.arrival_s);
+    if (r.output_tokens > 1)
+        tpot_.push_back((r.finish_s - r.first_token_s) /
+                        (r.output_tokens - 1));
+    latency_.push_back(r.latency());
+    generated_tokens_ += r.output_tokens;
+    // Commutative fold: the digest depends on every request's token
+    // content but not on completion order, so runs that preempt (small
+    // pool) and runs that never do (large pool) must agree.
+    outputs_digest_ ^= r.output_hash;
+}
+
+ServingMetrics
+MetricsCollector::finalize(double makespan_s, int preemptions) const
+{
+    ServingMetrics m;
+    m.num_requests = static_cast<int>(latency_.size());
+    m.preemptions = preemptions;
+    m.makespan_s = makespan_s;
+    if (makespan_s > 0) {
+        m.sustained_tokens_per_s = generated_tokens_ / makespan_s;
+        m.sustained_qps = m.num_requests / makespan_s;
+    }
+
+    const auto mean = [](const std::vector<double>& xs) {
+        if (xs.empty())
+            return 0.0;
+        double s = 0;
+        for (double x : xs)
+            s += x;
+        return s / static_cast<double>(xs.size());
+    };
+
+    m.ttft_mean_s = mean(ttft_);
+    m.ttft_p50_s = percentile(ttft_, 50);
+    m.ttft_p95_s = percentile(ttft_, 95);
+    m.ttft_p99_s = percentile(ttft_, 99);
+
+    m.tpot_mean_s = mean(tpot_);
+
+    m.latency_mean_s = mean(latency_);
+    m.latency_p50_s = percentile(latency_, 50);
+    m.latency_p95_s = percentile(latency_, 95);
+    m.latency_p99_s = percentile(latency_, 99);
+
+    if (step_time_sum_ > 0) {
+        m.avg_decode_batch = decode_batch_weighted_ / step_time_sum_;
+        m.avg_page_utilization = page_util_weighted_ / step_time_sum_;
+    }
+    m.peak_page_utilization = peak_page_util_;
+    m.outputs_digest = outputs_digest_;
+    return m;
+}
+
+} // namespace bitdec::serving

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Serving-quality metrics: TTFT, TPOT, request-latency percentiles,
+ * sustained throughput, page-pool utilization and preemption counts.
+ *
+ * The collector ingests one sample per engine step plus one record per
+ * finished request and folds them into a ServingMetrics summary at the end
+ * of a run.
+ */
+#ifndef BITDEC_SERVING_METRICS_H
+#define BITDEC_SERVING_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace bitdec::serving {
+
+/** Summary of one serving run. */
+struct ServingMetrics
+{
+    int num_requests = 0;  //!< requests that finished
+    int preemptions = 0;   //!< total preempt-and-recompute events
+    double makespan_s = 0; //!< first arrival to last completion
+
+    double sustained_tokens_per_s = 0; //!< generated tokens / makespan
+    double sustained_qps = 0;          //!< finished requests / makespan
+
+    double ttft_mean_s = 0; //!< time to first output token
+    double ttft_p50_s = 0;
+    double ttft_p95_s = 0;
+    double ttft_p99_s = 0;
+
+    double tpot_mean_s = 0; //!< time per output token after the first
+
+    double latency_mean_s = 0; //!< arrival -> completion
+    double latency_p50_s = 0;
+    double latency_p95_s = 0;
+    double latency_p99_s = 0;
+
+    double avg_decode_batch = 0;       //!< mean decoding requests per step
+    double avg_page_utilization = 0;   //!< mean fraction of pool in use
+    double peak_page_utilization = 0;  //!< max fraction of pool in use
+
+    /** Commutative fold of every request's output hash (determinism). */
+    std::uint64_t outputs_digest = 0;
+};
+
+/**
+ * Nearest-rank percentile of @p xs for @p p in [0, 100]; 0 when empty.
+ * The input is copied and sorted internally.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Accumulates per-step and per-request observations during a run. */
+class MetricsCollector
+{
+  public:
+    /**
+     * Records one engine step.
+     * @param step_s       virtual time the step consumed
+     * @param decode_batch requests that produced a token this step
+     * @param used_pages   pool pages allocated after the step
+     * @param total_pages  pool size
+     */
+    void onStep(double step_s, int decode_batch, int used_pages,
+                int total_pages);
+
+    /** Records a finished request (state must be FINISHED). */
+    void onFinish(const Request& r);
+
+    /**
+     * Produces the summary.
+     * @param makespan_s  first arrival to last completion
+     * @param preemptions total preemptions the scheduler performed
+     */
+    ServingMetrics finalize(double makespan_s, int preemptions) const;
+
+  private:
+    std::vector<double> ttft_;
+    std::vector<double> tpot_;
+    std::vector<double> latency_;
+    std::uint64_t outputs_digest_ = 0;
+    long generated_tokens_ = 0;
+
+    double step_time_sum_ = 0;
+    double decode_batch_weighted_ = 0; //!< time-weighted decode batch
+    double page_util_weighted_ = 0;    //!< time-weighted pool utilization
+    double peak_page_util_ = 0;
+};
+
+} // namespace bitdec::serving
+
+#endif // BITDEC_SERVING_METRICS_H

@@ -1,0 +1,48 @@
+#include "serving/request.h"
+
+namespace bitdec::serving {
+
+const char*
+toString(RequestState state)
+{
+    switch (state) {
+      case RequestState::Queued:
+        return "QUEUED";
+      case RequestState::Prefill:
+        return "PREFILL";
+      case RequestState::Decode:
+        return "DECODE";
+      case RequestState::Preempted:
+        return "PREEMPTED";
+      case RequestState::Finished:
+        return "FINISHED";
+    }
+    return "unknown";
+}
+
+int
+Request::cachedTokens() const
+{
+    switch (state) {
+      case RequestState::Prefill:
+        return prefilled;
+      case RequestState::Decode:
+        return prefillTarget();
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+tokenSeed(int request_id, int token_index)
+{
+    // splitmix64 finalizer over the (request, token) pair.
+    std::uint64_t z = (static_cast<std::uint64_t>(request_id) << 32) ^
+                      static_cast<std::uint64_t>(token_index);
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace bitdec::serving

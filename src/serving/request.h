@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Request lifecycle for the continuous-batching serving engine.
+ *
+ * A request arrives at a (virtual) wall-clock time with a prompt budget and
+ * an output budget, moves QUEUED -> PREFILL -> DECODE -> FINISHED, and may
+ * bounce through PREEMPTED when the page pool runs dry. Preemption uses the
+ * recompute policy: the sequence's pages are dropped and, on resume, the
+ * prompt plus every token generated so far is prefilled again.
+ */
+#ifndef BITDEC_SERVING_REQUEST_H
+#define BITDEC_SERVING_REQUEST_H
+
+#include <cstdint>
+
+namespace bitdec::serving {
+
+/** Lifecycle state of one request. */
+enum class RequestState
+{
+    Queued,    //!< arrived, waiting for admission
+    Prefill,   //!< admitted, prompt tokens entering the KV cache
+    Decode,    //!< generating output tokens, one per engine step
+    Preempted, //!< pages reclaimed under memory pressure; awaiting resume
+    Finished,  //!< output budget met; sequence freed
+};
+
+/** Returns a printable state name. */
+const char* toString(RequestState state);
+
+/** One inference request flowing through the engine. */
+struct Request
+{
+    int id = 0;            //!< dense id, also the seed of its token stream
+    double arrival_s = 0;  //!< virtual-clock arrival time
+    int prompt_tokens = 0; //!< prompt length
+    int output_tokens = 0; //!< output budget (decode steps to run)
+
+    // --- runtime state, owned by the scheduler/engine ---
+    RequestState state = RequestState::Queued;
+    int seq = -1;          //!< PagedHeadCache sequence id; -1 when none
+    int prefilled = 0;     //!< tokens of the current prefill target in cache
+    int generated = 0;     //!< output tokens produced so far
+    int preemptions = 0;   //!< times this request lost its pages
+
+    double first_token_s = -1; //!< when the first output token appeared
+    double finish_s = -1;      //!< when the output budget was met
+    std::uint64_t output_hash = 0; //!< checksum of the generated KV stream
+
+    /**
+     * Tokens the current prefill phase must load: the prompt plus, after a
+     * preemption, every output token already generated (recompute policy).
+     */
+    int prefillTarget() const { return prompt_tokens + generated; }
+
+    /** Tokens this request holds in the cache right now. */
+    int cachedTokens() const;
+
+    /** True once the request needs no further engine work. */
+    bool done() const { return state == RequestState::Finished; }
+
+    /** End-to-end latency; only valid when done(). */
+    double latency() const { return finish_s - arrival_s; }
+};
+
+/**
+ * Deterministic token-content hash: the K/V vector written for token
+ * @p token_index of request @p request_id derives from this value alone, so
+ * preempt-and-recompute reproduces the identical cache content.
+ */
+std::uint64_t tokenSeed(int request_id, int token_index);
+
+} // namespace bitdec::serving
+
+#endif // BITDEC_SERVING_REQUEST_H

@@ -1,0 +1,81 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bitdec::serving {
+
+Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg)
+{
+    BITDEC_ASSERT(cfg.max_batch > 0, "max_batch must be positive");
+    BITDEC_ASSERT(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
+    BITDEC_ASSERT(cfg.reserve_pages >= 0, "reserve_pages must be >= 0");
+}
+
+void
+Scheduler::enqueue(Request* r)
+{
+    BITDEC_ASSERT(r->state == RequestState::Queued,
+                  "enqueue expects a QUEUED request");
+    waiting_.push_back(r);
+}
+
+void
+Scheduler::admit(kv::PagedHeadCache& cache)
+{
+    while (!waiting_.empty() &&
+           static_cast<int>(running_.size()) < cfg_.max_batch) {
+        Request* r = waiting_.front();
+        const int need = cache.pagesFor(r->prefillTarget());
+        if (cache.freePages() - cfg_.reserve_pages < need)
+            break; // FCFS: the head blocks until it fits
+        waiting_.pop_front();
+        r->seq = cache.addSequence();
+        r->prefilled = 0;
+        r->state = RequestState::Prefill;
+        running_.push_back(r);
+    }
+}
+
+Request*
+Scheduler::preemptVictim()
+{
+    if (running_.empty())
+        return nullptr;
+    return running_.back();
+}
+
+void
+Scheduler::preempt(Request* r, kv::PagedHeadCache& cache)
+{
+    auto it = std::find(running_.begin(), running_.end(), r);
+    BITDEC_ASSERT(it != running_.end(), "preempting a non-running request");
+    running_.erase(it);
+    if (r->seq >= 0) {
+        cache.removeSequence(r->seq);
+        r->seq = -1;
+    }
+    r->prefilled = 0;
+    r->state = RequestState::Preempted;
+    r->preemptions++;
+    preemptions_++;
+    // Front of the queue: the victim resumes before later arrivals, keeping
+    // overall service order FCFS.
+    waiting_.push_front(r);
+}
+
+void
+Scheduler::finish(Request* r, kv::PagedHeadCache& cache)
+{
+    auto it = std::find(running_.begin(), running_.end(), r);
+    BITDEC_ASSERT(it != running_.end(), "finishing a non-running request");
+    running_.erase(it);
+    if (r->seq >= 0) {
+        cache.removeSequence(r->seq);
+        r->seq = -1;
+    }
+    r->state = RequestState::Finished;
+}
+
+} // namespace bitdec::serving

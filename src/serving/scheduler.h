@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FCFS continuous-batching scheduler over the paged KV cache.
+ *
+ * The scheduler owns the waiting queue and the running batch. Admission is
+ * first-come-first-served with no queue jumping: a request is admitted only
+ * when the page pool has headroom for its whole prefill target (plus a
+ * configurable reserve that absorbs decode growth). When the pool runs dry
+ * mid-step the engine asks for a preemption victim; the most recently
+ * admitted request loses its pages (recompute policy) and rejoins the
+ * *front* of the waiting queue, so overall service order stays FCFS and no
+ * request is ever dropped.
+ */
+#ifndef BITDEC_SERVING_SCHEDULER_H
+#define BITDEC_SERVING_SCHEDULER_H
+
+#include <deque>
+#include <vector>
+
+#include "kvcache/paged_cache.h"
+#include "serving/request.h"
+
+namespace bitdec::serving {
+
+/** Scheduler policy knobs. */
+struct SchedulerConfig
+{
+    int max_batch = 64;       //!< cap on concurrently running requests
+    int reserve_pages = 0;    //!< pages kept free at admission time
+    int prefill_chunk = 2048; //!< prompt tokens loaded per request per step
+};
+
+/** FCFS continuous-batching scheduler. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const SchedulerConfig& cfg);
+
+    /** Adds a newly arrived request to the tail of the waiting queue. */
+    void enqueue(Request* r);
+
+    /**
+     * Admits waiting requests in FCFS order while the batch has a slot and
+     * the pool has headroom for the candidate's full prefill target. Stops
+     * at the first request that does not fit (no skipping). Admitted
+     * requests get a fresh cache sequence and enter PREFILL.
+     */
+    void admit(kv::PagedHeadCache& cache);
+
+    /**
+     * Picks the preemption victim: the most recently admitted running
+     * request. Returns nullptr when the batch is empty.
+     */
+    Request* preemptVictim();
+
+    /**
+     * Preempts @p r: frees its pages, resets its prefill progress (the
+     * recompute policy re-loads prompt + generated tokens on resume) and
+     * puts it at the front of the waiting queue.
+     */
+    void preempt(Request* r, kv::PagedHeadCache& cache);
+
+    /** Retires a finished request and frees its sequence. */
+    void finish(Request* r, kv::PagedHeadCache& cache);
+
+    /** Running batch in admission order. */
+    const std::vector<Request*>& running() const { return running_; }
+
+    /** Requests waiting for admission (or re-admission). */
+    int waitingCount() const { return static_cast<int>(waiting_.size()); }
+
+    /** True when nothing is running and nothing is waiting. */
+    bool idle() const { return running_.empty() && waiting_.empty(); }
+
+    /** Total preemptions performed so far. */
+    int preemptionCount() const { return preemptions_; }
+
+  private:
+    SchedulerConfig cfg_;
+    std::deque<Request*> waiting_;
+    std::vector<Request*> running_;
+    int preemptions_ = 0;
+};
+
+} // namespace bitdec::serving
+
+#endif // BITDEC_SERVING_SCHEDULER_H

@@ -1,0 +1,84 @@
+#include "serving/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bitdec::serving {
+
+namespace {
+
+/** Lognormal sample with the given median and log-space sigma, clamped. */
+int
+lognormalLength(Rng& rng, int median, double log_sigma, int lo, int hi)
+{
+    const double z = rng.normal();
+    const double x = median * std::exp(log_sigma * z);
+    const int n = static_cast<int>(std::lround(x));
+    return std::clamp(n, lo, hi);
+}
+
+} // namespace
+
+std::vector<Request>
+generateTrace(const TraceConfig& cfg)
+{
+    BITDEC_ASSERT(cfg.num_requests > 0, "trace needs at least one request");
+    BITDEC_ASSERT(cfg.arrival_rate_qps > 0, "arrival rate must be positive");
+
+    Rng rng(cfg.seed);
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(cfg.num_requests));
+
+    double clock = 0;
+    for (int i = 0; i < cfg.num_requests; i++) {
+        // Exponential inter-arrival gap; 1 - uniform() avoids log(0).
+        clock += -std::log(1.0 - rng.uniform()) / cfg.arrival_rate_qps;
+
+        Request r;
+        r.id = i;
+        r.arrival_s = clock;
+        r.prompt_tokens = lognormalLength(rng, cfg.prompt_median,
+                                          cfg.prompt_log_sigma,
+                                          cfg.prompt_min, cfg.prompt_max);
+        r.output_tokens = lognormalLength(rng, cfg.output_median,
+                                          cfg.output_log_sigma,
+                                          cfg.output_min, cfg.output_max);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<Request>
+smokeTrace()
+{
+    // (arrival_s, prompt, output) — arrivals land within 30 ms while each
+    // request runs for ~100 ms and more of virtual time, so all eight are
+    // in flight together: prefill overlaps decode and a small page pool is
+    // guaranteed to hit exhaustion.
+    static constexpr struct
+    {
+        double arrival;
+        int prompt;
+        int output;
+    } kSmoke[] = {
+        {0.000, 48, 24}, {0.002, 32, 16}, {0.004, 64, 16}, {0.006, 24, 32},
+        {0.010, 96, 12}, {0.012, 16, 40}, {0.020, 40, 16}, {0.030, 160, 8},
+    };
+
+    std::vector<Request> trace;
+    int id = 0;
+    for (const auto& s : kSmoke) {
+        Request r;
+        r.id = id++;
+        r.arrival_s = s.arrival;
+        r.prompt_tokens = s.prompt;
+        r.output_tokens = s.output;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace bitdec::serving

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic synthetic workload generation for the serving engine.
+ *
+ * Arrival processes and length distributions follow the shapes serving
+ * papers use: Poisson arrivals (exponential inter-arrival gaps) with
+ * lognormal prompt and output lengths, all driven by the repo's portable
+ * Rng so a (seed, config) pair names one exact trace on every platform.
+ */
+#ifndef BITDEC_SERVING_TRACE_H
+#define BITDEC_SERVING_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace bitdec::serving {
+
+/** Parameters of one synthetic trace. */
+struct TraceConfig
+{
+    std::uint64_t seed = 1;        //!< RNG seed; same seed -> same trace
+    int num_requests = 64;         //!< requests to generate
+    double arrival_rate_qps = 1.0; //!< Poisson arrival rate, requests/s
+
+    int prompt_median = 1024;      //!< median prompt length (lognormal)
+    double prompt_log_sigma = 0.5; //!< sigma of log(prompt length)
+    int prompt_min = 16;
+    int prompt_max = 131072;
+
+    int output_median = 128;       //!< median output length (lognormal)
+    double output_log_sigma = 0.4; //!< sigma of log(output length)
+    int output_min = 4;
+    int output_max = 4096;
+};
+
+/** Generates a Poisson/lognormal trace; requests come sorted by arrival. */
+std::vector<Request> generateTrace(const TraceConfig& cfg);
+
+/**
+ * Fixed eight-request smoke trace (no RNG): short prompts, staggered
+ * arrivals, one long-prompt straggler. Used by unit tests and quickstarts.
+ */
+std::vector<Request> smokeTrace();
+
+} // namespace bitdec::serving
+
+#endif // BITDEC_SERVING_TRACE_H

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the paged allocator/cache under churn and for the
+ * continuous-batching serving engine: admission, preempt-and-recompute,
+ * determinism and metrics.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "kvcache/paged_cache.h"
+#include "model/model_config.h"
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "serving/scheduler.h"
+#include "serving/trace.h"
+
+namespace bitdec {
+namespace {
+
+using serving::Engine;
+using serving::EngineConfig;
+using serving::Request;
+using serving::RequestState;
+using serving::ServingMetrics;
+
+std::vector<Half>
+tokenVec(int d, float value)
+{
+    return std::vector<Half>(static_cast<std::size_t>(d), Half(value));
+}
+
+// ------------------------------------------------- paged cache churn ----
+
+TEST(PagedCacheChurn, PagesRecycleAcrossSequenceGenerations)
+{
+    kv::PagedHeadCache cache(4, 2, 8); // d=4, 2 tokens/page, 8 pages
+    // Three generations of sequences that each consume the whole pool.
+    for (int gen = 0; gen < 3; gen++) {
+        std::vector<int> seqs;
+        for (int i = 0; i < 4; i++)
+            seqs.push_back(cache.addSequence());
+        for (int i = 0; i < 4; i++)
+            for (int t = 0; t < 4; t++)
+                ASSERT_TRUE(cache.append(seqs[static_cast<std::size_t>(i)],
+                                         tokenVec(4, 1.0f), tokenVec(4, 2.0f)));
+        EXPECT_EQ(cache.freePages(), 0);
+        for (int s : seqs)
+            cache.removeSequence(s);
+        EXPECT_EQ(cache.freePages(), 8);
+    }
+}
+
+TEST(PagedCacheChurn, OomMidSequenceThenRecoversAfterRelease)
+{
+    kv::PagedHeadCache cache(4, 2, 4);
+    const int hog = cache.addSequence();
+    for (int t = 0; t < 6; t++)
+        ASSERT_TRUE(cache.append(hog, tokenVec(4, 0.5f), tokenVec(4, 0.5f)));
+    const int starved = cache.addSequence();
+    ASSERT_TRUE(cache.append(starved, tokenVec(4, 1.0f), tokenVec(4, 1.0f)));
+    ASSERT_TRUE(cache.append(starved, tokenVec(4, 2.0f), tokenVec(4, 2.0f)));
+    // Third token needs a new page; pool is dry mid-sequence.
+    EXPECT_FALSE(cache.append(starved, tokenVec(4, 3.0f), tokenVec(4, 3.0f)));
+    EXPECT_EQ(cache.length(starved), 2);
+    // Freeing the hog unblocks the append and the data is intact.
+    cache.removeSequence(hog);
+    EXPECT_TRUE(cache.append(starved, tokenVec(4, 3.0f), tokenVec(4, 3.0f)));
+    const auto keys = cache.gatherKeys(starved);
+    EXPECT_EQ(keys.dim(0), 3u);
+    EXPECT_EQ(keys.at(0, 0).toFloat(), 1.0f);
+    EXPECT_EQ(keys.at(2, 0).toFloat(), 3.0f);
+}
+
+TEST(PagedCacheChurn, DoubleReleaseOfRecycledPagePanics)
+{
+    kv::PageAllocator alloc(3);
+    const auto a = alloc.allocate();
+    const auto b = alloc.allocate();
+    alloc.release(*a);
+    alloc.release(*b);
+    EXPECT_DEATH(alloc.release(*b), "double free");
+}
+
+TEST(PagedCacheChurn, GatherCrossesPageBoundaries)
+{
+    kv::PagedHeadCache cache(2, 3, 8); // 3 tokens/page: boundaries at 3, 6
+    const int s = cache.addSequence();
+    for (int t = 0; t < 8; t++)
+        ASSERT_TRUE(cache.append(s, tokenVec(2, static_cast<float>(t)),
+                                 tokenVec(2, static_cast<float>(-t))));
+    EXPECT_EQ(cache.pageTable(s).size(), 3u);
+    const auto keys = cache.gatherKeys(s);
+    const auto vals = cache.gatherValues(s);
+    for (int t = 0; t < 8; t++) {
+        EXPECT_EQ(keys.at(static_cast<std::size_t>(t), 1).toFloat(),
+                  static_cast<float>(t));
+        EXPECT_EQ(vals.at(static_cast<std::size_t>(t), 0).toFloat(),
+                  static_cast<float>(-t));
+    }
+}
+
+TEST(PagedCacheChurn, EmptySequenceGathersZeroRows)
+{
+    kv::PagedHeadCache cache(16, 4, 4);
+    const int s = cache.addSequence();
+    const auto keys = cache.gatherKeys(s);
+    const auto vals = cache.gatherValues(s);
+    EXPECT_EQ(keys.dim(0), 0u);
+    EXPECT_EQ(keys.dim(1), 16u);
+    EXPECT_EQ(keys.numel(), 0u);
+    EXPECT_EQ(vals.dim(0), 0u);
+}
+
+TEST(PagedCache, HeadroomQueries)
+{
+    kv::PagedHeadCache cache(4, 4, 4); // 16 token capacity
+    EXPECT_EQ(cache.pagesFor(0), 0);
+    EXPECT_EQ(cache.pagesFor(1), 1);
+    EXPECT_EQ(cache.pagesFor(4), 1);
+    EXPECT_EQ(cache.pagesFor(5), 2);
+    EXPECT_TRUE(cache.hasHeadroom(0, 16));
+    EXPECT_FALSE(cache.hasHeadroom(0, 17));
+    const int s = cache.addSequence();
+    for (int t = 0; t < 3; t++)
+        ASSERT_TRUE(cache.append(s, tokenVec(4, 0.f), tokenVec(4, 0.f)));
+    // 3 tokens sit in one page with one slot spare: growing by one token
+    // needs no new page, so headroom holds even with 3 free pages left.
+    EXPECT_TRUE(cache.hasHeadroom(3, 1));
+    EXPECT_TRUE(cache.hasHeadroom(3, 13));
+    EXPECT_FALSE(cache.hasHeadroom(3, 14));
+}
+
+TEST(PagedCache, LiveSequenceIteration)
+{
+    kv::PagedHeadCache cache(4, 4, 8);
+    const int a = cache.addSequence();
+    const int b = cache.addSequence();
+    const int c = cache.addSequence();
+    cache.removeSequence(b);
+    EXPECT_EQ(cache.numLive(), 2);
+    EXPECT_EQ(cache.liveSequences(), (std::vector<int>{a, c}));
+    // Slot reuse keeps ids dense.
+    const int d = cache.addSequence();
+    EXPECT_EQ(d, b);
+    EXPECT_EQ(cache.numLive(), 3);
+}
+
+// ------------------------------------------------------------ traces ----
+
+TEST(Trace, SameSeedSameTrace)
+{
+    serving::TraceConfig cfg;
+    cfg.seed = 42;
+    cfg.num_requests = 32;
+    cfg.arrival_rate_qps = 4.0;
+    const auto a = serving::generateTrace(cfg);
+    const auto b = serving::generateTrace(cfg);
+    ASSERT_EQ(a.size(), 32u);
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+    }
+    cfg.seed = 43;
+    const auto c = serving::generateTrace(cfg);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); i++)
+        differs |= a[i].prompt_tokens != c[i].prompt_tokens ||
+                   a[i].arrival_s != c[i].arrival_s;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Trace, ArrivalsSortedAndLengthsClamped)
+{
+    serving::TraceConfig cfg;
+    cfg.num_requests = 200;
+    cfg.arrival_rate_qps = 10.0;
+    cfg.prompt_min = 64;
+    cfg.prompt_max = 256;
+    const auto t = serving::generateTrace(cfg);
+    for (std::size_t i = 1; i < t.size(); i++)
+        EXPECT_GE(t[i].arrival_s, t[i - 1].arrival_s);
+    for (const auto& r : t) {
+        EXPECT_GE(r.prompt_tokens, 64);
+        EXPECT_LE(r.prompt_tokens, 256);
+        EXPECT_GE(r.output_tokens, cfg.output_min);
+    }
+}
+
+TEST(Trace, SmokeTraceIsFixed)
+{
+    const auto a = serving::smokeTrace();
+    const auto b = serving::smokeTrace();
+    ASSERT_EQ(a.size(), 8u);
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+    }
+}
+
+// --------------------------------------------------------- scheduler ----
+
+TEST(Scheduler, FcfsAdmissionRespectsBatchAndHeadroom)
+{
+    kv::PagedHeadCache cache(4, 4, 8); // 32 tokens
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 2;
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(3);
+    for (int i = 0; i < 3; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 8;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    sched.admit(cache);
+    // max_batch caps admission at two despite page headroom for a third.
+    ASSERT_EQ(sched.running().size(), 2u);
+    EXPECT_EQ(sched.running()[0]->id, 0);
+    EXPECT_EQ(sched.running()[1]->id, 1);
+    EXPECT_EQ(reqs[0].state, RequestState::Prefill);
+    EXPECT_EQ(reqs[2].state, RequestState::Queued);
+    EXPECT_EQ(sched.waitingCount(), 1);
+}
+
+TEST(Scheduler, PreemptionTakesNewestAndResumesFirst)
+{
+    kv::PagedHeadCache cache(4, 4, 16);
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 4;
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(3);
+    for (int i = 0; i < 3; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 4;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 3u);
+
+    Request* victim = sched.preemptVictim();
+    ASSERT_EQ(victim, &reqs[2]); // newest admitted
+    sched.preempt(victim, cache);
+    EXPECT_EQ(reqs[2].state, RequestState::Preempted);
+    EXPECT_EQ(reqs[2].seq, -1);
+    EXPECT_EQ(reqs[2].preemptions, 1);
+    EXPECT_EQ(sched.preemptionCount(), 1);
+
+    // The victim re-admits ahead of any later arrival.
+    Request late;
+    late.id = 99;
+    late.prompt_tokens = 4;
+    late.output_tokens = 2;
+    sched.enqueue(&late);
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 4u);
+    EXPECT_EQ(sched.running()[2]->id, 2);
+    EXPECT_EQ(sched.running()[3]->id, 99);
+}
+
+// ------------------------------------------------------------ engine ----
+
+EngineConfig
+tinyEngineConfig(int num_pages)
+{
+    EngineConfig cfg;
+    cfg.system = model::SystemKind::BitDecoding;
+    cfg.bits = 4;
+    cfg.page_size = 8;
+    cfg.num_pages = num_pages;
+    cfg.cache_head_dim = 4;
+    cfg.sched.max_batch = 8;
+    cfg.sched.prefill_chunk = 16;
+    return cfg;
+}
+
+TEST(Engine, SmokeTraceCompletesEveryRequest)
+{
+    auto trace = serving::smokeTrace();
+    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(512));
+    const ServingMetrics m = engine.run(trace);
+    EXPECT_EQ(m.num_requests, 8);
+    EXPECT_EQ(m.preemptions, 0); // ample pool: no pressure
+    for (const auto& r : trace) {
+        EXPECT_EQ(r.state, RequestState::Finished);
+        EXPECT_EQ(r.generated, r.output_tokens);
+        EXPECT_GE(r.first_token_s, r.arrival_s);
+        EXPECT_GE(r.finish_s, r.first_token_s);
+    }
+    EXPECT_GT(m.sustained_tokens_per_s, 0);
+    EXPECT_GT(m.ttft_p99_s, 0);
+    EXPECT_GE(m.latency_p99_s, m.latency_p50_s);
+}
+
+TEST(Engine, SurvivesPageExhaustionWithZeroDrops)
+{
+    // 28 pages x 8 tokens = 224 tokens; the smoke trace needs 596 token
+    // slots across overlapping requests, so the pool is exhausted
+    // repeatedly and the scheduler must preempt to make progress.
+    auto trace = serving::smokeTrace();
+    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
+    const ServingMetrics m = engine.run(trace);
+    EXPECT_EQ(m.num_requests, 8); // zero dropped requests
+    EXPECT_GT(m.preemptions, 0);
+    for (const auto& r : trace)
+        EXPECT_EQ(r.state, RequestState::Finished);
+    EXPECT_GT(m.peak_page_utilization, 0.9);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    auto trace_a = serving::smokeTrace();
+    auto trace_b = serving::smokeTrace();
+    Engine ea(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
+    Engine eb(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
+    const ServingMetrics ma = ea.run(trace_a);
+    const ServingMetrics mb = eb.run(trace_b);
+    EXPECT_EQ(ma.outputs_digest, mb.outputs_digest);
+    EXPECT_EQ(ma.preemptions, mb.preemptions);
+    EXPECT_DOUBLE_EQ(ma.makespan_s, mb.makespan_s);
+    EXPECT_DOUBLE_EQ(ma.ttft_p99_s, mb.ttft_p99_s);
+    for (std::size_t i = 0; i < trace_a.size(); i++) {
+        EXPECT_EQ(trace_a[i].output_hash, trace_b[i].output_hash);
+        EXPECT_EQ(trace_a[i].preemptions, trace_b[i].preemptions);
+    }
+}
+
+TEST(Engine, PreemptionPreservesOutputs)
+{
+    // The same trace through a pressured pool (preempting) and a large
+    // pool (never preempting) must produce identical token streams:
+    // recompute restored the exact cache content every decode step read.
+    auto pressured = serving::smokeTrace();
+    auto relaxed = serving::smokeTrace();
+    Engine small(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
+    Engine large(sim::archA100(), model::llama2_7b(), tinyEngineConfig(512));
+    const ServingMetrics ms = small.run(pressured);
+    const ServingMetrics ml = large.run(relaxed);
+    ASSERT_GT(ms.preemptions, 0);
+    ASSERT_EQ(ml.preemptions, 0);
+    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
+    for (std::size_t i = 0; i < pressured.size(); i++)
+        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
+}
+
+TEST(Engine, GeneratedTraceUnderPressure)
+{
+    serving::TraceConfig tc;
+    tc.seed = 7;
+    tc.num_requests = 24;
+    tc.arrival_rate_qps = 50.0;
+    tc.prompt_median = 48;
+    tc.prompt_min = 16;
+    tc.prompt_max = 128;
+    tc.output_median = 16;
+    tc.output_min = 4;
+    tc.output_max = 32;
+    auto trace = serving::generateTrace(tc);
+    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(32));
+    const ServingMetrics m = engine.run(trace);
+    EXPECT_EQ(m.num_requests, 24);
+    for (const auto& r : trace)
+        EXPECT_EQ(r.generated, r.output_tokens);
+}
+
+TEST(Engine, DerivedPoolScalesWithBitWidth)
+{
+    EngineConfig fp16;
+    fp16.system = model::SystemKind::FlashDecodingFp16;
+    EngineConfig bd4;
+    bd4.system = model::SystemKind::BitDecoding;
+    bd4.bits = 4;
+    const auto& arch = sim::archA100();
+    const auto& m = model::llama31_8b();
+    const int fp16_pages = Engine::derivePoolPages(arch, m, fp16);
+    const int bd4_pages = Engine::derivePoolPages(arch, m, bd4);
+    EXPECT_GT(fp16_pages, 0);
+    // The 4-bit cache holds ~4x the pages of FP16 on the same device.
+    EXPECT_GT(bd4_pages, 3 * fp16_pages);
+    EXPECT_LT(bd4_pages, 5 * fp16_pages);
+}
+
+} // namespace
+} // namespace bitdec
