@@ -1,0 +1,271 @@
+/**
+ * @file
+ * CPU hot-path bench: decode-step latency of the fused execution backend
+ * vs the legacy warp/register-emulated Packing Kernel, across context
+ * lengths and thread counts. Writes machine-readable
+ * BENCH_cpu_hotpath.json so the perf trajectory is tracked across PRs.
+ *
+ * Modes:
+ *   (default)  full sweep: 4K/32K/128K contexts, 1/4/8 threads
+ *   --smoke    4K only, one repetition — the CI perf-regression gate
+ *
+ * The legacy path at 128K is extrapolated linearly from 32K (it is
+ * O(context) and already dominates the full-sweep runtime); the JSON
+ * marks it "legacy_estimated": true.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attention/reference.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/bitdecoding.h"
+#include "core/packing_kernel.h"
+#include "exec/fused_attention.h"
+#include "exec/thread_pool.h"
+
+namespace bitdec {
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-N wall time of fn, in milliseconds. */
+template <typename Fn>
+double
+timeMs(int reps, Fn&& fn)
+{
+    double best = 1e300;
+    for (int i = 0; i < reps; i++) {
+        const double t0 = nowMs();
+        fn();
+        best = std::min(best, nowMs() - t0);
+    }
+    return best;
+}
+
+void
+randomize(Tensor<Half>& t, Rng& rng)
+{
+    for (std::size_t i = 0; i < t.numel(); i++)
+        t[i] = Half(rng.uniformRange(-1.f, 1.f));
+}
+
+struct ContextResult
+{
+    int context;
+    double legacy_ms;
+    bool legacy_estimated;
+    double fused_ms_t1;
+    double fused_ms_t4;
+    double fused_ms_t8;
+    double paged_gather_ms; //!< gather + reference baseline; -1 = skipped
+    double paged_fused_ms;  //!< fused in-place paged kernel
+};
+
+ContextResult
+runContext(int context, bool smoke, double legacy_32k_ms)
+{
+    const int d = 128;
+    const int gq = 8;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    core::BitDecodingConfig cfg; // KC-4, wn = 4
+    core::HeadDecoder dec(d, cfg);
+    Rng rng(2026 + context);
+    Tensor<Half> k({static_cast<std::size_t>(context),
+                    static_cast<std::size_t>(d)});
+    Tensor<Half> v({static_cast<std::size_t>(context),
+                    static_cast<std::size_t>(d)});
+    randomize(k, rng);
+    randomize(v, rng);
+    dec.prefill(k, v);
+    Tensor<Half> q({static_cast<std::size_t>(gq), static_cast<std::size_t>(d)});
+    randomize(q, rng);
+
+    ContextResult r{};
+    r.context = context;
+
+    // Legacy: the warp/register-emulated kernel (the pre-backend hot path).
+    // Measure up to 32K; extrapolate linearly above (it is O(context)).
+    if (context <= 32768) {
+        const int reps = context <= 4096 ? 3 : 1;
+        r.legacy_ms = timeMs(reps, [&] {
+            core::packingKernelAttention(q, dec.cache(), scale, {});
+        });
+        r.legacy_estimated = false;
+    } else {
+        r.legacy_ms = legacy_32k_ms * (static_cast<double>(context) / 32768.0);
+        r.legacy_estimated = true;
+    }
+
+    const int reps = context <= 4096 ? 20 : (context <= 32768 ? 5 : 3);
+    r.fused_ms_t1 = timeMs(reps, [&] {
+        core::fusedPackedAttention(q, dec.cache(), scale, nullptr);
+    });
+    {
+        exec::ThreadPool pool4(4);
+        r.fused_ms_t4 = timeMs(reps, [&] {
+            core::fusedPackedAttention(q, dec.cache(), scale, &pool4);
+        });
+    }
+    {
+        exec::ThreadPool pool8(8);
+        r.fused_ms_t8 = timeMs(reps, [&] {
+            core::fusedPackedAttention(q, dec.cache(), scale, &pool8);
+        });
+    }
+
+    // Paged section: fused in-place paged attention vs gather + reference.
+    {
+        const int page_size = 64;
+        kv::PagedHeadCache paged(d, page_size,
+                                 context / page_size + 2);
+        const int seq = paged.addSequence();
+        std::vector<Half> kr(static_cast<std::size_t>(d));
+        std::vector<Half> vr(static_cast<std::size_t>(d));
+        for (int t = 0; t < context; t++) {
+            for (int c = 0; c < d; c++) {
+                kr[static_cast<std::size_t>(c)] =
+                    k.at(static_cast<std::size_t>(t),
+                         static_cast<std::size_t>(c));
+                vr[static_cast<std::size_t>(c)] =
+                    v.at(static_cast<std::size_t>(t),
+                         static_cast<std::size_t>(c));
+            }
+            paged.append(seq, kr, vr);
+        }
+        r.paged_gather_ms = -1.0; // not measured (smoke / too slow at 128K)
+        if (!smoke && context <= 32768) {
+            r.paged_gather_ms = timeMs(1, [&] {
+                attn::referenceAttention(q, paged.gatherKeys(seq),
+                                         paged.gatherValues(seq), scale);
+            });
+        }
+        r.paged_fused_ms = timeMs(reps, [&] {
+            exec::fusedPagedAttention(q, paged, seq, scale, nullptr);
+        });
+    }
+    return r;
+}
+
+} // namespace
+} // namespace bitdec
+
+int
+main(int argc, char** argv)
+{
+    using namespace bitdec;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    bench::banner(std::string("CPU hot path: fused execution backend vs "
+                              "legacy kernel") +
+                  (smoke ? " [smoke]" : ""));
+    std::printf("hardware threads: %u, BITDEC_THREADS default pool: %d\n",
+                std::thread::hardware_concurrency(),
+                exec::ThreadPool::globalThreadCount());
+
+    std::vector<int> contexts =
+        smoke ? std::vector<int>{4096}
+              : std::vector<int>{4096, 32768, 131072};
+
+    std::vector<ContextResult> results;
+    double legacy_32k = 0;
+    for (int ctx : contexts) {
+        const ContextResult r = runContext(ctx, smoke, legacy_32k);
+        if (ctx == 32768)
+            legacy_32k = r.legacy_ms;
+        results.push_back(r);
+    }
+
+    bench::head("context", {"legacy", "fused-1t", "fused-4t", "fused-8t",
+                            "speedup", "scale-8t"});
+    for (const ContextResult& r : results) {
+        bench::row(std::to_string(r.context / 1024) + "K" +
+                       (r.legacy_estimated ? " (est.)" : ""),
+                   {r.legacy_ms, r.fused_ms_t1, r.fused_ms_t4, r.fused_ms_t8,
+                    r.legacy_ms / r.fused_ms_t1,
+                    r.fused_ms_t1 / r.fused_ms_t8},
+                   "%10.3f");
+    }
+    bench::section("paged: fused in-place vs gather+reference (1 thread)");
+    bench::head("context", {"gather", "fused"});
+    for (const ContextResult& r : results) {
+        if (r.paged_gather_ms < 0)
+            std::printf("%-28s%10s%10.3f\n",
+                        (std::to_string(r.context / 1024) + "K").c_str(),
+                        "-", r.paged_fused_ms);
+        else
+            bench::row(std::to_string(r.context / 1024) + "K",
+                       {r.paged_gather_ms, r.paged_fused_ms}, "%10.3f");
+    }
+
+    // Machine-readable trajectory record. Smoke runs write to a separate
+    // file so a local CI-gate check never clobbers the tracked full-sweep
+    // record.
+    const char* json_path =
+        smoke ? "BENCH_cpu_hotpath.smoke.json" : "BENCH_cpu_hotpath.json";
+    FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"cpu_hotpath\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"bits\": 4,\n  \"head_dim\": 128,\n  \"gq\": 8,\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const ContextResult& r = results[i];
+        char gather[32];
+        if (r.paged_gather_ms < 0)
+            std::snprintf(gather, sizeof(gather), "null"); // not measured
+        else
+            std::snprintf(gather, sizeof(gather), "%.4f", r.paged_gather_ms);
+        std::fprintf(
+            f,
+            "    {\"context\": %d, \"legacy_ms\": %.4f, "
+            "\"legacy_estimated\": %s,\n"
+            "     \"fused_ms\": {\"t1\": %.4f, \"t4\": %.4f, \"t8\": %.4f},\n"
+            "     \"speedup_vs_legacy_1t\": %.2f, "
+            "\"scaling_1t_to_8t\": %.2f,\n"
+            "     \"paged_gather_ms\": %s, \"paged_fused_ms\": %.4f}%s\n",
+            r.context, r.legacy_ms, r.legacy_estimated ? "true" : "false",
+            r.fused_ms_t1, r.fused_ms_t4, r.fused_ms_t8,
+            r.legacy_ms / r.fused_ms_t1, r.fused_ms_t1 / r.fused_ms_t8,
+            gather, r.paged_fused_ms,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+
+    // Smoke mode is the CI perf gate: the fused path regressing to within
+    // 5x of the legacy kernel fails the job loudly. (Measured margin is
+    // ~25-30x, so this trips on real regressions, not runner noise.)
+    if (smoke) {
+        const double speedup = results[0].legacy_ms / results[0].fused_ms_t1;
+        if (speedup < 5.0) {
+            std::fprintf(stderr,
+                         "PERF REGRESSION: fused speedup %.2fx < 5x floor\n",
+                         speedup);
+            return 2;
+        }
+        std::printf("perf gate: %.1fx >= 5x floor — OK\n", speedup);
+    }
+    return 0;
+}

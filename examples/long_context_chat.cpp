@@ -63,6 +63,8 @@ main()
         for (std::size_t i = 0; i < q.numel(); i++)
             q[i] = Half(rng.normal());
         const auto out = dec.decodeStep(q, 0.125f);
+        // The fused execution backend computes the same step fast.
+        const auto fused = dec.fusedDecodeStep(q, 0.125f);
         std::vector<Half> nk(64), nv(64);
         for (int c = 0; c < 64; c++) {
             nk[static_cast<std::size_t>(c)] = Half(rng.normal());
@@ -70,10 +72,10 @@ main()
         }
         dec.appendToken(nk, nv);
         std::printf("  step %d: ctx=%d tokens (%d packed, %d residual), "
-                    "out[0][0]=%+.4f, valid=%s\n",
+                    "out[0][0]=%+.4f (fused %+.4f), valid=%s\n",
                     step, dec.cache().length(), dec.cache().packedTokens(),
                     dec.cache().residualLength(), out.out.at(0, 0),
-                    out.valid ? "yes" : "no");
+                    fused.at(0, 0), out.valid ? "yes" : "no");
     }
     return 0;
 }

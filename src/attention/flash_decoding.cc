@@ -9,7 +9,7 @@ namespace bitdec::attn {
 
 Tensor<float>
 flashDecodingAttention(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
-                       float scale, int splits)
+                       float scale, int splits, exec::ThreadPool* pool)
 {
     BITDEC_ASSERT(splits >= 1, "need at least one split");
     const std::size_t gq = q.dim(0);
@@ -21,7 +21,9 @@ flashDecodingAttention(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
     const int per_split = (len + splits - 1) / std::max(splits, 1);
     Tensor<float> out({gq, d});
 
-    for (std::size_t r = 0; r < gq; r++) {
+    exec::parallelFor(pool, gq, [&](std::size_t r) {
+        // Reusable per-thread score buffer — no per-tile allocations.
+        thread_local std::vector<float> scores;
         // Each split produces an independent partial state, exactly like
         // the parallel split CTAs; the combine merges them pairwise.
         OnlineSoftmaxRow merged(static_cast<int>(d));
@@ -34,7 +36,7 @@ flashDecodingAttention(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
             // Process the split in FlashAttention-style tiles of 128.
             for (int b0 = t0; b0 < t1; b0 += 128) {
                 const int b1 = std::min(t1, b0 + 128);
-                std::vector<float> scores(static_cast<std::size_t>(b1 - b0));
+                scores.assign(static_cast<std::size_t>(b1 - b0), 0.f);
                 for (int t = b0; t < b1; t++) {
                     float sdot = 0.f;
                     for (std::size_t c = 0; c < d; c++) {
@@ -50,7 +52,7 @@ flashDecodingAttention(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
         const std::vector<float> row = merged.finalize();
         for (std::size_t c = 0; c < d; c++)
             out.at(r, c) = row[c];
-    }
+    });
     return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "attention/reference.h"
 #include "attention/workloads.h"
+#include "exec/thread_pool.h"
 #include "gpusim/timing.h"
 #include "kvcache/kv_cache.h"
 
@@ -21,14 +22,20 @@ namespace bitdec::attn {
  * cache; partial states merge with the log-sum-exp combine. Numerically
  * equivalent to the reference up to FP accumulation order.
  *
+ * Query rows are independent, so they optionally spread across the thread
+ * pool; per-row output is computed by exactly one task, keeping results
+ * bitwise identical for any thread count.
+ *
  * @param q      [gq x d] queries
  * @param cache  FP16 KV cache of one head
  * @param scale  logit scale
  * @param splits split-KV partition count (>= 1)
+ * @param pool   optional pool to spread query rows over; null = serial
  */
 Tensor<float> flashDecodingAttention(const Tensor<Half>& q,
                                      const kv::Fp16HeadCache& cache,
-                                     float scale, int splits);
+                                     float scale, int splits,
+                                     exec::ThreadPool* pool = nullptr);
 
 /**
  * Timing model of the FlashDecoding kernel (plus the split-combine kernel

@@ -1,5 +1,6 @@
 #include "common/half.h"
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -52,8 +53,11 @@ floatToHalfBits(float f)
     return static_cast<std::uint16_t>(result);
 }
 
+namespace {
+
+/** Bit-level binary16 -> float conversion; used to build the LUT. */
 float
-halfBitsToFloat(std::uint16_t bits)
+computeHalfBitsToFloat(std::uint16_t bits)
 {
     const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
     const std::uint32_t exponent = (bits >> 10) & 0x1F;
@@ -79,6 +83,48 @@ halfBitsToFloat(std::uint16_t bits)
         out = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
     }
     return std::bit_cast<float>(out);
+}
+
+} // namespace
+
+const float*
+halfToFloatLut()
+{
+    // Function-local static: thread-safe, immune to static-init ordering.
+    static const std::array<float, 65536> table = [] {
+        std::array<float, 65536> t;
+        for (std::uint32_t b = 0; b < 65536; b++)
+            t[b] = computeHalfBitsToFloat(static_cast<std::uint16_t>(b));
+        return t;
+    }();
+    return table.data();
+}
+
+float
+halfBitsToFloat(std::uint16_t bits)
+{
+    return halfToFloatLut()[bits];
+}
+
+void
+toFloat(const Half* src, float* dst, std::size_t n)
+{
+    const float* lut = halfToFloatLut();
+    for (std::size_t i = 0; i < n; i++)
+        dst[i] = lut[src[i].bits()];
+}
+
+void
+fromFloat(const float* src, Half* dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++)
+        dst[i] = Half::fromBits(floatToHalfBits(src[i]));
+}
+
+float
+roundToHalf(float x)
+{
+    return halfToFloatLut()[floatToHalfBits(x)];
 }
 
 bool

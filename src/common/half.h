@@ -11,16 +11,43 @@
 #ifndef BITDEC_COMMON_HALF_H
 #define BITDEC_COMMON_HALF_H
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 
 namespace bitdec {
+
+class Half;
 
 /** Converts a float to IEEE binary16 bits with round-to-nearest-even. */
 std::uint16_t floatToHalfBits(float f);
 
 /** Converts IEEE binary16 bits to float (exact). */
 float halfBitsToFloat(std::uint16_t bits);
+
+/**
+ * 65536-entry binary16-bits -> float conversion table, built once on first
+ * use. Every bulk conversion and every Half::toFloat() resolves through it,
+ * turning the widening conversion into a single indexed load — the CPU
+ * analogue of the device's free register-level H2F.
+ */
+const float* halfToFloatLut();
+
+/**
+ * Bulk widening conversion of @p n halves to floats via the LUT. The table
+ * pointer is hoisted out of the loop, so this is the preferred form for
+ * every tile/row conversion on the hot path.
+ */
+void toFloat(const Half* src, float* dst, std::size_t n);
+
+/** Bulk narrowing conversion (round-to-nearest-even) of @p n floats. */
+void fromFloat(const float* src, Half* dst, std::size_t n);
+
+/**
+ * Rounds a float through binary16 and back (the precision a device-side
+ * half register imposes); LUT-backed on the widening leg.
+ */
+float roundToHalf(float x);
 
 /**
  * IEEE-754 binary16 value with explicit bit-level storage.

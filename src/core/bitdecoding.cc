@@ -50,6 +50,13 @@ HeadDecoder::decodeStep(const Tensor<Half>& q_tile, float scale)
     return packingKernelAttention(q_tile, cache_, scale, opts);
 }
 
+Tensor<float>
+HeadDecoder::fusedDecodeStep(const Tensor<Half>& q_tile, float scale,
+                             exec::ThreadPool* pool)
+{
+    return fusedPackedAttention(q_tile, cache_, scale, pool);
+}
+
 namespace {
 
 /** Builds the fused Packing-Kernel workload for the timing model. */
@@ -220,60 +227,97 @@ bitDecodingBreakdown(const sim::GpuArch& arch, const attn::DecodeShape& shape,
     return b;
 }
 
-Tensor<float>
-mxAttention(const Tensor<Half>& q, const Tensor<Half>& k, const Tensor<Half>& v,
-            quant::MxKind kind, float scale, bool requantize_p)
+MxKvCache
+mxEncodeKv(const Tensor<Half>& k, const Tensor<Half>& v, quant::MxKind kind)
 {
+    MxKvCache kv;
+    kv.len = k.dim(0);
+    kv.d = k.dim(1);
     // K rows feed QK^T along d: blocks along d. V feeds PV along tokens;
-    // encode V^T so blocks run along the MMA K dimension (tokens), then
-    // index transposed below.
-    const quant::MxMatrix kq = quant::mxEncodeMatrix(k, kind);
+    // encode V^T so blocks run along the MMA K dimension (tokens). The
+    // transpose is a single raw-storage pass (bit moves, no conversion).
+    kv.k = quant::mxEncodeMatrix(k, kind);
     Tensor<Half> vt({v.dim(1), v.dim(0)});
-    for (std::size_t t = 0; t < v.dim(0); t++)
-        for (std::size_t c = 0; c < v.dim(1); c++)
-            vt.at(c, t) = v.at(t, c);
-    const quant::MxMatrix vq = quant::mxEncodeMatrix(vt, kind);
+    const Half* src = v.data();
+    Half* dst = vt.data();
+    const std::size_t rows = v.dim(0);
+    const std::size_t cols = v.dim(1);
+    for (std::size_t t = 0; t < rows; t++)
+        for (std::size_t c = 0; c < cols; c++)
+            dst[c * rows + t] = src[t * cols + c];
+    kv.vt = quant::mxEncodeMatrix(vt, kind);
+    return kv;
+}
 
+Tensor<float>
+mxAttention(const Tensor<Half>& q, const MxKvCache& kv, float scale,
+            bool requantize_p, exec::ThreadPool* pool)
+{
     const std::size_t gq = q.dim(0);
     const std::size_t d = q.dim(1);
-    const std::size_t len = k.dim(0);
+    const std::size_t len = kv.len;
+    BITDEC_ASSERT(d == kv.d, "query width mismatch");
     const std::size_t block =
-        static_cast<std::size_t>(quant::mxBlockSize(kind));
+        static_cast<std::size_t>(quant::mxBlockSize(kv.k.kind));
+    const std::size_t padded_len = len == 0
+                                       ? 0
+                                       : (len + block - 1) / block * block;
+
+    // Bulk-convert Q once; per-row buffers hoist out of the row loop and
+    // are reused across rows (thread-local under the pool).
+    std::vector<float> qf(gq * d);
+    toFloat(q.data(), qf.data(), qf.size());
 
     Tensor<float> out({gq, d});
-    std::vector<float> logits(len);
-    for (std::size_t r = 0; r < gq; r++) {
+    exec::parallelFor(pool, gq, [&](std::size_t r) {
+        thread_local std::vector<float> logits, p, padded;
+        if (logits.size() < len) {
+            logits.resize(len);
+            p.resize(len);
+        }
+
+        const float* qrow = qf.data() + r * d;
         float m = -std::numeric_limits<float>::infinity();
         for (std::size_t t = 0; t < len; t++) {
             float s = 0.f;
             for (std::size_t c = 0; c < d; c++)
-                s += q.at(r, c).toFloat() * kq.valueAt(t, c);
+                s += qrow[c] * kv.k.valueAt(t, c);
             logits[t] = s * scale;
             m = std::max(m, logits[t]);
         }
         float l = 0.f;
-        std::vector<float> p(len);
         for (std::size_t t = 0; t < len; t++) {
             p[t] = std::exp(logits[t] - m);
             l += p[t];
         }
-        if (requantize_p) {
+        if (requantize_p && len > 0) {
             // Quant(P): the PV MMA consumes P in the low-precision format,
-            // re-quantized on the fly per block of tokens.
-            std::vector<float> padded((len + block - 1) / block * block, 0.f);
-            std::copy(p.begin(), p.end(), padded.begin());
-            const quant::MxVector pq = quant::mxEncode(padded, kind);
+            // re-quantized on the fly per block of tokens. resize() only
+            // trims/extends within retained capacity — no reallocation in
+            // steady state.
+            padded.resize(padded_len);
+            std::fill(padded.begin(), padded.end(), 0.f);
+            std::copy(p.begin(), p.begin() + static_cast<std::ptrdiff_t>(len),
+                      padded.begin());
+            const quant::MxVector pq = quant::mxEncode(padded, kv.k.kind);
             for (std::size_t t = 0; t < len; t++)
                 p[t] = pq.valueAt(t);
         }
         for (std::size_t c = 0; c < d; c++) {
             float acc = 0.f;
             for (std::size_t t = 0; t < len; t++)
-                acc += p[t] * vq.valueAt(c, t);
+                acc += p[t] * kv.vt.valueAt(c, t);
             out.at(r, c) = l > 0.f ? acc / l : 0.f;
         }
-    }
+    });
     return out;
+}
+
+Tensor<float>
+mxAttention(const Tensor<Half>& q, const Tensor<Half>& k, const Tensor<Half>& v,
+            quant::MxKind kind, float scale, bool requantize_p)
+{
+    return mxAttention(q, mxEncodeKv(k, v, kind), scale, requantize_p);
 }
 
 } // namespace bitdec::core

@@ -64,11 +64,20 @@ class HeadDecoder
     void appendToken(const std::vector<Half>& k, const std::vector<Half>& v);
 
     /**
-     * Runs one decode step for this head group.
+     * Runs one decode step for this head group on the warp/register
+     * emulation path (validates layouts; slow).
      * @param q_tile [gq x d] transformed queries, gq <= 16
      * @param scale  logit scale
      */
     PackingKernelResult decodeStep(const Tensor<Half>& q_tile, float scale);
+
+    /**
+     * Runs one decode step on the fused CPU execution backend — the fast
+     * path serving and benches use. Matches decodeStep to ~1e-3 max-abs.
+     * @param pool optional pool to spread KV chunks over; null = serial
+     */
+    Tensor<float> fusedDecodeStep(const Tensor<Half>& q_tile, float scale,
+                                  exec::ThreadPool* pool = nullptr);
 
     /** Underlying cache (inspection / tests). */
     const kv::PackedHeadCache& cache() const { return cache_; }
@@ -109,10 +118,36 @@ KernelBreakdown bitDecodingBreakdown(const sim::GpuArch& arch,
                                      const BitDecodingConfig& config);
 
 /**
+ * K/V pre-encoded into an MX block-scaled format, ready for repeated
+ * decode steps. V is transposed once (single raw-storage pass) so its
+ * scale blocks run along the MMA K dimension (tokens); re-encoding it on
+ * every attention call was the old hot-path sin.
+ */
+struct MxKvCache
+{
+    quant::MxMatrix k;  //!< [len x d], blocks along d
+    quant::MxMatrix vt; //!< [d x len] (transposed V), blocks along tokens
+    std::size_t len = 0;
+    std::size_t d = 0;
+};
+
+/** Encodes K and V once for repeated mxAttention calls. */
+MxKvCache mxEncodeKv(const Tensor<Half>& k, const Tensor<Half>& v,
+                     quant::MxKind kind);
+
+/**
  * Functional Blackwell path: attention with K/V (and optionally P) in a
  * native block-scaled MX format. P re-quantization after softmax models
  * the on-the-fly Quant(P) the low-precision PV MMA requires.
+ *
+ * This overload consumes a pre-encoded cache; query rows optionally
+ * spread across the thread pool (bitwise identical for any thread count).
  */
+Tensor<float> mxAttention(const Tensor<Half>& q, const MxKvCache& kv,
+                          float scale, bool requantize_p = true,
+                          exec::ThreadPool* pool = nullptr);
+
+/** Convenience overload: encodes K/V (once) and runs attention. */
 Tensor<float> mxAttention(const Tensor<Half>& q, const Tensor<Half>& k,
                           const Tensor<Half>& v, quant::MxKind kind,
                           float scale, bool requantize_p = true);

@@ -8,6 +8,8 @@
 #include "attention/reference.h"
 #include "common/logging.h"
 #include "core/query_transform.h"
+#include "exec/dequant_plan.h"
+#include "exec/fused_attention.h"
 #include "gpusim/fragment.h"
 #include "quant/fast_dequant.h"
 
@@ -373,6 +375,88 @@ packingKernelAttention(const Tensor<Half>& q_tile,
     }
     result.valid = valid && layout_ok;
     return result;
+}
+
+namespace {
+
+/** Blocks per split chunk; fixed so chunking (and therefore the merge
+ *  order and the numerics) never depends on the thread count. */
+constexpr int kChunkBlocks = 4;
+
+} // namespace
+
+Tensor<float>
+fusedPackedAttention(const Tensor<Half>& q_tile,
+                     const kv::PackedHeadCache& cache, float scale,
+                     exec::ThreadPool* pool)
+{
+    const int d = cache.headDim();
+    const int gq = static_cast<int>(q_tile.dim(0));
+    BITDEC_ASSERT(gq >= 1 && gq <= 16, "query tile must fit one m16 tile");
+    BITDEC_ASSERT(static_cast<int>(q_tile.dim(1)) == d, "query width mismatch");
+    const int nr = cache.residualBlockSize();
+    const int bits = cache.config().bits;
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    // Q converts once, in bulk.
+    std::vector<float> qf(static_cast<std::size_t>(gq) * dd);
+    toFloat(q_tile.data(), qf.data(), qf.size());
+
+    const auto& k_blocks = cache.keyBlocks();
+    const auto& v_blocks = cache.valueBlocks();
+    const int n_blocks = static_cast<int>(k_blocks.size());
+    const int n_chunks = (n_blocks + kChunkBlocks - 1) / kChunkBlocks;
+
+    std::vector<exec::SoftmaxPartial> parts(static_cast<std::size_t>(n_chunks));
+
+    exec::parallelFor(pool, static_cast<std::size_t>(n_chunks), [&](
+                                                                    std::size_t
+                                                                        ci) {
+        exec::SoftmaxPartial& st = parts[ci];
+        st.init(gq, d);
+
+        // Reusable scratch: one dequantized [Nr x d] tile each for K and V.
+        // Thread-local, grow-only — zero allocations in steady state.
+        thread_local std::vector<float> kd, vd;
+        const std::size_t tile = static_cast<std::size_t>(nr) * dd;
+        if (kd.size() < tile) {
+            kd.resize(tile);
+            vd.resize(tile);
+        }
+
+        const int b0 = static_cast<int>(ci) * kChunkBlocks;
+        const int b1 = std::min(n_blocks, b0 + kChunkBlocks);
+        for (int blk = b0; blk < b1; blk++) {
+            const kv::PackedBlock& kb = k_blocks[static_cast<std::size_t>(blk)];
+            const kv::PackedBlock& vb = v_blocks[static_cast<std::size_t>(blk)];
+            exec::dequantBlock(kb.units, cache.keyRoutes(), kb.dequant_lut,
+                               bits, kd.data());
+            exec::dequantBlock(vb.units, cache.valueRoutes(), vb.dequant_lut,
+                               bits, vd.data());
+            // P rounds through half precision exactly like the sAcc
+            // round trip (round_p = true).
+            exec::foldTile(qf.data(), gq, d, kd.data(), vd.data(), nr, scale,
+                           st, /*round_p=*/true);
+        }
+    });
+
+    // Deterministic reduction: merge chunk partials sequentially in chunk
+    // order (the split-KV log-sum-exp combine).
+    exec::SoftmaxPartial run = exec::mergePartials(parts, gq, d);
+
+    // FP16 residual tail, merged online — same arithmetic as the reference
+    // kernel's residual pass (plain float P, no half rounding).
+    const int res_len = cache.residualLength();
+    if (res_len > 0) {
+        const std::size_t live = static_cast<std::size_t>(res_len) * dd;
+        std::vector<float> krf(live), vrf(live);
+        toFloat(cache.residualKeys().data(), krf.data(), live);
+        toFloat(cache.residualValues().data(), vrf.data(), live);
+        exec::foldTile(qf.data(), gq, d, krf.data(), vrf.data(), res_len,
+                       scale, run);
+    }
+
+    return exec::finalizePartial(run, gq, d);
 }
 
 } // namespace bitdec::core

@@ -28,6 +28,7 @@
 
 #include "attention/workloads.h"
 #include "common/tensor.h"
+#include "exec/thread_pool.h"
 #include "gpusim/timing.h"
 #include "kvcache/kv_cache.h"
 
@@ -60,6 +61,36 @@ PackingKernelResult packingKernelAttention(const Tensor<Half>& q_tile,
                                            const kv::PackedHeadCache& cache,
                                            float scale,
                                            const PackingKernelOptions& opts);
+
+/**
+ * Fast-path fused attention over a packed cache (the CPU execution
+ * backend's hot loop). Numerically it follows the same dataflow as
+ * packingKernelAttention — per-block magic-FMA dequantization, P rounded
+ * through half precision (the sAcc round trip), online-softmax merges,
+ * the FP16 residual tail — but executes it as a tile-fused pipeline:
+ * each packed block is dequantized word-level into a reusable thread-local
+ * [Nr x d] scratch tile via the cache's dequant routing and consumed by
+ * QK/softmax/PV immediately, so the full FP16 cache is never materialized
+ * and nothing is allocated per tile.
+ *
+ * KV blocks are processed in fixed-size chunks whose partial softmax
+ * states merge sequentially in chunk order, so the output is bitwise
+ * identical for any thread count (and for pool == nullptr, which runs
+ * the chunks inline).
+ *
+ * Matches packingKernelAttention (cooperative softmax) to ~1e-3 max-abs
+ * (differences: fp32 accumulation order and the split-KV merge).
+ *
+ * @param q_tile query tile [gq x d], gq <= 16
+ * @param cache  packed + residual KV of this head
+ * @param scale  logit scale
+ * @param pool   optional pool to spread KV chunks over; null = serial
+ * @return       [gq x d] output (no padding rows)
+ */
+Tensor<float> fusedPackedAttention(const Tensor<Half>& q_tile,
+                                   const kv::PackedHeadCache& cache,
+                                   float scale,
+                                   exec::ThreadPool* pool = nullptr);
 
 } // namespace bitdec::core
 

@@ -1,0 +1,60 @@
+#include "exec/dequant_plan.h"
+
+#include "common/logging.h"
+#include "gpusim/fragment.h"
+
+namespace bitdec::exec {
+
+std::vector<CodeRoute>
+buildDequantRoutes(const layout::InducedLayout& lay,
+                   const std::function<std::uint32_t(int, int)>& dest_of,
+                   const std::function<std::uint32_t(int, int)>& param_of)
+{
+    const int cpu = lay.codesPerUnit();
+    std::vector<CodeRoute> routes(lay.numUnits() *
+                                  static_cast<std::size_t>(cpu));
+    for (int kt = 0; kt < lay.numKTiles(); kt++) {
+        for (int ng = 0; ng < lay.numNGroups(); ng++) {
+            for (int lane = 0; lane < sim::kWarpSize; lane++) {
+                for (int pr = 0; pr < lay.pairsPerLane(); pr++) {
+                    const layout::UnitId id{kt, ng, lane, pr};
+                    const std::size_t base =
+                        lay.unitSlot(id) * static_cast<std::size_t>(cpu);
+                    for (int i = 0; i < cpu; i++) {
+                        const layout::CodeCoord c = lay.codeCoord(id, i);
+                        routes[base + static_cast<std::size_t>(i)] = {
+                            dest_of(c.row, c.col), param_of(c.row, c.col)};
+                    }
+                }
+            }
+        }
+    }
+    return routes;
+}
+
+void
+dequantBlock(const std::vector<std::uint32_t>& units,
+             const std::vector<CodeRoute>& routes,
+             const std::vector<Half>& lut, int bits, float* out)
+{
+    const int cpu = 32 / bits;
+    const std::uint32_t mask = (1u << bits) - 1u;
+    BITDEC_ASSERT(routes.size() ==
+                      units.size() * static_cast<std::size_t>(cpu),
+                  "routing table does not match the unit buffer");
+    const float* widen = halfToFloatLut();
+    const CodeRoute* r = routes.data();
+    for (std::size_t u = 0; u < units.size(); u++, r += cpu) {
+        const std::uint32_t w = units[u];
+        for (int j = 0; j < cpu / 2; j++) {
+            const std::uint32_t lo = (w >> (bits * j)) & mask;
+            const std::uint32_t hi = (w >> (bits * j + 16)) & mask;
+            const CodeRoute& rl = r[2 * j];
+            const CodeRoute& rh = r[2 * j + 1];
+            out[rl.dest] = widen[lut[(rl.param << bits) | lo].bits()];
+            out[rh.dest] = widen[lut[(rh.param << bits) | hi].bits()];
+        }
+    }
+}
+
+} // namespace bitdec::exec

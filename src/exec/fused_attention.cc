@@ -1,0 +1,191 @@
+#include "exec/fused_attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bitdec::exec {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/** Tokens per split chunk for the contiguous path; paged chunks are one
+ *  page. Fixed sizes keep the merge order independent of thread count. */
+constexpr int kChunkTokens = 128;
+
+} // namespace
+
+void
+foldTile(const float* qf, int gq, int d, const float* kf, const float* vf,
+         int tokens, float scale, SoftmaxPartial& st, bool round_p)
+{
+    thread_local std::vector<float> s;
+    if (s.size() < static_cast<std::size_t>(tokens))
+        s.resize(static_cast<std::size_t>(tokens));
+    const std::size_t dd = static_cast<std::size_t>(d);
+    for (int r = 0; r < gq; r++) {
+        const std::size_t rr = static_cast<std::size_t>(r);
+        const float* qrow = qf + rr * dd;
+        float bm = st.m[rr];
+        for (int t = 0; t < tokens; t++) {
+            const float* krow = kf + static_cast<std::size_t>(t) * dd;
+            float dot = 0.f;
+            for (int c = 0; c < d; c++)
+                dot += qrow[c] * krow[c];
+            const float logit = dot * scale;
+            s[static_cast<std::size_t>(t)] = logit;
+            bm = std::max(bm, logit);
+        }
+        const float rescale = st.m[rr] == kNegInf ? 0.f
+                                                  : std::exp(st.m[rr] - bm);
+        float* acc = st.acc.data() + rr * dd;
+        st.l[rr] *= rescale;
+        for (int c = 0; c < d; c++)
+            acc[c] *= rescale;
+        for (int t = 0; t < tokens; t++) {
+            const float pexp = std::exp(s[static_cast<std::size_t>(t)] - bm);
+            const float p = round_p ? roundToHalf(pexp) : pexp;
+            st.l[rr] += p;
+            const float* vrow = vf + static_cast<std::size_t>(t) * dd;
+            for (int c = 0; c < d; c++)
+                acc[c] += p * vrow[c];
+        }
+        st.m[rr] = bm;
+    }
+}
+
+void
+SoftmaxPartial::init(int gq, int d)
+{
+    m.assign(static_cast<std::size_t>(gq), kNegInf);
+    l.assign(static_cast<std::size_t>(gq), 0.f);
+    acc.assign(static_cast<std::size_t>(gq) * static_cast<std::size_t>(d),
+               0.f);
+}
+
+SoftmaxPartial
+mergePartials(const std::vector<SoftmaxPartial>& parts, int gq, int d)
+{
+    const std::size_t dd = static_cast<std::size_t>(d);
+    SoftmaxPartial run;
+    run.init(gq, d);
+    for (const SoftmaxPartial& st : parts) {
+        for (int r = 0; r < gq; r++) {
+            const std::size_t rr = static_cast<std::size_t>(r);
+            const float nm = std::max(run.m[rr], st.m[rr]);
+            if (nm == kNegInf)
+                continue;
+            const float ra =
+                run.m[rr] == kNegInf ? 0.f : std::exp(run.m[rr] - nm);
+            const float rb =
+                st.m[rr] == kNegInf ? 0.f : std::exp(st.m[rr] - nm);
+            run.l[rr] = run.l[rr] * ra + st.l[rr] * rb;
+            float* o = run.acc.data() + rr * dd;
+            const float* a = st.acc.data() + rr * dd;
+            for (int c = 0; c < d; c++)
+                o[c] = o[c] * ra + a[c] * rb;
+            run.m[rr] = nm;
+        }
+    }
+    return run;
+}
+
+Tensor<float>
+finalizePartial(const SoftmaxPartial& st, int gq, int d)
+{
+    const std::size_t dd = static_cast<std::size_t>(d);
+    Tensor<float> out({static_cast<std::size_t>(gq), dd});
+    for (int r = 0; r < gq; r++) {
+        const std::size_t rr = static_cast<std::size_t>(r);
+        const float inv = st.l[rr] > 0.f ? 1.0f / st.l[rr] : 0.f;
+        for (int c = 0; c < d; c++)
+            out.at(rr, static_cast<std::size_t>(c)) =
+                st.acc[rr * dd + static_cast<std::size_t>(c)] * inv;
+    }
+    return out;
+}
+
+Tensor<float>
+fusedPagedAttention(const Tensor<Half>& q, const kv::PagedHeadCache& cache,
+                    int seq, float scale, ThreadPool* pool)
+{
+    const int d = cache.headDim();
+    const int gq = static_cast<int>(q.dim(0));
+    BITDEC_ASSERT(static_cast<int>(q.dim(1)) == d, "query width mismatch");
+    const int len = cache.length(seq);
+    const int ps = cache.pageSize();
+    const std::vector<int>& pages = cache.pageTable(seq);
+    const int n_chunks = cache.pagesFor(len); // one chunk per page
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    std::vector<float> qf(static_cast<std::size_t>(gq) * dd);
+    toFloat(q.data(), qf.data(), qf.size());
+
+    std::vector<SoftmaxPartial> parts(static_cast<std::size_t>(n_chunks));
+    parallelFor(pool, static_cast<std::size_t>(n_chunks), [&](std::size_t ci) {
+        SoftmaxPartial& st = parts[ci];
+        st.init(gq, d);
+
+        const int page = pages[ci];
+        const int tokens =
+            std::min(ps, len - static_cast<int>(ci) * ps); // last page partial
+        thread_local std::vector<float> kf, vf;
+        const std::size_t need = static_cast<std::size_t>(ps) * dd;
+        if (kf.size() < need) {
+            kf.resize(need);
+            vf.resize(need);
+        }
+        // Bulk-convert the live rows of the page, in place in the pool.
+        toFloat(cache.pageKeyData(page), kf.data(),
+                static_cast<std::size_t>(tokens) * dd);
+        toFloat(cache.pageValueData(page), vf.data(),
+                static_cast<std::size_t>(tokens) * dd);
+        foldTile(qf.data(), gq, d, kf.data(), vf.data(), tokens, scale, st);
+    });
+
+    return finalizePartial(mergePartials(parts, gq, d), gq, d);
+}
+
+Tensor<float>
+fusedFp16Attention(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
+                   float scale, ThreadPool* pool)
+{
+    const int d = cache.headDim();
+    const int gq = static_cast<int>(q.dim(0));
+    BITDEC_ASSERT(static_cast<int>(q.dim(1)) == d, "query width mismatch");
+    const int len = cache.length();
+    const int n_chunks = (len + kChunkTokens - 1) / kChunkTokens;
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    std::vector<float> qf(static_cast<std::size_t>(gq) * dd);
+    toFloat(q.data(), qf.data(), qf.size());
+
+    std::vector<SoftmaxPartial> parts(static_cast<std::size_t>(n_chunks));
+    parallelFor(pool, static_cast<std::size_t>(n_chunks), [&](std::size_t ci) {
+        SoftmaxPartial& st = parts[ci];
+        st.init(gq, d);
+
+        const int t0 = static_cast<int>(ci) * kChunkTokens;
+        const int tokens = std::min(kChunkTokens, len - t0);
+        thread_local std::vector<float> kf, vf;
+        const std::size_t need =
+            static_cast<std::size_t>(kChunkTokens) * dd;
+        if (kf.size() < need) {
+            kf.resize(need);
+            vf.resize(need);
+        }
+        toFloat(cache.keys().data() + static_cast<std::size_t>(t0) * dd,
+                kf.data(), static_cast<std::size_t>(tokens) * dd);
+        toFloat(cache.values().data() + static_cast<std::size_t>(t0) * dd,
+                vf.data(), static_cast<std::size_t>(tokens) * dd);
+        foldTile(qf.data(), gq, d, kf.data(), vf.data(), tokens, scale, st);
+    });
+
+    return finalizePartial(mergePartials(parts, gq, d), gq, d);
+}
+
+} // namespace bitdec::exec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fused FP16 attention kernels of the CPU execution backend.
+ *
+ * These are the serving-side hot paths: decode attention straight over the
+ * paged KV pool (page-table indirection, no gather copies) and over a
+ * contiguous FP16 cache. Pages/tiles convert to float in bulk through the
+ * Half LUT into reusable thread-local scratch; KV chunks of a fixed size
+ * process independently (optionally across the thread pool) and their
+ * online-softmax partials merge sequentially in chunk order, so results
+ * are bitwise identical for any thread count.
+ */
+#ifndef BITDEC_EXEC_FUSED_ATTENTION_H
+#define BITDEC_EXEC_FUSED_ATTENTION_H
+
+#include "common/half.h"
+#include "common/tensor.h"
+#include "exec/thread_pool.h"
+#include "kvcache/kv_cache.h"
+#include "kvcache/paged_cache.h"
+
+namespace bitdec::exec {
+
+/**
+ * Per-row split-KV partial softmax state of one KV chunk: running max,
+ * exp-sum and unnormalized [gq x d] output. Chunks fill these
+ * independently; the caller merges them sequentially in chunk order.
+ */
+struct SoftmaxPartial
+{
+    std::vector<float> m;   //!< per-row running max
+    std::vector<float> l;   //!< per-row exp-sum
+    std::vector<float> acc; //!< [gq x d] unnormalized output
+
+    /** Resets to the empty state (-inf max, zero sums). */
+    void init(int gq, int d);
+};
+
+/**
+ * Sequentially merges chunk partials in vector order (the split-KV
+ * log-sum-exp combine). Deterministic for any thread count because the
+ * order is the chunk order, never the completion order.
+ */
+SoftmaxPartial mergePartials(const std::vector<SoftmaxPartial>& parts, int gq,
+                             int d);
+
+/** Normalizes a merged partial into the [gq x d] attention output. */
+Tensor<float> finalizePartial(const SoftmaxPartial& st, int gq, int d);
+
+/**
+ * Folds one float K/V tile of @p tokens rows into a partial state: scores
+ * against every query row, online-softmax rescale, PV accumulation. The
+ * single shared inner loop of every fused attention path.
+ *
+ * @param qf      [gq x d] float queries
+ * @param kf, vf  [tokens x d] float K/V tile
+ * @param round_p round P through half precision — the packed kernel's
+ *                sAcc round trip; false for the FP16/paged paths
+ */
+void foldTile(const float* qf, int gq, int d, const float* kf,
+              const float* vf, int tokens, float scale, SoftmaxPartial& st,
+              bool round_p = false);
+
+/**
+ * Fused decode attention for one sequence of a paged cache, reading K/V
+ * page-by-page in place (the paged kernels' dataflow — no
+ * gatherKeys/gatherValues materialization).
+ *
+ * Matches attn::referenceAttention over the gathered sequence to ~1e-3
+ * max-abs (fp32 accumulation order and split merges are the only
+ * differences).
+ *
+ * @param q     [gq x d] queries
+ * @param cache paged FP16 cache
+ * @param seq   sequence id
+ * @param scale logit scale
+ * @param pool  optional pool to spread KV chunks over; null = serial
+ */
+Tensor<float> fusedPagedAttention(const Tensor<Half>& q,
+                                  const kv::PagedHeadCache& cache, int seq,
+                                  float scale, ThreadPool* pool = nullptr);
+
+/**
+ * Fused decode attention over a contiguous FP16 cache; same chunked
+ * online-softmax pipeline as the paged variant.
+ */
+Tensor<float> fusedFp16Attention(const Tensor<Half>& q,
+                                 const kv::Fp16HeadCache& cache, float scale,
+                                 ThreadPool* pool = nullptr);
+
+} // namespace bitdec::exec
+
+#endif // BITDEC_EXEC_FUSED_ATTENTION_H

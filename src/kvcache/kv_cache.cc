@@ -20,6 +20,31 @@ transposeCodes(const Tensor<std::uint8_t>& m)
     return out;
 }
 
+/**
+ * Builds a block's per-group dequantized-value table: for every parameter
+ * group (flat order of the params tensor) the 2^bits values the magic-FMA
+ * fast path produces. One table lookup then replaces the per-element
+ * dequantization on the CPU hot path, bit-exactly.
+ */
+std::vector<Half>
+buildDequantLut(const Tensor<Half2>& params, int bits)
+{
+    const int levels = 1 << bits;
+    std::vector<Half> lut(params.numel() * static_cast<std::size_t>(levels));
+    for (std::size_t g = 0; g < params.numel(); g++) {
+        const quant::QuantParams p = quant::QuantParams::fromHalf2(params[g]);
+        for (int q = 0; q < levels; q++) {
+            // dequantMagicValue is Half-rounded by construction, so the
+            // narrowing store is lossless.
+            lut[g * static_cast<std::size_t>(levels) +
+                static_cast<std::size_t>(q)] =
+                Half(quant::dequantMagicValue(static_cast<std::uint8_t>(q),
+                                              p));
+        }
+    }
+    return lut;
+}
+
 } // namespace
 
 Fp16HeadCache::Fp16HeadCache(int head_dim) : head_dim_(head_dim)
@@ -89,6 +114,44 @@ PackedHeadCache::PackedHeadCache(int head_dim, const quant::QuantConfig& config,
                   "head_dim must be a multiple of the MMA K extent");
     BITDEC_ASSERT(nr_ % tiling.pk() == 0,
                   "residual block must be a multiple of the MMA K extent");
+
+    // Dequant routing shared by every block: both K and V land in a
+    // token-major [Nr x d] scratch tile; the parameter-group indices match
+    // the flat order of the blocks' params tensors (and the dequant_lut
+    // built at pack time).
+    const std::uint32_t d = static_cast<std::uint32_t>(head_dim);
+    const std::uint32_t gs = static_cast<std::uint32_t>(config.group_size);
+    // Keys pack transposed ([d x Nr]): row = channel, col = token.
+    const auto k_dest = [d](int row, int col) {
+        return static_cast<std::uint32_t>(col) * d +
+               static_cast<std::uint32_t>(row);
+    };
+    const auto k_param =
+        config.key_granularity == quant::Granularity::TensorWise
+            ? std::function<std::uint32_t(int, int)>(
+                  [d, gs](int row, int col) {
+                      // params [Nr x d/gs] at (token, channel/gs)
+                      return static_cast<std::uint32_t>(col) * (d / gs) +
+                             static_cast<std::uint32_t>(row) / gs;
+                  })
+            : std::function<std::uint32_t(int, int)>(
+                  [d, gs](int row, int col) {
+                      // params [Nr/gs x d] at (token/gs, channel)
+                      return (static_cast<std::uint32_t>(col) / gs) * d +
+                             static_cast<std::uint32_t>(row);
+                  });
+    k_routes_ = exec::buildDequantRoutes(k_layout_, k_dest, k_param);
+    // Values pack natural ([Nr x d]): row = token, col = channel;
+    // params are always tensor-wise, [Nr x d/gs] at (token, channel/gs).
+    const auto v_dest = [d](int row, int col) {
+        return static_cast<std::uint32_t>(row) * d +
+               static_cast<std::uint32_t>(col);
+    };
+    const auto v_param = [d, gs](int row, int col) {
+        return static_cast<std::uint32_t>(row) * (d / gs) +
+               static_cast<std::uint32_t>(col) / gs;
+    };
+    v_routes_ = exec::buildDequantRoutes(v_layout_, v_dest, v_param);
 }
 
 void
@@ -250,6 +313,8 @@ packBlock(const Tensor<Half>& k_block, const Tensor<Half>& v_block,
     k_out.params = kq.params;
     v_out.units = packInduced(v_layout, vq.codes);
     v_out.params = vq.params;
+    k_out.dequant_lut = buildDequantLut(k_out.params, config.bits);
+    v_out.dequant_lut = buildDequantLut(v_out.params, config.bits);
 }
 
 } // namespace bitdec::kv

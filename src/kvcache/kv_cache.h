@@ -17,6 +17,7 @@
 
 #include "common/half.h"
 #include "common/tensor.h"
+#include "exec/dequant_plan.h"
 #include "layout/induced_layout.h"
 #include "layout/tile.h"
 #include "quant/int_quant.h"
@@ -64,6 +65,18 @@ struct PackedBlock
 {
     std::vector<std::uint32_t> units; //!< induced-layout packed words
     Tensor<Half2> params;             //!< per-group scale/zero metadata
+
+    /**
+     * Host-side acceleration table: the 2^bits dequantized values of every
+     * parameter group, [group * 2^bits + code], built at pack time with the
+     * magic-FMA arithmetic (quant::dequantMagicValue). Values are stored as
+     * Half — lossless, since magic-FMA results are Half-rounded by
+     * construction — so the table stays at half the size of an FP16 cache;
+     * the fused path widens through the global Half LUT at use. Not counted
+     * in deviceBytes() — the device dequantizes in registers; this is the
+     * CPU backend's way of making per-element dequant a pair of loads.
+     */
+    std::vector<Half> dequant_lut;
 };
 
 /**
@@ -127,6 +140,22 @@ class PackedHeadCache
     /** Warp tiling. */
     const layout::WarpTiling& tiling() const { return tiling_; }
 
+    /** Per-head hidden size. */
+    int headDim() const { return head_dim_; }
+
+    /**
+     * Dequant routing for key blocks: scratch destinations index a
+     * token-major [Nr x d] tile. Shared by all blocks of this cache.
+     */
+    const std::vector<exec::CodeRoute>& keyRoutes() const { return k_routes_; }
+
+    /** Dequant routing for value blocks (token-major [Nr x d] scratch). */
+    const std::vector<exec::CodeRoute>&
+    valueRoutes() const
+    {
+        return v_routes_;
+    }
+
     /** Device bytes: packed words + metadata + residual. */
     double deviceBytes() const;
 
@@ -149,6 +178,9 @@ class PackedHeadCache
 
     layout::InducedLayout k_layout_; //!< for one block: [d x Nr]
     layout::InducedLayout v_layout_; //!< for one block: [Nr x d]
+
+    std::vector<exec::CodeRoute> k_routes_; //!< shared key dequant routing
+    std::vector<exec::CodeRoute> v_routes_; //!< shared value dequant routing
 
     std::vector<PackedBlock> k_blocks_;
     std::vector<PackedBlock> v_blocks_;

@@ -127,6 +127,24 @@ PagedHeadCache::tokenKey(int seq, int t) const
     return key;
 }
 
+const Half*
+PagedHeadCache::pageKeyData(int page) const
+{
+    BITDEC_ASSERT(page >= 0 && page < allocator_.totalPages(), "bad page id");
+    return k_pool_.data() + static_cast<std::size_t>(page) *
+                                static_cast<std::size_t>(page_size_) *
+                                static_cast<std::size_t>(head_dim_);
+}
+
+const Half*
+PagedHeadCache::pageValueData(int page) const
+{
+    BITDEC_ASSERT(page >= 0 && page < allocator_.totalPages(), "bad page id");
+    return v_pool_.data() + static_cast<std::size_t>(page) *
+                                static_cast<std::size_t>(page_size_) *
+                                static_cast<std::size_t>(head_dim_);
+}
+
 int
 PagedHeadCache::pagesFor(int tokens) const
 {

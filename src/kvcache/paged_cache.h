@@ -89,6 +89,19 @@ class PagedHeadCache
     /** Reads the key vector of one stored token (0 <= t < length(seq)). */
     std::vector<Half> tokenKey(int seq, int t) const;
 
+    /**
+     * Raw storage of one physical key page: [page_size x head_dim] halves,
+     * row-major by slot. The fused paged kernels read pages in place —
+     * no gatherKeys/gatherValues copy of the whole sequence.
+     */
+    const Half* pageKeyData(int page) const;
+
+    /** Raw storage of one physical value page. */
+    const Half* pageValueData(int page) const;
+
+    /** Per-head hidden size. */
+    int headDim() const { return head_dim_; }
+
     /** Tokens per page. */
     int pageSize() const { return page_size_; }
 

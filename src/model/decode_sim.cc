@@ -157,6 +157,20 @@ decodeThroughput(const sim::GpuArch& arch, const ModelConfig& model,
     return r;
 }
 
+std::vector<Tensor<float>>
+batchedFusedDecode(const std::vector<FusedDecodeItem>& items, float scale,
+                   exec::ThreadPool* pool)
+{
+    std::vector<Tensor<float>> outs(items.size());
+    exec::parallelFor(pool, items.size(), [&](std::size_t i) {
+        // Serial per item: the batch is the parallel dimension, so nested
+        // parallelism (and pool deadlock) cannot arise.
+        outs[i] = core::fusedPackedAttention(*items[i].q, *items[i].cache,
+                                             scale, nullptr);
+    });
+    return outs;
+}
+
 ThroughputResult
 maxBatchThroughput(const sim::GpuArch& arch, const ModelConfig& model,
                    int seq_len, const E2EConfig& cfg, int batch_limit)

@@ -193,8 +193,8 @@ mxEncodeMatrix(const Tensor<Half>& x, MxKind kind)
 
     std::vector<float> row(cols);
     for (std::size_t r = 0; r < rows; r++) {
-        for (std::size_t c = 0; c < cols; c++)
-            row[c] = x.at(r, c).toFloat();
+        // Rows are contiguous: one bulk LUT conversion per row.
+        toFloat(x.data() + r * cols, row.data(), cols);
         const MxVector v = mxEncode(row, kind);
         for (std::size_t c = 0; c < cols; c++)
             m.codes.at(r, c) = v.codes[c];
@@ -208,9 +208,13 @@ Tensor<Half>
 mxDecodeMatrix(const MxMatrix& m)
 {
     Tensor<Half> out({m.rows, m.cols});
-    for (std::size_t r = 0; r < m.rows; r++)
+    std::vector<float> row(m.cols);
+    for (std::size_t r = 0; r < m.rows; r++) {
         for (std::size_t c = 0; c < m.cols; c++)
-            out.at(r, c) = Half(m.valueAt(r, c));
+            row[c] = m.valueAt(r, c);
+        // Rows are contiguous: one bulk narrowing pass per row.
+        fromFloat(row.data(), out.data() + r * m.cols, m.cols);
+    }
     return out;
 }
 

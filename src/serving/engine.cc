@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
+#include "exec/fused_attention.h"
 
 namespace bitdec::serving {
 
@@ -24,6 +26,20 @@ hashKeyRow(const std::vector<Half>& row)
     std::uint64_t h = 0xCBF29CE484222325ull;
     for (const Half& x : row) {
         h ^= x.bits();
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+/** FNV-1a fold of an attention output's float bit patterns. */
+std::uint64_t
+hashFloats(const Tensor<float>& t)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < t.numel(); i++) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &t[i], sizeof(bits));
+        h ^= bits;
         h *= 0x100000001B3ull;
     }
     return h;
@@ -174,6 +190,7 @@ Engine::run(std::vector<Request>& requests)
         int prefill_tokens = 0;
         long decode_len_sum = 0;
         const std::vector<Request*> batch = sched_.running();
+        std::vector<Request*> decoded;
         for (Request* r : batch) {
             if (r->state == RequestState::Prefill) {
                 const int chunk = std::min(
@@ -199,7 +216,41 @@ Engine::run(std::vector<Request>& requests)
                 r->generated++;
                 decode_batch++;
                 decode_len_sum += pos + 1;
+                decoded.push_back(r);
             }
+        }
+
+        // Functional per-step attention: the fused paged kernel runs over
+        // each decoding sequence's page table (no gather), fanned out
+        // across the pool. Digests are folded sequentially in batch order,
+        // so the hashes are identical for any thread count.
+        if (cfg_.functional_attention && !decoded.empty()) {
+            const float scale =
+                1.0f / std::sqrt(static_cast<float>(cfg_.cache_head_dim));
+            std::vector<std::uint64_t> digests(decoded.size());
+            // A decode batch of one has no outer fan-out; hand the pool to
+            // the kernel instead so its KV chunks still parallelize. (Safe:
+            // parallelFor(n == 1) runs inline, outside any pool task.)
+            exec::ThreadPool* inner =
+                decoded.size() == 1 ? cfg_.pool : nullptr;
+            exec::parallelFor(
+                cfg_.pool, decoded.size(), [&](std::size_t i) {
+                    const Request& r = *decoded[i];
+                    const int pos = r.prompt_tokens + r.generated - 1;
+                    const std::uint64_t seed =
+                        tokenSeed(r.id, pos) ^ 0x5DEECE66Dull;
+                    Tensor<Half> q({1, static_cast<std::size_t>(
+                                           cfg_.cache_head_dim)});
+                    for (int d = 0; d < cfg_.cache_head_dim; d++)
+                        q.at(0, static_cast<std::size_t>(d)) =
+                            seedHalf(seed, d);
+                    const Tensor<float> o = exec::fusedPagedAttention(
+                        q, cache_, r.seq, scale, inner);
+                    digests[i] = hashFloats(o);
+                });
+            for (std::size_t i = 0; i < decoded.size(); i++)
+                decoded[i]->attn_hash =
+                    decoded[i]->attn_hash * 0x100000001B3ull ^ digests[i];
         }
 
         const double step_s =

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "gpusim/arch.h"
 #include "kvcache/paged_cache.h"
 #include "model/decode_sim.h"
@@ -46,6 +47,16 @@ struct EngineConfig
     int cache_head_dim = 8; //!< functional cache width (content modeling)
 
     double max_clock_s = 1e6; //!< safety stop for runaway configurations
+
+    /**
+     * When set, every decode step also runs the fused paged attention
+     * kernel for each decoding request — straight over the page table,
+     * parallel across requests — and folds the output into the request's
+     * attn_hash. Off by default: it adds real numeric work per step.
+     */
+    bool functional_attention = false;
+    exec::ThreadPool* pool = nullptr; //!< pool for the per-step attention
+                                      //!< fan-out; null = inline
 };
 
 /** Continuous-batching serving engine. */
