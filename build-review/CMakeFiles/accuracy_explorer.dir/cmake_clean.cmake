@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_explorer.dir/examples/accuracy_explorer.cpp.o"
+  "CMakeFiles/accuracy_explorer.dir/examples/accuracy_explorer.cpp.o.d"
+  "accuracy_explorer"
+  "accuracy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

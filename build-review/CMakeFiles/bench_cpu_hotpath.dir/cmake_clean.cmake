@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_hotpath.dir/bench/bench_cpu_hotpath.cc.o"
+  "CMakeFiles/bench_cpu_hotpath.dir/bench/bench_cpu_hotpath.cc.o.d"
+  "bench_cpu_hotpath"
+  "bench_cpu_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_warp_stalls.dir/bench/bench_fig04_warp_stalls.cc.o"
+  "CMakeFiles/bench_fig04_warp_stalls.dir/bench/bench_fig04_warp_stalls.cc.o.d"
+  "bench_fig04_warp_stalls"
+  "bench_fig04_warp_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_warp_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

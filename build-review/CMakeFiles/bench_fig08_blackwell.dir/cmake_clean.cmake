@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_blackwell.dir/bench/bench_fig08_blackwell.cc.o"
+  "CMakeFiles/bench_fig08_blackwell.dir/bench/bench_fig08_blackwell.cc.o.d"
+  "bench_fig08_blackwell"
+  "bench_fig08_blackwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_blackwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_hopper.dir/bench/bench_fig09_hopper.cc.o"
+  "CMakeFiles/bench_fig09_hopper.dir/bench/bench_fig09_hopper.cc.o.d"
+  "bench_fig09_hopper"
+  "bench_fig09_hopper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_hopper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rtx4090.dir/bench/bench_fig10_rtx4090.cc.o"
+  "CMakeFiles/bench_fig10_rtx4090.dir/bench/bench_fig10_rtx4090.cc.o.d"
+  "bench_fig10_rtx4090"
+  "bench_fig10_rtx4090.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rtx4090.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

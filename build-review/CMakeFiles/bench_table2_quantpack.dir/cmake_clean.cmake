@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quantpack.dir/bench/bench_table2_quantpack.cc.o"
+  "CMakeFiles/bench_table2_quantpack.dir/bench/bench_table2_quantpack.cc.o.d"
+  "bench_table2_quantpack"
+  "bench_table2_quantpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quantpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_coop_softmax.dir/bench/bench_table3_coop_softmax.cc.o"
+  "CMakeFiles/bench_table3_coop_softmax.dir/bench/bench_table3_coop_softmax.cc.o.d"
+  "bench_table3_coop_softmax"
+  "bench_table3_coop_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_coop_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attention/flash_decoding.cc" "CMakeFiles/bitdec.dir/src/attention/flash_decoding.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/attention/flash_decoding.cc.o.d"
+  "/root/repo/src/attention/kivi_baseline.cc" "CMakeFiles/bitdec.dir/src/attention/kivi_baseline.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/attention/kivi_baseline.cc.o.d"
+  "/root/repo/src/attention/qserve_baseline.cc" "CMakeFiles/bitdec.dir/src/attention/qserve_baseline.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/attention/qserve_baseline.cc.o.d"
+  "/root/repo/src/attention/reference.cc" "CMakeFiles/bitdec.dir/src/attention/reference.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/attention/reference.cc.o.d"
+  "/root/repo/src/attention/workloads.cc" "CMakeFiles/bitdec.dir/src/attention/workloads.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/attention/workloads.cc.o.d"
+  "/root/repo/src/common/half.cc" "CMakeFiles/bitdec.dir/src/common/half.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/common/half.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/bitdec.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/bitdec.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/core/bitdecoding.cc" "CMakeFiles/bitdec.dir/src/core/bitdecoding.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/core/bitdecoding.cc.o.d"
+  "/root/repo/src/core/packing_kernel.cc" "CMakeFiles/bitdec.dir/src/core/packing_kernel.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/core/packing_kernel.cc.o.d"
+  "/root/repo/src/core/query_transform.cc" "CMakeFiles/bitdec.dir/src/core/query_transform.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/core/query_transform.cc.o.d"
+  "/root/repo/src/core/residual_kernel.cc" "CMakeFiles/bitdec.dir/src/core/residual_kernel.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/core/residual_kernel.cc.o.d"
+  "/root/repo/src/exec/dequant_plan.cc" "CMakeFiles/bitdec.dir/src/exec/dequant_plan.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/exec/dequant_plan.cc.o.d"
+  "/root/repo/src/exec/fused_attention.cc" "CMakeFiles/bitdec.dir/src/exec/fused_attention.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/exec/fused_attention.cc.o.d"
+  "/root/repo/src/exec/thread_pool.cc" "CMakeFiles/bitdec.dir/src/exec/thread_pool.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/exec/thread_pool.cc.o.d"
+  "/root/repo/src/gpusim/arch.cc" "CMakeFiles/bitdec.dir/src/gpusim/arch.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/gpusim/arch.cc.o.d"
+  "/root/repo/src/gpusim/bitops.cc" "CMakeFiles/bitdec.dir/src/gpusim/bitops.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/gpusim/bitops.cc.o.d"
+  "/root/repo/src/gpusim/fragment.cc" "CMakeFiles/bitdec.dir/src/gpusim/fragment.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/gpusim/fragment.cc.o.d"
+  "/root/repo/src/gpusim/shared_memory.cc" "CMakeFiles/bitdec.dir/src/gpusim/shared_memory.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/gpusim/shared_memory.cc.o.d"
+  "/root/repo/src/gpusim/timing.cc" "CMakeFiles/bitdec.dir/src/gpusim/timing.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/gpusim/timing.cc.o.d"
+  "/root/repo/src/gpusim/warp.cc" "CMakeFiles/bitdec.dir/src/gpusim/warp.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/gpusim/warp.cc.o.d"
+  "/root/repo/src/kvcache/kv_cache.cc" "CMakeFiles/bitdec.dir/src/kvcache/kv_cache.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/kvcache/kv_cache.cc.o.d"
+  "/root/repo/src/kvcache/paged_cache.cc" "CMakeFiles/bitdec.dir/src/kvcache/paged_cache.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/kvcache/paged_cache.cc.o.d"
+  "/root/repo/src/layout/induced_layout.cc" "CMakeFiles/bitdec.dir/src/layout/induced_layout.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/layout/induced_layout.cc.o.d"
+  "/root/repo/src/layout/tile.cc" "CMakeFiles/bitdec.dir/src/layout/tile.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/layout/tile.cc.o.d"
+  "/root/repo/src/model/accuracy_proxy.cc" "CMakeFiles/bitdec.dir/src/model/accuracy_proxy.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/model/accuracy_proxy.cc.o.d"
+  "/root/repo/src/model/decode_sim.cc" "CMakeFiles/bitdec.dir/src/model/decode_sim.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/model/decode_sim.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "CMakeFiles/bitdec.dir/src/model/model_config.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/model/model_config.cc.o.d"
+  "/root/repo/src/quant/fast_dequant.cc" "CMakeFiles/bitdec.dir/src/quant/fast_dequant.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/quant/fast_dequant.cc.o.d"
+  "/root/repo/src/quant/int_quant.cc" "CMakeFiles/bitdec.dir/src/quant/int_quant.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/quant/int_quant.cc.o.d"
+  "/root/repo/src/quant/mx_format.cc" "CMakeFiles/bitdec.dir/src/quant/mx_format.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/quant/mx_format.cc.o.d"
+  "/root/repo/src/quant/packing.cc" "CMakeFiles/bitdec.dir/src/quant/packing.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/quant/packing.cc.o.d"
+  "/root/repo/src/quant/quant_params.cc" "CMakeFiles/bitdec.dir/src/quant/quant_params.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/quant/quant_params.cc.o.d"
+  "/root/repo/src/quant/repack_baselines.cc" "CMakeFiles/bitdec.dir/src/quant/repack_baselines.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/quant/repack_baselines.cc.o.d"
+  "/root/repo/src/serving/engine.cc" "CMakeFiles/bitdec.dir/src/serving/engine.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/serving/engine.cc.o.d"
+  "/root/repo/src/serving/metrics.cc" "CMakeFiles/bitdec.dir/src/serving/metrics.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/serving/metrics.cc.o.d"
+  "/root/repo/src/serving/request.cc" "CMakeFiles/bitdec.dir/src/serving/request.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/serving/request.cc.o.d"
+  "/root/repo/src/serving/scheduler.cc" "CMakeFiles/bitdec.dir/src/serving/scheduler.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/serving/scheduler.cc.o.d"
+  "/root/repo/src/serving/trace.cc" "CMakeFiles/bitdec.dir/src/serving/trace.cc.o" "gcc" "CMakeFiles/bitdec.dir/src/serving/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

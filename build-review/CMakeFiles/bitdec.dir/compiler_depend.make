@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bitdec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_throughput.dir/examples/serving_throughput.cpp.o"
+  "CMakeFiles/serving_throughput.dir/examples/serving_throughput.cpp.o.d"
+  "serving_throughput"
+  "serving_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_kv.dir/tests/test_layout_kv.cc.o"
+  "CMakeFiles/test_layout_kv.dir/tests/test_layout_kv.cc.o.d"
+  "test_layout_kv"
+  "test_layout_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
