@@ -4,7 +4,7 @@
  * FP16 FlashDecoding vs KIVI vs BitDecoding-4 under a Poisson trace of
  * 32K-context requests on A100 / llama-3.1-8B.
  *
- * Two views:
+ * Four views:
  *  1. Tail latency at a common offered load: TTFT, TPOT, p99 request
  *     latency, sustained tokens/s and preemptions.
  *  2. Saturation sweep: the highest Poisson arrival rate each system
@@ -12,8 +12,19 @@
  *     capacity shows up here as a strictly higher max rate than FP16,
  *     because FP16 runs out of KV pages (queueing for admission) long
  *     before the device runs out of FLOPs.
+ *  3. Shared-prefix reuse: a burst of requests sharing a 24K system
+ *     prompt, with prefix page reuse off vs on. Reuse maps the packed
+ *     prefix pages instead of re-prefilling them, so sustained req/s
+ *     jumps while the run digest stays identical (same token content).
+ *  4. Scheduling policy: FCFS vs priority-with-aging on a three-class
+ *     workload — per-priority TTFT shows urgent requests jumping the
+ *     queue without starving the background class.
+ *
+ * `--smoke` runs only view 3 as a CI gate: it fails the process unless
+ * reuse sustains >= 1.5x the baseline req/s AND the two digests match.
  */
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -85,11 +96,121 @@ runOnce(const SystemUnderTest& sut, double rate_qps)
     return engine.run(trace);
 }
 
+// ------------------------------------------------ shared-prefix reuse --
+
+/** 24 bursty requests sharing a 24K system prompt with ~8K unique tails. */
+TraceConfig
+sharedPrefixTrace()
+{
+    TraceConfig tc;
+    tc.seed = kTraceSeed;
+    tc.num_requests = kNumRequests;
+    tc.arrival_rate_qps = 2.0; // burst: service rate, not arrivals, binds
+    tc.shared_prefix_tokens = 24576;
+    tc.prompt_median = 8192; // unique tail after the system prompt
+    tc.prompt_log_sigma = 0.2;
+    tc.prompt_min = 4096;
+    tc.prompt_max = 16384;
+    tc.output_median = 256;
+    tc.output_log_sigma = 0.3;
+    tc.output_min = 64;
+    tc.output_max = 512;
+    return tc;
+}
+
+ServingMetrics
+runSharedPrefix(bool reuse, int num_priority_levels = 1,
+                serving::SchedPolicy policy = serving::SchedPolicy::Fcfs,
+                int max_batch = 64)
+{
+    TraceConfig tc = sharedPrefixTrace();
+    tc.num_priority_levels = num_priority_levels;
+    auto trace = generateTrace(tc);
+    SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
+    EngineConfig cfg = engineConfig(bd4);
+    cfg.sched.prefix_reuse = reuse;
+    cfg.sched.policy = policy;
+    cfg.sched.max_batch = max_batch;
+    Engine engine(sim::archA100(), model::llama31_8b(), cfg);
+    return engine.run(trace);
+}
+
+/**
+ * Runs the shared-prefix scenario both ways and checks the gate:
+ * >= @p min_speedup sustained req/s and identical digests.
+ * @return true when the gate passes.
+ */
+bool
+sharedPrefixSection(double min_speedup)
+{
+    bench::section("Shared-prefix reuse: 24K common system prompt, "
+                   "~8K unique tails (BitDecoding-4)");
+    const ServingMetrics cold = runSharedPrefix(false);
+    const ServingMetrics hit = runSharedPrefix(true);
+
+    bench::head("mode", {"req/s", "ttft-p50", "ttft-p99", "cold-tok",
+                         "hit-tok", "hit-rate", "cow"});
+    bench::row("no reuse (cold prefill)",
+               {cold.sustained_qps, cold.ttft_p50_s, cold.ttft_p99_s,
+                static_cast<double>(cold.prefill_tokens),
+                static_cast<double>(cold.prefix_hit_tokens),
+                cold.prefix_hit_rate, static_cast<double>(cold.cow_copies)});
+    bench::row("prefix page reuse",
+               {hit.sustained_qps, hit.ttft_p50_s, hit.ttft_p99_s,
+                static_cast<double>(hit.prefill_tokens),
+                static_cast<double>(hit.prefix_hit_tokens),
+                hit.prefix_hit_rate, static_cast<double>(hit.cow_copies)});
+
+    const double speedup =
+        cold.sustained_qps > 0 ? hit.sustained_qps / cold.sustained_qps : 0;
+    const bool digests_match = cold.outputs_digest == hit.outputs_digest;
+    std::printf("\nreuse sustains %.2fx req/s; digests %s "
+                "(%016llx vs %016llx)\n",
+                speedup, digests_match ? "match" : "DIFFER",
+                static_cast<unsigned long long>(cold.outputs_digest),
+                static_cast<unsigned long long>(hit.outputs_digest));
+
+    const bool pass = speedup >= min_speedup && digests_match;
+    if (!pass)
+        std::printf("FAIL: expected >= %.2fx speedup with matching "
+                    "digests\n",
+                    min_speedup);
+    return pass;
+}
+
+void
+policySection()
+{
+    bench::section("Scheduling policy: per-priority TTFT, three classes "
+                   "(0 = background, 2 = interactive), batch cap 4");
+    bench::head("policy / priority", {"count", "ttft-mean", "ttft-p95"});
+    for (const auto policy :
+         {serving::SchedPolicy::Fcfs, serving::SchedPolicy::Priority}) {
+        // A tight batch cap forces an admission queue, where the policies
+        // actually differ.
+        const ServingMetrics m = runSharedPrefix(true, 3, policy, 4);
+        for (const auto& p : m.ttft_by_priority) {
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s / p%d",
+                          serving::toString(policy), p.priority);
+            bench::row(label,
+                       {static_cast<double>(p.count), p.mean_s, p.p95_s});
+        }
+    }
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    if (smoke) {
+        // CI gate: only the shared-prefix scenario, hard pass/fail.
+        bench::banner("Serving E2E smoke: shared-prefix page reuse gate");
+        return sharedPrefixSection(1.5) ? 0 : 1;
+    }
+
     bench::banner("Serving E2E: continuous batching, 32K context "
                   "(A100, llama-3.1-8B)");
     std::printf("Poisson arrivals, lognormal prompts (median 32K) and "
@@ -155,5 +276,8 @@ main()
         std::printf("\nWARNING: BitDecoding-4 did not beat FP16 "
                     "(%.2f vs %.2f req/s)\n",
                     bitdec, fp16);
-    return 0;
+
+    const bool prefix_ok = sharedPrefixSection(1.5);
+    policySection();
+    return prefix_ok ? 0 : 1;
 }

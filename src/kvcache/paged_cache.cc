@@ -5,7 +5,7 @@
 namespace bitdec::kv {
 
 PageAllocator::PageAllocator(int num_pages)
-    : total_(num_pages), allocated_(static_cast<std::size_t>(num_pages), false)
+    : total_(num_pages), refs_(static_cast<std::size_t>(num_pages), 0)
 {
     BITDEC_ASSERT(num_pages > 0, "page pool must be non-empty");
     free_.reserve(static_cast<std::size_t>(num_pages));
@@ -21,18 +21,34 @@ PageAllocator::allocate()
         return std::nullopt;
     const int page = free_.back();
     free_.pop_back();
-    allocated_[static_cast<std::size_t>(page)] = true;
+    refs_[static_cast<std::size_t>(page)] = 1;
     return page;
+}
+
+void
+PageAllocator::retain(int page)
+{
+    BITDEC_ASSERT(page >= 0 && page < total_, "bad page id");
+    BITDEC_ASSERT(refs_[static_cast<std::size_t>(page)] > 0,
+                  "retain of free page ", page);
+    refs_[static_cast<std::size_t>(page)]++;
 }
 
 void
 PageAllocator::release(int page)
 {
     BITDEC_ASSERT(page >= 0 && page < total_, "bad page id");
-    BITDEC_ASSERT(allocated_[static_cast<std::size_t>(page)],
+    BITDEC_ASSERT(refs_[static_cast<std::size_t>(page)] > 0,
                   "double free of page ", page);
-    allocated_[static_cast<std::size_t>(page)] = false;
-    free_.push_back(page);
+    if (--refs_[static_cast<std::size_t>(page)] == 0)
+        free_.push_back(page);
+}
+
+int
+PageAllocator::refCount(int page) const
+{
+    BITDEC_ASSERT(page >= 0 && page < total_, "bad page id");
+    return refs_[static_cast<std::size_t>(page)];
 }
 
 PagedHeadCache::PagedHeadCache(int head_dim, int page_size, int num_pages)
@@ -62,6 +78,21 @@ PagedHeadCache::addSequence()
     return static_cast<int>(seqs_.size()) - 1;
 }
 
+int
+PagedHeadCache::addSequenceWithPrefix(std::uint64_t key)
+{
+    const auto it = prefixes_.find(key);
+    BITDEC_ASSERT(it != prefixes_.end(), "unknown prefix key ", key);
+    const int seq = addSequence();
+    auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    for (int p : it->second.pages) {
+        allocator_.retain(p);
+        s.pages.push_back(p);
+    }
+    s.len = it->second.tokens;
+    return seq;
+}
+
 void
 PagedHeadCache::removeSequence(int seq)
 {
@@ -87,6 +118,26 @@ PagedHeadCache::append(int seq, const std::vector<Half>& k,
         if (!page)
             return false; // OOM: caller decides (evict / reject)
         s.pages.push_back(*page);
+    } else if (allocator_.refCount(s.pages.back()) > 1) {
+        // Copy-on-write: the partially-filled last page is shared (prefix
+        // index or sibling sequences). Copy the filled slots into a fresh
+        // page so this sequence's divergence stays private.
+        const auto page = allocator_.allocate();
+        if (!page)
+            return false;
+        const std::size_t src = static_cast<std::size_t>(s.pages.back());
+        const std::size_t dst = static_cast<std::size_t>(*page);
+        const std::size_t row = static_cast<std::size_t>(head_dim_);
+        for (int t = 0; t < slot; t++) {
+            const std::size_t st = static_cast<std::size_t>(t);
+            for (std::size_t d = 0; d < row; d++) {
+                k_pool_.at(dst, st, d) = k_pool_.at(src, st, d);
+                v_pool_.at(dst, st, d) = v_pool_.at(src, st, d);
+            }
+        }
+        allocator_.release(s.pages.back());
+        s.pages.back() = *page;
+        cow_copies_++;
     }
     const std::size_t page = static_cast<std::size_t>(s.pages.back());
     for (int d = 0; d < head_dim_; d++) {
@@ -97,6 +148,98 @@ PagedHeadCache::append(int seq, const std::vector<Half>& k,
     }
     s.len++;
     return true;
+}
+
+bool
+PagedHeadCache::publishPrefix(std::uint64_t key, int seq, int tokens)
+{
+    BITDEC_ASSERT(key != 0, "prefix key 0 is reserved for 'no prefix'");
+    if (prefixes_.count(key))
+        return false; // first publisher wins
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    BITDEC_ASSERT(tokens > 0 && tokens <= s.len,
+                  "prefix of ", tokens, " tokens exceeds sequence length ",
+                  s.len);
+    PrefixEntry e;
+    e.tokens = tokens;
+    const int pages = pagesFor(tokens);
+    e.pages.assign(s.pages.begin(), s.pages.begin() + pages);
+    for (int p : e.pages)
+        allocator_.retain(p);
+    prefixes_.emplace(key, std::move(e));
+    return true;
+}
+
+int
+PagedHeadCache::prefixTokens(std::uint64_t key) const
+{
+    const auto it = prefixes_.find(key);
+    return it == prefixes_.end() ? 0 : it->second.tokens;
+}
+
+int
+PagedHeadCache::prefixPages(std::uint64_t key) const
+{
+    const auto it = prefixes_.find(key);
+    return it == prefixes_.end() ? 0
+                                 : static_cast<int>(it->second.pages.size());
+}
+
+void
+PagedHeadCache::dropPrefix(std::uint64_t key)
+{
+    const auto it = prefixes_.find(key);
+    BITDEC_ASSERT(it != prefixes_.end(), "unknown prefix key ", key);
+    for (int p : it->second.pages)
+        allocator_.release(p);
+    prefixes_.erase(it);
+}
+
+int
+PagedHeadCache::releaseUnusedPrefixes()
+{
+    int freed = 0;
+    for (auto it = prefixes_.begin(); it != prefixes_.end();) {
+        bool unused = true;
+        for (int p : it->second.pages)
+            unused &= allocator_.refCount(p) == 1;
+        if (unused) {
+            freed += static_cast<int>(it->second.pages.size());
+            for (int p : it->second.pages)
+                allocator_.release(p);
+            it = prefixes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return freed;
+}
+
+int
+PagedHeadCache::releaseAllPrefixes()
+{
+    int freed = 0;
+    for (auto& [key, entry] : prefixes_) {
+        for (int p : entry.pages) {
+            const bool last = allocator_.refCount(p) == 1;
+            allocator_.release(p);
+            freed += last ? 1 : 0;
+        }
+    }
+    prefixes_.clear();
+    return freed;
+}
+
+int
+PagedHeadCache::reclaimablePages(int seq) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    int n = 0;
+    for (int p : s.pages)
+        n += allocator_.refCount(p) == 1 ? 1 : 0;
+    return n;
 }
 
 int
@@ -149,6 +292,19 @@ int
 PagedHeadCache::pagesFor(int tokens) const
 {
     return (tokens + page_size_ - 1) / page_size_;
+}
+
+int
+PagedHeadCache::pagesNeededForAppend(int seq, int extra) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    int needed = pagesFor(s.len + extra) - pagesFor(s.len);
+    // Writing into a shared partially-filled page costs one CoW page.
+    if (extra > 0 && s.len % page_size_ != 0 &&
+        allocator_.refCount(s.pages.back()) > 1)
+        needed++;
+    return needed;
 }
 
 bool

@@ -3,12 +3,22 @@
  * PagedAttention-style KV-cache page management (the "Pages" evaluation
  * setting). A fixed pool of fixed-size token pages is shared by all
  * sequences; each sequence maps logical token blocks to physical pages.
+ *
+ * Pages are reference counted so a fully-packed prompt prefix can be
+ * mapped into many sequences at once (shared-prefix reuse): a prefix
+ * index keyed by caller-chosen ids pins the pages of a published prefix,
+ * new sequences map them with a refcount bump instead of re-writing the
+ * tokens, and a page is returned to the free list only on its last
+ * release. Writes into a shared partially-filled page go through
+ * copy-on-write, so divergence after the common prefix never corrupts
+ * another sequence's view.
  */
 #ifndef BITDEC_KVCACHE_PAGED_CACHE_H
 #define BITDEC_KVCACHE_PAGED_CACHE_H
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/half.h"
@@ -16,18 +26,30 @@
 
 namespace bitdec::kv {
 
-/** Fixed-pool page allocator with a free list. */
+/** Fixed-pool page allocator with a free list and per-page refcounts. */
 class PageAllocator
 {
   public:
     /** @param num_pages total physical pages in the pool */
     explicit PageAllocator(int num_pages);
 
-    /** Allocates one page; std::nullopt when the pool is exhausted (OOM). */
+    /**
+     * Allocates one page with refcount 1; std::nullopt when the pool is
+     * exhausted (OOM).
+     */
     std::optional<int> allocate();
 
-    /** Returns a page to the pool. */
+    /** Adds one reference to an allocated page (shared mapping). */
+    void retain(int page);
+
+    /**
+     * Drops one reference; the page returns to the free list when the
+     * last reference goes away.
+     */
     void release(int page);
+
+    /** References currently held on a page (0 = free). */
+    int refCount(int page) const;
 
     /** Pages currently free. */
     int freePages() const { return static_cast<int>(free_.size()); }
@@ -38,7 +60,7 @@ class PageAllocator
   private:
     int total_;
     std::vector<int> free_;
-    std::vector<bool> allocated_;
+    std::vector<int> refs_;
 };
 
 /**
@@ -61,15 +83,74 @@ class PagedHeadCache
     /** Registers a new sequence; returns its id. */
     int addSequence();
 
-    /** Removes a sequence and frees its pages. */
+    /**
+     * Registers a new sequence that starts with the pages of a published
+     * prefix mapped in (refcounts bumped, no data copied). The sequence
+     * begins at length prefixTokens(key). The key must be published.
+     */
+    int addSequenceWithPrefix(std::uint64_t key);
+
+    /** Removes a sequence and drops its page references. */
     void removeSequence(int seq);
 
     /**
-     * Appends one token to a sequence.
+     * Appends one token to a sequence. Appending into a partially-filled
+     * page that other sequences (or the prefix index) still reference
+     * copies it first (copy-on-write).
      * @return false when the page pool is exhausted (OOM).
      */
     bool append(int seq, const std::vector<Half>& k,
                 const std::vector<Half>& v);
+
+    // ------------------------------------------------ shared prefixes --
+
+    /**
+     * Publishes the first @p tokens tokens of @p seq as a reusable prefix
+     * under @p key. The index itself retains the covering pages, so the
+     * prefix outlives the publishing sequence. A partially-filled last
+     * page may be shared: consumers append through copy-on-write.
+     * @return false when @p key is already published (no-op).
+     */
+    bool publishPrefix(std::uint64_t key, int seq, int tokens);
+
+    /** Tokens a published prefix provides; 0 when @p key is unknown. */
+    int prefixTokens(std::uint64_t key) const;
+
+    /** Pages a published prefix pins; 0 when @p key is unknown. */
+    int prefixPages(std::uint64_t key) const;
+
+    /** Unpublishes @p key, dropping the index's page references. */
+    void dropPrefix(std::uint64_t key);
+
+    /**
+     * Unpublishes every prefix no live sequence maps anymore (all page
+     * refcounts == 1, i.e. only the index pins them). Called by engines
+     * under page-pool pressure. @return pages returned to the free list.
+     */
+    int releaseUnusedPrefixes();
+
+    /**
+     * Unpublishes every prefix, mapped or not (hard eviction under
+     * extreme pool pressure). Sequences that mapped a prefix keep their
+     * own page references, so only pages held by nothing else — e.g. a
+     * partial page orphaned by copy-on-write divergence — actually free.
+     * Future arrivals cold-prefill until a prefix republishes.
+     * @return pages returned to the free list.
+     */
+    int releaseAllPrefixes();
+
+    /** Number of published prefixes. */
+    int numPrefixes() const { return static_cast<int>(prefixes_.size()); }
+
+    /**
+     * Pages of @p seq that freeing the sequence would actually return to
+     * the pool (refcount 1: not pinned by the prefix index or mapped by
+     * another sequence). Preemption victims are chosen by this.
+     */
+    int reclaimablePages(int seq) const;
+
+    /** Copy-on-write page copies performed so far (stats/tests). */
+    long cowCopies() const { return cow_copies_; }
 
     /** Tokens stored for a sequence. */
     int length(int seq) const;
@@ -115,6 +196,13 @@ class PagedHeadCache
     int pagesFor(int tokens) const;
 
     /**
+     * Fresh pool pages appending @p extra tokens to @p seq will consume,
+     * including the copy-on-write page when the sequence's partially
+     * filled last page is shared. Step planners budget with this.
+     */
+    int pagesNeededForAppend(int seq, int extra) const;
+
+    /**
      * True when the free pool can absorb @p extra_tokens more tokens for a
      * sequence currently @p current_len tokens long (partial last pages
      * already allocated are accounted for). Convenience for callers growing
@@ -136,6 +224,12 @@ class PagedHeadCache
         std::vector<int> pages;
     };
 
+    struct PrefixEntry
+    {
+        std::vector<int> pages; //!< retained by the index itself
+        int tokens = 0;
+    };
+
     int head_dim_;
     int page_size_;
     PageAllocator allocator_;
@@ -143,6 +237,8 @@ class PagedHeadCache
     Tensor<Half> k_pool_;
     Tensor<Half> v_pool_;
     std::vector<Sequence> seqs_;
+    std::unordered_map<std::uint64_t, PrefixEntry> prefixes_;
+    long cow_copies_ = 0;
 };
 
 } // namespace bitdec::kv

@@ -86,7 +86,9 @@ Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
 void
 Engine::appendToken(Request& r, int pos)
 {
-    const std::uint64_t seed = tokenSeed(r.id, pos);
+    // Shared-prefix positions draw from the prefix stream, so a cold
+    // prefill writes the exact bytes a prefix hit maps.
+    const std::uint64_t seed = contentSeed(r, pos);
     std::vector<Half> k(static_cast<std::size_t>(cfg_.cache_head_dim));
     std::vector<Half> v(static_cast<std::size_t>(cfg_.cache_head_dim));
     for (int d = 0; d < cfg_.cache_head_dim; d++) {
@@ -126,6 +128,11 @@ Engine::run(std::vector<Request>& requests)
             BITDEC_FATAL("request ", r.id, " needs a non-empty prompt and "
                          "output budget (got ", r.prompt_tokens, "/",
                          r.output_tokens, ")");
+        if (r.prefix_tokens < 0 || r.prefix_tokens > r.prompt_tokens ||
+            (r.prefix_tokens > 0 && r.prefix_id == 0))
+            BITDEC_FATAL("request ", r.id, " has an invalid shared prefix (",
+                         r.prefix_tokens, " of ", r.prompt_tokens,
+                         " prompt tokens, id ", r.prefix_id, ")");
         if (cache_.pagesFor(r.prompt_tokens + r.output_tokens) +
                 cfg_.sched.reserve_pages >
             cache_.totalPages())
@@ -155,7 +162,13 @@ Engine::run(std::vector<Request>& requests)
         while (next_arrival < order.size() &&
                order[next_arrival]->arrival_s <= clock)
             sched_.enqueue(order[next_arrival++]);
-        sched_.admit(cache_);
+        sched_.admit(cache_, clock);
+        // An empty batch with waiters can mean the prefix index pins so
+        // many pages the head does not fit: evict unmapped prefixes and
+        // retry admission before jumping the clock.
+        if (sched_.running().empty() && sched_.waitingCount() > 0 &&
+            cache_.releaseUnusedPrefixes() > 0)
+            sched_.admit(cache_, clock);
 
         if (sched_.running().empty()) {
             BITDEC_ASSERT(next_arrival < order.size(),
@@ -164,24 +177,40 @@ Engine::run(std::vector<Request>& requests)
             continue;
         }
 
-        // Plan this tick's appends; preempt (newest first) until they fit.
+        // Plan this tick's appends; preempt (policy order, reclaimable
+        // victims only) until they fit, evicting unused shared prefixes
+        // before giving up.
         for (;;) {
             int pages_needed = 0;
             for (const Request* r : sched_.running()) {
-                const int len = cache_.length(r->seq);
                 const int append =
                     r->state == RequestState::Prefill
                         ? std::min(cfg_.sched.prefill_chunk,
                                    r->prefillTarget() - r->prefilled)
                         : 1;
-                pages_needed += cache_.pagesFor(len + append) -
-                                cache_.pagesFor(len);
+                pages_needed += cache_.pagesNeededForAppend(r->seq, append);
             }
             if (pages_needed <= cache_.freePages())
                 break;
-            Request* victim = sched_.preemptVictim();
-            BITDEC_ASSERT(victim != nullptr && sched_.running().size() > 1,
-                          "single running request exceeded the pool");
+            Request* victim = sched_.running().size() > 1
+                                  ? sched_.preemptVictim(cache_)
+                                  : nullptr;
+            if (victim == nullptr) {
+                // A single running request can't be preempted: reclaim
+                // prefix pages nobody maps, then fall back to hard
+                // eviction of the whole index and re-plan. Hard eviction
+                // makes progress even when it frees no pages outright —
+                // dropping the index's references un-shares the runner's
+                // partial page, removing a planned CoW copy from the
+                // step's demand.
+                if (cache_.releaseUnusedPrefixes() == 0) {
+                    BITDEC_ASSERT(cache_.numPrefixes() > 0,
+                                  "page pool exhausted with no reclaimable "
+                                  "victim and no evictable prefix");
+                    cache_.releaseAllPrefixes();
+                }
+                continue;
+            }
             sched_.preempt(victim, cache_);
         }
 
@@ -200,6 +229,15 @@ Engine::run(std::vector<Request>& requests)
                     appendToken(*r, r->prefilled + i);
                 r->prefilled += chunk;
                 prefill_tokens += chunk;
+                // First request past the shared prefix publishes its pages
+                // for everyone arriving later (no-op when already
+                // published; republishes after an index eviction).
+                if (cfg_.sched.prefix_reuse && r->prefix_id != 0 &&
+                    r->prefix_tokens > 0 &&
+                    r->prefilled >= r->prefix_tokens &&
+                    cache_.prefixTokens(r->prefix_id) == 0)
+                    cache_.publishPrefix(r->prefix_id, r->seq,
+                                         r->prefix_tokens);
                 if (r->prefilled == r->prefillTarget())
                     r->state = RequestState::Decode;
             } else {
@@ -271,12 +309,13 @@ Engine::run(std::vector<Request>& requests)
                 finished++;
             }
         }
-        mc.onStep(step_s, decode_batch,
+        mc.onStep(step_s, decode_batch, prefill_tokens,
                   cache_.totalPages() - cache_.freePages(),
                   cache_.totalPages());
     }
 
-    return mc.finalize(clock - first_arrival, sched_.preemptionCount());
+    return mc.finalize(clock - first_arrival, sched_.preemptionCount(),
+                       cache_.cowCopies());
 }
 
 } // namespace bitdec::serving

@@ -2,12 +2,22 @@
  * @file
  * Continuous-batching serving engine on a virtual clock.
  *
- * Each tick the engine admits arrived requests (FCFS), appends tokens into
- * the functional paged KV cache — chunked prefill for PREFILL requests, one
- * token per DECODE request — and advances the clock by the step latency the
+ * Each tick the engine admits arrived requests (FCFS or priority-with-
+ * aging, see SchedulerConfig::policy), appends tokens into the functional
+ * paged KV cache — chunked prefill for PREFILL requests, one token per
+ * DECODE request — and advances the clock by the step latency the
  * analytical model charges for the configured system (FP16 FlashDecoding,
  * KIVI, QServe or BitDecoding). Page-pool exhaustion mid-step triggers
  * preempt-and-recompute via the scheduler; no request is ever dropped.
+ *
+ * Requests that declare a shared prefix (Request::prefix_id) ride the
+ * cache's prefix index: the first request to prefill the prefix publishes
+ * its packed pages, later admissions map them with a refcount bump and
+ * skip straight past the shared tokens — saved prefill work shows up in
+ * ServingMetrics::prefix_hit_tokens and in cheaper step latencies.
+ * Divergence after a shared partially-filled page is handled by
+ * copy-on-write inside the cache, and pinned prefix pages nobody maps are
+ * evicted under pool pressure.
  *
  * Two concerns are deliberately decoupled:
  *  - Capacity is modeled in page *counts*: the pool size is derived from
@@ -77,6 +87,9 @@ class Engine
 
     /** Page-pool size the engine operates with. */
     int numPages() const { return cache_.totalPages(); }
+
+    /** Read-only view of the paged KV pool (prefix index, refcounts). */
+    const kv::PagedHeadCache& cache() const { return cache_; }
 
     /**
      * Pool pages a device budget affords: HBM minus weights, activations

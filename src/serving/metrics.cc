@@ -21,8 +21,8 @@ percentile(std::vector<double> xs, double p)
 }
 
 void
-MetricsCollector::onStep(double step_s, int decode_batch, int used_pages,
-                         int total_pages)
+MetricsCollector::onStep(double step_s, int decode_batch, int prefill_tokens,
+                         int used_pages, int total_pages)
 {
     BITDEC_ASSERT(step_s >= 0, "negative step time");
     const double util =
@@ -31,6 +31,7 @@ MetricsCollector::onStep(double step_s, int decode_batch, int used_pages,
     decode_batch_weighted_ += step_s * decode_batch;
     page_util_weighted_ += step_s * util;
     peak_page_util_ = std::max(peak_page_util_, util);
+    prefill_tokens_ += prefill_tokens;
 }
 
 void
@@ -39,11 +40,13 @@ MetricsCollector::onFinish(const Request& r)
     BITDEC_ASSERT(r.state == RequestState::Finished,
                   "onFinish expects a FINISHED request");
     ttft_.push_back(r.first_token_s - r.arrival_s);
+    ttft_by_priority_[r.priority].push_back(r.first_token_s - r.arrival_s);
     if (r.output_tokens > 1)
         tpot_.push_back((r.finish_s - r.first_token_s) /
                         (r.output_tokens - 1));
     latency_.push_back(r.latency());
     generated_tokens_ += r.output_tokens;
+    prefix_hit_tokens_ += r.prefix_hit_tokens;
     // Commutative fold: the digest depends on every request's token
     // content but not on completion order, so runs that preempt (small
     // pool) and runs that never do (large pool) must agree.
@@ -51,7 +54,8 @@ MetricsCollector::onFinish(const Request& r)
 }
 
 ServingMetrics
-MetricsCollector::finalize(double makespan_s, int preemptions) const
+MetricsCollector::finalize(double makespan_s, int preemptions,
+                           long cow_copies) const
 {
     ServingMetrics m;
     m.num_requests = static_cast<int>(latency_.size());
@@ -88,6 +92,24 @@ MetricsCollector::finalize(double makespan_s, int preemptions) const
         m.avg_page_utilization = page_util_weighted_ / step_time_sum_;
     }
     m.peak_page_utilization = peak_page_util_;
+
+    m.prefill_tokens = prefill_tokens_;
+    m.prefix_hit_tokens = prefix_hit_tokens_;
+    const double prefill_demand =
+        static_cast<double>(prefill_tokens_ + prefix_hit_tokens_);
+    if (prefill_demand > 0)
+        m.prefix_hit_rate = prefix_hit_tokens_ / prefill_demand;
+    m.cow_copies = cow_copies;
+
+    for (const auto& [prio, xs] : ttft_by_priority_) {
+        PriorityTtft p;
+        p.priority = prio;
+        p.count = static_cast<int>(xs.size());
+        p.mean_s = mean(xs);
+        p.p95_s = percentile(xs, 95);
+        m.ttft_by_priority.push_back(p);
+    }
+
     m.outputs_digest = outputs_digest_;
     return m;
 }

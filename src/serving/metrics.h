@@ -11,11 +11,21 @@
 #define BITDEC_SERVING_METRICS_H
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "serving/request.h"
 
 namespace bitdec::serving {
+
+/** TTFT summary of one priority class. */
+struct PriorityTtft
+{
+    int priority = 0;   //!< static priority of the class
+    int count = 0;      //!< finished requests in the class
+    double mean_s = 0;  //!< mean time to first token
+    double p95_s = 0;   //!< p95 time to first token
+};
 
 /** Summary of one serving run. */
 struct ServingMetrics
@@ -43,6 +53,15 @@ struct ServingMetrics
     double avg_page_utilization = 0;   //!< mean fraction of pool in use
     double peak_page_utilization = 0;  //!< max fraction of pool in use
 
+    // --- shared-prefix reuse ---
+    long prefill_tokens = 0;    //!< prefill tokens actually appended
+    long prefix_hit_tokens = 0; //!< prefill tokens skipped via shared pages
+    double prefix_hit_rate = 0; //!< hits / (hits + appended prefill)
+    long cow_copies = 0;        //!< copy-on-write page copies performed
+
+    /** Per-priority TTFT, ascending by priority; one entry per class. */
+    std::vector<PriorityTtft> ttft_by_priority;
+
     /** Commutative fold of every request's output hash (determinism). */
     std::uint64_t outputs_digest = 0;
 };
@@ -59,13 +78,14 @@ class MetricsCollector
   public:
     /**
      * Records one engine step.
-     * @param step_s       virtual time the step consumed
-     * @param decode_batch requests that produced a token this step
-     * @param used_pages   pool pages allocated after the step
-     * @param total_pages  pool size
+     * @param step_s          virtual time the step consumed
+     * @param decode_batch    requests that produced a token this step
+     * @param prefill_tokens  prompt tokens appended (cold prefill) this step
+     * @param used_pages      pool pages allocated after the step
+     * @param total_pages     pool size
      */
-    void onStep(double step_s, int decode_batch, int used_pages,
-                int total_pages);
+    void onStep(double step_s, int decode_batch, int prefill_tokens,
+                int used_pages, int total_pages);
 
     /** Records a finished request (state must be FINISHED). */
     void onFinish(const Request& r);
@@ -74,15 +94,20 @@ class MetricsCollector
      * Produces the summary.
      * @param makespan_s  first arrival to last completion
      * @param preemptions total preemptions the scheduler performed
+     * @param cow_copies  copy-on-write page copies the cache performed
      */
-    ServingMetrics finalize(double makespan_s, int preemptions) const;
+    ServingMetrics finalize(double makespan_s, int preemptions,
+                            long cow_copies = 0) const;
 
   private:
     std::vector<double> ttft_;
     std::vector<double> tpot_;
     std::vector<double> latency_;
+    std::map<int, std::vector<double>> ttft_by_priority_;
     std::uint64_t outputs_digest_ = 0;
     long generated_tokens_ = 0;
+    long prefill_tokens_ = 0;
+    long prefix_hit_tokens_ = 0;
 
     double step_time_sum_ = 0;
     double decode_batch_weighted_ = 0; //!< time-weighted decode batch

@@ -36,12 +36,25 @@ struct Request
     int prompt_tokens = 0; //!< prompt length
     int output_tokens = 0; //!< output budget (decode steps to run)
 
+    /**
+     * Non-zero when the first prefix_tokens prompt tokens are a shared
+     * system prompt: their content derives from the prefix id's token
+     * stream (not the request's), so every request naming the same
+     * prefix_id writes byte-identical prefix pages and the scheduler may
+     * map already-packed pages instead of re-prefilling them.
+     */
+    std::uint64_t prefix_id = 0;
+    int prefix_tokens = 0; //!< shared-prefix length (<= prompt_tokens)
+    int priority = 0;      //!< scheduling priority; higher is more urgent
+
     // --- runtime state, owned by the scheduler/engine ---
     RequestState state = RequestState::Queued;
     int seq = -1;          //!< PagedHeadCache sequence id; -1 when none
     int prefilled = 0;     //!< tokens of the current prefill target in cache
     int generated = 0;     //!< output tokens produced so far
     int preemptions = 0;   //!< times this request lost its pages
+    long prefix_hit_tokens = 0; //!< prefill tokens skipped via shared
+                                //!< pages, summed over (re-)admissions
 
     double first_token_s = -1; //!< when the first output token appeared
     double finish_s = -1;      //!< when the output budget was met
@@ -66,11 +79,27 @@ struct Request
 };
 
 /**
+ * Deterministic token-content hash for an arbitrary 64-bit stream id.
+ * Shared prefixes are token streams named by their prefix_id, so every
+ * request sharing a prefix writes identical prefix content.
+ */
+std::uint64_t streamSeed(std::uint64_t stream_id, int token_index);
+
+/**
  * Deterministic token-content hash: the K/V vector written for token
  * @p token_index of request @p request_id derives from this value alone, so
  * preempt-and-recompute reproduces the identical cache content.
  */
 std::uint64_t tokenSeed(int request_id, int token_index);
+
+/**
+ * Content seed of prompt/output position @p pos of request @p r: the
+ * shared-prefix stream for pos < prefix_tokens, the request's own stream
+ * otherwise. Independent of whether prefix *reuse* is enabled — a cold
+ * prefill writes exactly the bytes a prefix hit would have mapped, which
+ * is what makes cold-run and hit-run digests comparable.
+ */
+std::uint64_t contentSeed(const Request& r, int pos);
 
 } // namespace bitdec::serving
 

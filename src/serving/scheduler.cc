@@ -6,11 +6,24 @@
 
 namespace bitdec::serving {
 
+const char*
+toString(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::Fcfs:
+        return "FCFS";
+      case SchedPolicy::Priority:
+        return "priority+aging";
+    }
+    return "unknown";
+}
+
 Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg)
 {
     BITDEC_ASSERT(cfg.max_batch > 0, "max_batch must be positive");
     BITDEC_ASSERT(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
     BITDEC_ASSERT(cfg.reserve_pages >= 0, "reserve_pages must be >= 0");
+    BITDEC_ASSERT(cfg.aging_rate >= 0, "aging_rate must be >= 0");
 }
 
 void
@@ -21,29 +34,109 @@ Scheduler::enqueue(Request* r)
     waiting_.push_back(r);
 }
 
+double
+Scheduler::effectivePriority(const Request& r, double now) const
+{
+    const double waited = std::max(0.0, now - r.arrival_s);
+    return r.priority + cfg_.aging_rate * waited;
+}
+
+std::size_t
+Scheduler::pickCandidate(double now) const
+{
+    if (cfg_.policy == SchedPolicy::Fcfs)
+        return 0;
+    // Priority: argmax of effective priority; ties go to the earlier
+    // queue position (arrival/requeue order), keeping selection stable.
+    std::size_t best = 0;
+    double best_p = effectivePriority(*waiting_[0], now);
+    for (std::size_t i = 1; i < waiting_.size(); i++) {
+        const double p = effectivePriority(*waiting_[i], now);
+        if (p > best_p) {
+            best = i;
+            best_p = p;
+        }
+    }
+    return best;
+}
+
 void
-Scheduler::admit(kv::PagedHeadCache& cache)
+Scheduler::admit(kv::PagedHeadCache& cache, double now)
 {
     while (!waiting_.empty() &&
            static_cast<int>(running_.size()) < cfg_.max_batch) {
-        Request* r = waiting_.front();
-        const int need = cache.pagesFor(r->prefillTarget());
+        const std::size_t pick = pickCandidate(now);
+        Request* r = waiting_[pick];
+
+        // Prefix admission gate: when the candidate's shared prefix is not
+        // yet published but a running request is prefilling it, hold
+        // admission — mapping the pages once published is far cheaper than
+        // cold-prefilling the same tokens in parallel. The gate opens as
+        // soon as the prefix publishes or its publisher leaves the batch.
+        if (cfg_.prefix_reuse && r->prefix_id != 0 && r->prefix_tokens > 0 &&
+            cache.prefixTokens(r->prefix_id) == 0) {
+            bool inflight = false;
+            // Only a still-prefilling runner counts as an in-flight
+            // publisher: one already decoding will never (re)publish, so
+            // gating on it would stall admission for its whole decode.
+            for (const Request* run : running_)
+                inflight |= run->prefix_id == r->prefix_id &&
+                            run->state == RequestState::Prefill;
+            if (inflight)
+                break;
+        }
+
+        // Shared-prefix hit: pages the index already holds are mapped, not
+        // re-allocated. Only full prefix pages stay shared for the whole
+        // lifetime; a partially-filled last page is re-allocated on first
+        // divergent append (copy-on-write), so budget it as fresh.
+        int hit = 0;
+        if (cfg_.prefix_reuse && r->prefix_id != 0) {
+            const int published = cache.prefixTokens(r->prefix_id);
+            if (published > 0 && published <= r->prefix_tokens)
+                hit = published;
+        }
+        const int full_shared = hit / cache.pageSize();
+        const int need = cache.pagesFor(r->prefillTarget()) - full_shared;
         if (cache.freePages() - cfg_.reserve_pages < need)
-            break; // FCFS: the head blocks until it fits
-        waiting_.pop_front();
-        r->seq = cache.addSequence();
-        r->prefilled = 0;
+            break; // the policy's pick blocks until it fits (no bypass)
+
+        waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (hit > 0) {
+            r->seq = cache.addSequenceWithPrefix(r->prefix_id);
+            r->prefilled = hit;
+            r->prefix_hit_tokens += hit;
+        } else {
+            r->seq = cache.addSequence();
+            r->prefilled = 0;
+        }
         r->state = RequestState::Prefill;
         running_.push_back(r);
     }
 }
 
 Request*
-Scheduler::preemptVictim()
+Scheduler::preemptVictim(const kv::PagedHeadCache& cache)
 {
-    if (running_.empty())
-        return nullptr;
-    return running_.back();
+    // Prefer victims whose pages actually return to the pool, but fall
+    // back to one whose pages are all shared: preempting it still removes
+    // its planned appends from the step's page demand, which is what the
+    // engine needs to make progress.
+    Request* reclaimable = nullptr;
+    Request* any = nullptr;
+    // Scan oldest-to-newest with >= comparisons so the newest qualifying
+    // request wins ties under both policies.
+    for (Request* r : running_) {
+        const bool frees = cache.reclaimablePages(r->seq) > 0;
+        if (any == nullptr || cfg_.policy == SchedPolicy::Fcfs ||
+            r->priority <= any->priority)
+            any = r;
+        if (frees && (reclaimable == nullptr ||
+                      cfg_.policy == SchedPolicy::Fcfs ||
+                      r->priority <= reclaimable->priority))
+            reclaimable = r;
+    }
+    return reclaimable != nullptr ? reclaimable : any;
 }
 
 void
@@ -60,8 +153,9 @@ Scheduler::preempt(Request* r, kv::PagedHeadCache& cache)
     r->state = RequestState::Preempted;
     r->preemptions++;
     preemptions_++;
-    // Front of the queue: the victim resumes before later arrivals, keeping
-    // overall service order FCFS.
+    // Front of the queue: under Fcfs the victim resumes before later
+    // arrivals, keeping overall service order FCFS; under Priority the
+    // front position only breaks effective-priority ties.
     waiting_.push_front(r);
 }
 

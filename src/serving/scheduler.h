@@ -1,15 +1,35 @@
 /**
  * @file
- * FCFS continuous-batching scheduler over the paged KV cache.
+ * Pluggable continuous-batching scheduler over the paged KV cache.
  *
- * The scheduler owns the waiting queue and the running batch. Admission is
- * first-come-first-served with no queue jumping: a request is admitted only
- * when the page pool has headroom for its whole prefill target (plus a
- * configurable reserve that absorbs decode growth). When the pool runs dry
- * mid-step the engine asks for a preemption victim; the most recently
- * admitted request loses its pages (recompute policy) and rejoins the
- * *front* of the waiting queue, so overall service order stays FCFS and no
- * request is ever dropped.
+ * The scheduler owns the waiting queue and the running batch, with two
+ * admission policies:
+ *
+ *  - Fcfs: first-come-first-served with no queue jumping. A request is
+ *    admitted only when the page pool has headroom for its whole prefill
+ *    target (plus a configurable reserve that absorbs decode growth); the
+ *    head of the queue blocks until it fits.
+ *  - Priority: highest effective priority first, where effective priority
+ *    is the request's static priority plus an aging credit proportional to
+ *    its waiting time — so low-priority requests cannot starve. The
+ *    selected candidate blocks admission until it fits (no bypass), which
+ *    keeps aging meaningful.
+ *
+ * Admission is prefix-aware: when a request names a published shared
+ * prefix, the already-packed prefix pages are mapped into its fresh
+ * sequence (refcount bump, no re-prefill) and only the pages for the
+ * remaining tokens are budgeted. A request whose prefix is still being
+ * prefilled by a running request is held back (admission gate) so bursty
+ * arrivals sharing a system prompt do not cold-prefill it N times in
+ * parallel.
+ *
+ * When the pool runs dry mid-step the engine asks for a preemption victim;
+ * victims are chosen among running requests by (policy order) x
+ * (reclaimable pages): under Fcfs the most recently admitted request, under
+ * Priority the lowest-priority one, preferring requests whose pages are not
+ * all shared (those actually return pages to the pool). The victim loses
+ * its pages (recompute policy) and rejoins the waiting queue; no request is
+ * ever dropped.
  */
 #ifndef BITDEC_SERVING_SCHEDULER_H
 #define BITDEC_SERVING_SCHEDULER_H
@@ -22,15 +42,39 @@
 
 namespace bitdec::serving {
 
+/** Admission/preemption ordering policy. */
+enum class SchedPolicy
+{
+    Fcfs,     //!< strict arrival order; preempt newest-admitted first
+    Priority, //!< priority with aging; preempt lowest-priority first
+};
+
+/** Returns a printable policy name. */
+const char* toString(SchedPolicy policy);
+
 /** Scheduler policy knobs. */
 struct SchedulerConfig
 {
     int max_batch = 64;       //!< cap on concurrently running requests
     int reserve_pages = 0;    //!< pages kept free at admission time
     int prefill_chunk = 2048; //!< prompt tokens loaded per request per step
+
+    SchedPolicy policy = SchedPolicy::Fcfs;
+
+    /**
+     * Priority points a waiting request gains per second of queueing
+     * (Priority policy only). With rate a > 0 a request of priority p
+     * overtakes one of priority q after (q - p) / a seconds of extra
+     * waiting; 0 disables aging (pure static priority).
+     */
+    double aging_rate = 0.1;
+
+    /** Map published shared-prefix pages on admission (off = always
+     *  cold-prefill; token content is unaffected, only page sharing). */
+    bool prefix_reuse = true;
 };
 
-/** FCFS continuous-batching scheduler. */
+/** Continuous-batching scheduler with pluggable admission order. */
 class Scheduler
 {
   public:
@@ -40,18 +84,26 @@ class Scheduler
     void enqueue(Request* r);
 
     /**
-     * Admits waiting requests in FCFS order while the batch has a slot and
-     * the pool has headroom for the candidate's full prefill target. Stops
-     * at the first request that does not fit (no skipping). Admitted
-     * requests get a fresh cache sequence and enter PREFILL.
+     * Admits waiting requests in policy order while the batch has a slot
+     * and the pool has headroom for the candidate's remaining prefill
+     * target (shared-prefix pages it can map are not re-budgeted). Stops
+     * at the first candidate that does not fit (no skipping). Admitted
+     * requests get a fresh cache sequence — prefix pages mapped when
+     * available — and enter PREFILL.
+     * @param now virtual-clock time, used for priority aging.
      */
-    void admit(kv::PagedHeadCache& cache);
+    void admit(kv::PagedHeadCache& cache, double now = 0);
 
     /**
-     * Picks the preemption victim: the most recently admitted running
-     * request. Returns nullptr when the batch is empty.
+     * Picks the preemption victim among running requests: policy order
+     * (Fcfs: newest admitted; Priority: lowest static priority, newest
+     * admitted among ties), preferring requests with reclaimable pages.
+     * When every running request holds only shared pages the policy-order
+     * victim is returned anyway — preempting it frees no pages but does
+     * drop its planned appends from the step's demand. Returns nullptr
+     * only for an empty batch.
      */
-    Request* preemptVictim();
+    Request* preemptVictim(const kv::PagedHeadCache& cache);
 
     /**
      * Preempts @p r: frees its pages, resets its prefill progress (the
@@ -75,7 +127,13 @@ class Scheduler
     /** Total preemptions performed so far. */
     int preemptionCount() const { return preemptions_; }
 
+    /** Effective priority of a waiting request at time @p now. */
+    double effectivePriority(const Request& r, double now) const;
+
   private:
+    /** Index into waiting_ of the next candidate under the policy. */
+    std::size_t pickCandidate(double now) const;
+
     SchedulerConfig cfg_;
     std::deque<Request*> waiting_;
     std::vector<Request*> running_;

@@ -27,6 +27,10 @@ generateTrace(const TraceConfig& cfg)
 {
     BITDEC_ASSERT(cfg.num_requests > 0, "trace needs at least one request");
     BITDEC_ASSERT(cfg.arrival_rate_qps > 0, "arrival rate must be positive");
+    BITDEC_ASSERT(cfg.num_priority_levels > 0,
+                  "need at least one priority level");
+    BITDEC_ASSERT(cfg.shared_prefix_tokens == 0 || cfg.shared_prefix_id != 0,
+                  "a shared prefix needs a non-zero id");
 
     Rng rng(cfg.seed);
     std::vector<Request> trace;
@@ -46,6 +50,13 @@ generateTrace(const TraceConfig& cfg)
         r.output_tokens = lognormalLength(rng, cfg.output_median,
                                           cfg.output_log_sigma,
                                           cfg.output_min, cfg.output_max);
+        if (cfg.shared_prefix_tokens > 0) {
+            // Common system prompt ahead of the unique tail.
+            r.prefix_id = cfg.shared_prefix_id;
+            r.prefix_tokens = cfg.shared_prefix_tokens;
+            r.prompt_tokens += cfg.shared_prefix_tokens;
+        }
+        r.priority = i % cfg.num_priority_levels;
         trace.push_back(r);
     }
     return trace;

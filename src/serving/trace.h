@@ -33,6 +33,23 @@ struct TraceConfig
     double output_log_sigma = 0.4; //!< sigma of log(output length)
     int output_min = 4;
     int output_max = 4096;
+
+    /**
+     * When > 0, every request's prompt is a common system prompt of this
+     * many tokens followed by its lognormal unique tail (prompt_median
+     * etc. then describe the tail). Requests carry shared_prefix_id so
+     * the engine can map the packed prefix pages instead of re-prefilling
+     * them; set Scheduler's prefix_reuse=false for a content-identical
+     * no-reuse baseline.
+     */
+    int shared_prefix_tokens = 0;
+    std::uint64_t shared_prefix_id = 0x5EED5EED5EED5EEDull;
+
+    /**
+     * Priority classes: request i gets priority i % num_priority_levels
+     * (all 0 for the default single level). Higher is more urgent.
+     */
+    int num_priority_levels = 1;
 };
 
 /** Generates a Poisson/lognormal trace; requests come sorted by arrival. */

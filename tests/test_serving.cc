@@ -150,6 +150,135 @@ TEST(PagedCache, LiveSequenceIteration)
     EXPECT_EQ(cache.numLive(), 3);
 }
 
+// ------------------------------------------- prefix sharing and CoW ----
+
+TEST(PageAllocatorRefcount, PageFreesOnlyOnLastRelease)
+{
+    kv::PageAllocator alloc(2);
+    const int p = *alloc.allocate();
+    EXPECT_EQ(alloc.refCount(p), 1);
+    alloc.retain(p);
+    alloc.retain(p);
+    EXPECT_EQ(alloc.refCount(p), 3);
+    alloc.release(p);
+    alloc.release(p);
+    EXPECT_EQ(alloc.freePages(), 1); // still held once
+    EXPECT_EQ(alloc.refCount(p), 1);
+    alloc.release(p);
+    EXPECT_EQ(alloc.freePages(), 2);
+    EXPECT_EQ(alloc.refCount(p), 0);
+}
+
+TEST(PagedCachePrefix, MappedSequenceSharesPagesAndContent)
+{
+    kv::PagedHeadCache cache(4, 4, 16);
+    const int pub = cache.addSequence();
+    for (int t = 0; t < 10; t++)
+        ASSERT_TRUE(cache.append(pub, tokenVec(4, static_cast<float>(t)),
+                                 tokenVec(4, static_cast<float>(-t))));
+    ASSERT_TRUE(cache.publishPrefix(77, pub, 8)); // 2 full pages
+    EXPECT_EQ(cache.prefixTokens(77), 8);
+    EXPECT_EQ(cache.prefixPages(77), 2);
+    EXPECT_FALSE(cache.publishPrefix(77, pub, 8)); // first publisher wins
+
+    const int free_before = cache.freePages();
+    const int sub = cache.addSequenceWithPrefix(77);
+    EXPECT_EQ(cache.freePages(), free_before); // mapping allocates nothing
+    EXPECT_EQ(cache.length(sub), 8);
+    EXPECT_EQ(cache.pageTable(sub)[0], cache.pageTable(pub)[0]);
+    EXPECT_EQ(cache.pageTable(sub)[1], cache.pageTable(pub)[1]);
+    const auto keys = cache.gatherKeys(sub);
+    for (int t = 0; t < 8; t++)
+        EXPECT_EQ(keys.at(static_cast<std::size_t>(t), 0).toFloat(),
+                  static_cast<float>(t));
+
+    // The prefix outlives its publisher: the index pins the pages.
+    cache.removeSequence(pub);
+    EXPECT_EQ(cache.prefixTokens(77), 8);
+    EXPECT_EQ(cache.tokenKey(sub, 3)[0].toFloat(), 3.0f);
+}
+
+TEST(PagedCachePrefix, CopyOnWriteIsolatesDivergence)
+{
+    kv::PagedHeadCache cache(2, 4, 16);
+    const int pub = cache.addSequence();
+    for (int t = 0; t < 6; t++) // 1 full page + 2 slots in the second
+        ASSERT_TRUE(cache.append(pub, tokenVec(2, static_cast<float>(t)),
+                                 tokenVec(2, 0.f)));
+    ASSERT_TRUE(cache.publishPrefix(5, pub, 6)); // shares the partial page
+
+    const int a = cache.addSequenceWithPrefix(5);
+    const int b = cache.addSequenceWithPrefix(5);
+    ASSERT_EQ(cache.cowCopies(), 0);
+
+    // a diverges into the shared partial page: CoW copies slots [0, 2).
+    ASSERT_TRUE(cache.append(a, tokenVec(2, 100.f), tokenVec(2, 0.f)));
+    EXPECT_EQ(cache.cowCopies(), 1);
+    EXPECT_NE(cache.pageTable(a)[1], cache.pageTable(pub)[1]);
+    EXPECT_EQ(cache.pageTable(a)[0], cache.pageTable(pub)[0]);
+
+    // b then diverges too, with different content.
+    ASSERT_TRUE(cache.append(b, tokenVec(2, 200.f), tokenVec(2, 0.f)));
+    EXPECT_EQ(cache.cowCopies(), 2);
+
+    // All three views agree on the prefix and disagree after it.
+    EXPECT_EQ(cache.tokenKey(pub, 5)[0].toFloat(), 5.0f);
+    EXPECT_EQ(cache.tokenKey(a, 5)[0].toFloat(), 5.0f);
+    EXPECT_EQ(cache.tokenKey(b, 5)[0].toFloat(), 5.0f);
+    EXPECT_EQ(cache.tokenKey(a, 6)[0].toFloat(), 100.0f);
+    EXPECT_EQ(cache.tokenKey(b, 6)[0].toFloat(), 200.0f);
+    EXPECT_EQ(cache.length(pub), 6);
+
+    // The publisher's own append into its (still shared with the index)
+    // partial page also goes through CoW.
+    ASSERT_TRUE(cache.append(pub, tokenVec(2, 300.f), tokenVec(2, 0.f)));
+    EXPECT_EQ(cache.cowCopies(), 3);
+}
+
+TEST(PagedCachePrefix, ReclaimableAndUnusedPrefixRelease)
+{
+    kv::PagedHeadCache cache(2, 4, 16);
+    const int pub = cache.addSequence();
+    for (int t = 0; t < 8; t++)
+        ASSERT_TRUE(cache.append(pub, tokenVec(2, 1.f), tokenVec(2, 1.f)));
+    ASSERT_TRUE(cache.publishPrefix(9, pub, 8));
+    // Both pages are pinned by the index: freeing pub reclaims nothing.
+    EXPECT_EQ(cache.reclaimablePages(pub), 0);
+
+    const int sub = cache.addSequenceWithPrefix(9);
+    for (int t = 0; t < 4; t++)
+        ASSERT_TRUE(cache.append(sub, tokenVec(2, 2.f), tokenVec(2, 2.f)));
+    EXPECT_EQ(cache.reclaimablePages(sub), 1); // only its private page
+
+    // A mapped prefix is not evictable; an unmapped one is.
+    EXPECT_EQ(cache.releaseUnusedPrefixes(), 0);
+    cache.removeSequence(pub);
+    cache.removeSequence(sub);
+    EXPECT_EQ(cache.numPrefixes(), 1);
+    EXPECT_EQ(cache.freePages(), 16 - 2); // index still pins two pages
+    EXPECT_EQ(cache.releaseUnusedPrefixes(), 2);
+    EXPECT_EQ(cache.numPrefixes(), 0);
+    EXPECT_EQ(cache.freePages(), 16);
+}
+
+TEST(PagedCachePrefix, PagesNeededForAppendCountsCow)
+{
+    kv::PagedHeadCache cache(2, 4, 16);
+    const int pub = cache.addSequence();
+    for (int t = 0; t < 6; t++)
+        ASSERT_TRUE(cache.append(pub, tokenVec(2, 1.f), tokenVec(2, 1.f)));
+    ASSERT_TRUE(cache.publishPrefix(3, pub, 6));
+    const int sub = cache.addSequenceWithPrefix(3);
+    // One token into the shared partial page: zero boundary pages, but a
+    // CoW copy is due.
+    EXPECT_EQ(cache.pagesNeededForAppend(sub, 1), 1);
+    // Three tokens: the CoW page absorbs slots 2..3, token 3 opens page 3.
+    EXPECT_EQ(cache.pagesNeededForAppend(sub, 3), 2);
+    ASSERT_TRUE(cache.append(sub, tokenVec(2, 2.f), tokenVec(2, 2.f)));
+    // After the CoW the last page is private: appends are cheap again.
+    EXPECT_EQ(cache.pagesNeededForAppend(sub, 1), 0);
+}
+
 // ------------------------------------------------------------ traces ----
 
 TEST(Trace, SameSeedSameTrace)
@@ -245,8 +374,11 @@ TEST(Scheduler, PreemptionTakesNewestAndResumesFirst)
     }
     sched.admit(cache);
     ASSERT_EQ(sched.running().size(), 3u);
+    // Give each sequence a page: only page-holding requests are victims.
+    for (const Request* r : sched.running())
+        ASSERT_TRUE(cache.append(r->seq, tokenVec(4, 1.f), tokenVec(4, 1.f)));
 
-    Request* victim = sched.preemptVictim();
+    Request* victim = sched.preemptVictim(cache);
     ASSERT_EQ(victim, &reqs[2]); // newest admitted
     sched.preempt(victim, cache);
     EXPECT_EQ(reqs[2].state, RequestState::Preempted);
@@ -264,6 +396,173 @@ TEST(Scheduler, PreemptionTakesNewestAndResumesFirst)
     ASSERT_EQ(sched.running().size(), 4u);
     EXPECT_EQ(sched.running()[2]->id, 2);
     EXPECT_EQ(sched.running()[3]->id, 99);
+}
+
+TEST(Scheduler, PriorityPolicyAdmitsUrgentFirst)
+{
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 2;
+    cfg.policy = serving::SchedPolicy::Priority;
+    cfg.aging_rate = 0; // pure static priority
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(4);
+    for (int i = 0; i < 4; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 8;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        reqs[static_cast<std::size_t>(i)].priority = i; // 3 most urgent
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    sched.admit(cache, 0.0);
+    ASSERT_EQ(sched.running().size(), 2u);
+    EXPECT_EQ(sched.running()[0]->id, 3);
+    EXPECT_EQ(sched.running()[1]->id, 2);
+    EXPECT_EQ(reqs[0].state, RequestState::Queued);
+}
+
+TEST(Scheduler, AgingPreventsStarvation)
+{
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 1;
+    cfg.policy = serving::SchedPolicy::Priority;
+    cfg.aging_rate = 0.1; // +1 effective priority per 10 s waited
+    serving::Scheduler sched(cfg);
+
+    Request old_low;
+    old_low.id = 0;
+    old_low.arrival_s = 0;
+    old_low.priority = 0;
+    old_low.prompt_tokens = 8;
+    old_low.output_tokens = 4;
+    Request new_high;
+    new_high.id = 1;
+    new_high.arrival_s = 100;
+    new_high.priority = 3;
+    new_high.prompt_tokens = 8;
+    new_high.output_tokens = 4;
+    sched.enqueue(&old_low);
+    sched.enqueue(&new_high);
+
+    // At t=100 the old request has a +10 aging credit vs +0: 10 > 3.
+    EXPECT_GT(sched.effectivePriority(old_low, 100),
+              sched.effectivePriority(new_high, 100));
+    sched.admit(cache, 100.0);
+    ASSERT_EQ(sched.running().size(), 1u);
+    EXPECT_EQ(sched.running()[0]->id, 0); // the starving request won
+
+    // Without aging the fresher high-priority request wins.
+    serving::SchedulerConfig no_age = cfg;
+    no_age.aging_rate = 0;
+    serving::Scheduler sched2(no_age);
+    Request a = old_low, b = new_high;
+    a.state = RequestState::Queued;
+    b.state = RequestState::Queued;
+    sched2.enqueue(&a);
+    sched2.enqueue(&b);
+    sched2.admit(cache, 100.0);
+    ASSERT_EQ(sched2.running().size(), 1u);
+    EXPECT_EQ(sched2.running()[0]->id, 1);
+}
+
+TEST(Scheduler, PriorityPreemptionPicksLowestWithReclaimablePages)
+{
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 4;
+    cfg.policy = serving::SchedPolicy::Priority;
+    cfg.aging_rate = 0;
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(3);
+    for (int i = 0; i < 3; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 4;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    reqs[0].priority = 1;
+    reqs[1].priority = 0; // lowest: preferred victim
+    reqs[2].priority = 2;
+    sched.admit(cache, 0.0);
+    ASSERT_EQ(sched.running().size(), 3u);
+    for (const Request* r : sched.running())
+        ASSERT_TRUE(cache.append(r->seq, tokenVec(4, 1.f), tokenVec(4, 1.f)));
+    EXPECT_EQ(sched.preemptVictim(cache), &reqs[1]);
+
+    // If the lowest-priority request holds only shared pages, it frees
+    // nothing and the next-lowest is picked instead.
+    ASSERT_TRUE(cache.publishPrefix(11, reqs[1].seq, 1));
+    EXPECT_EQ(cache.reclaimablePages(reqs[1].seq), 0);
+    EXPECT_EQ(sched.preemptVictim(cache), &reqs[0]);
+}
+
+TEST(Scheduler, PrefixGateHoldsFollowersUntilPublished)
+{
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 8;
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(3);
+    for (int i = 0; i < 3; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 12;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        reqs[static_cast<std::size_t>(i)].prefix_id = 42;
+        reqs[static_cast<std::size_t>(i)].prefix_tokens = 8;
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    sched.admit(cache);
+    // Only the publisher-to-be runs; followers wait for its prefix pages.
+    ASSERT_EQ(sched.running().size(), 1u);
+    EXPECT_EQ(sched.running()[0]->id, 0);
+    EXPECT_EQ(sched.waitingCount(), 2);
+
+    // The publisher prefills past the prefix and publishes; the gate opens
+    // and followers admit with the shared tokens already in cache.
+    for (int t = 0; t < 8; t++)
+        ASSERT_TRUE(cache.append(reqs[0].seq, tokenVec(4, 1.f),
+                                 tokenVec(4, 1.f)));
+    ASSERT_TRUE(cache.publishPrefix(42, reqs[0].seq, 8));
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 3u);
+    EXPECT_EQ(reqs[1].prefilled, 8);
+    EXPECT_EQ(reqs[2].prefilled, 8);
+    EXPECT_EQ(reqs[1].prefix_hit_tokens, 8);
+    EXPECT_EQ(cache.length(reqs[1].seq), 8);
+}
+
+TEST(Scheduler, PrefixGateIgnoresDecodingRunners)
+{
+    // After a hard index eviction the prefix can be unpublished while a
+    // past hit-admitted request is still decoding. That runner will never
+    // republish, so it must not gate admission.
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    serving::Scheduler sched(cfg);
+
+    Request decoding;
+    decoding.id = 0;
+    decoding.prompt_tokens = 8;
+    decoding.output_tokens = 4;
+    decoding.prefix_id = 42;
+    decoding.prefix_tokens = 8;
+    sched.enqueue(&decoding);
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 1u);
+    decoding.state = RequestState::Decode; // prefill done, index empty
+
+    Request follower = decoding;
+    follower.id = 1;
+    follower.state = RequestState::Queued;
+    follower.seq = -1;
+    sched.enqueue(&follower);
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 2u); // not gated: cold prefill
+    EXPECT_EQ(follower.prefilled, 0);
 }
 
 // ------------------------------------------------------------ engine ----
@@ -369,6 +668,140 @@ TEST(Engine, GeneratedTraceUnderPressure)
     EXPECT_EQ(m.num_requests, 24);
     for (const auto& r : trace)
         EXPECT_EQ(r.generated, r.output_tokens);
+}
+
+/** Four requests sharing a 20-token prefix (not page-aligned: page_size 8,
+ *  so the third prefix page is partial and exercises CoW). */
+std::vector<Request>
+prefixTrace()
+{
+    std::vector<Request> trace;
+    for (int i = 0; i < 4; i++) {
+        Request r;
+        r.id = i;
+        r.arrival_s = 0.005 * i;
+        r.prompt_tokens = 30;
+        r.output_tokens = 8;
+        r.prefix_id = 0xABCDull;
+        r.prefix_tokens = 20;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+TEST(Engine, PrefixHitDigestEqualsColdPrefillDigest)
+{
+    auto cold_trace = prefixTrace();
+    auto hit_trace = prefixTrace();
+    EngineConfig cold_cfg = tinyEngineConfig(64);
+    cold_cfg.sched.prefix_reuse = false;
+    EngineConfig hit_cfg = tinyEngineConfig(64);
+    Engine cold(sim::archA100(), model::llama2_7b(), cold_cfg);
+    Engine hit(sim::archA100(), model::llama2_7b(), hit_cfg);
+    const ServingMetrics mc = cold.run(cold_trace);
+    const ServingMetrics mh = hit.run(hit_trace);
+
+    // Identical token content, so identical digests...
+    EXPECT_EQ(mc.outputs_digest, mh.outputs_digest);
+    for (std::size_t i = 0; i < cold_trace.size(); i++)
+        EXPECT_EQ(cold_trace[i].output_hash, hit_trace[i].output_hash);
+    // ...but the reuse run skipped most of the shared prefill work.
+    EXPECT_EQ(mc.prefix_hit_tokens, 0);
+    EXPECT_EQ(mh.prefix_hit_tokens, 3 * 20);
+    EXPECT_EQ(mh.prefill_tokens, mc.prefill_tokens - 3 * 20);
+    EXPECT_GT(mh.prefix_hit_rate, 0.3);
+    // The 20-token prefix ends mid-page: each follower's first private
+    // append copies the partial page.
+    EXPECT_GT(mh.cow_copies, 0);
+    EXPECT_EQ(mc.cow_copies, 0);
+    EXPECT_EQ(hit.cache().numPrefixes(), 1);
+    EXPECT_EQ(cold.cache().numPrefixes(), 0);
+}
+
+TEST(Engine, PrefixReuseSurvivesPreemptionPressure)
+{
+    // A pool tight enough to force preemptions while four requests share
+    // a prefix: refcounted pages + recompute must still reproduce the
+    // relaxed run's content exactly, and every page reference must
+    // balance out at the end.
+    auto pressured = prefixTrace();
+    auto relaxed = prefixTrace();
+    Engine small(sim::archA100(), model::llama2_7b(), tinyEngineConfig(10));
+    Engine large(sim::archA100(), model::llama2_7b(), tinyEngineConfig(64));
+    const ServingMetrics ms = small.run(pressured);
+    const ServingMetrics ml = large.run(relaxed);
+    ASSERT_GT(ms.preemptions, 0);
+    ASSERT_EQ(ml.preemptions, 0);
+    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
+    for (std::size_t i = 0; i < pressured.size(); i++)
+        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
+    // After the run only the prefix index may pin pages.
+    EXPECT_EQ(small.cache().numLive(), 0);
+    EXPECT_EQ(small.cache().freePages() +
+                  small.cache().prefixPages(0xABCDull),
+              small.cache().totalPages());
+}
+
+TEST(Engine, ExactFitPoolSurvivesCowOrphanedPrefixPage)
+{
+    // The pool exactly fits one request (pagesFor(30+8) = 10 pages of 4
+    // tokens), but the published 18-token prefix ends mid-page: the
+    // publisher's own divergence CoWs that partial page, leaving the
+    // original pinned by the index. The engine must hard-evict the index
+    // to reclaim the orphan instead of aborting, and digests must still
+    // match a relaxed cold run.
+    auto tight_trace = prefixTrace();
+    auto cold_trace = prefixTrace();
+    for (auto& r : tight_trace)
+        r.prefix_tokens = 18; // 18 % 4 != 0: partial third page
+    for (auto& r : cold_trace)
+        r.prefix_tokens = 18;
+
+    EngineConfig tight = tinyEngineConfig(10);
+    tight.page_size = 4;
+    EngineConfig cold_cfg = tinyEngineConfig(64);
+    cold_cfg.page_size = 4;
+    cold_cfg.sched.prefix_reuse = false;
+    Engine engine(sim::archA100(), model::llama2_7b(), tight);
+    Engine cold(sim::archA100(), model::llama2_7b(), cold_cfg);
+    const ServingMetrics mt = engine.run(tight_trace);
+    const ServingMetrics mc = cold.run(cold_trace);
+    EXPECT_EQ(mt.num_requests, 4);
+    EXPECT_GT(mt.cow_copies, 0);
+    EXPECT_EQ(mt.outputs_digest, mc.outputs_digest);
+    EXPECT_EQ(engine.cache().numLive(), 0);
+}
+
+TEST(Engine, PerPriorityTtftIsReported)
+{
+    serving::TraceConfig tc;
+    tc.seed = 11;
+    tc.num_requests = 12;
+    tc.arrival_rate_qps = 40.0;
+    tc.prompt_median = 48;
+    tc.prompt_min = 16;
+    tc.prompt_max = 96;
+    tc.output_median = 8;
+    tc.output_min = 4;
+    tc.output_max = 16;
+    tc.num_priority_levels = 3;
+    auto trace = serving::generateTrace(tc);
+    EngineConfig cfg = tinyEngineConfig(256);
+    cfg.sched.policy = serving::SchedPolicy::Priority;
+    cfg.sched.max_batch = 2; // force a queue so priorities matter
+    Engine engine(sim::archA100(), model::llama2_7b(), cfg);
+    const ServingMetrics m = engine.run(trace);
+    ASSERT_EQ(m.ttft_by_priority.size(), 3u);
+    int total = 0;
+    for (std::size_t i = 0; i < 3; i++) {
+        EXPECT_EQ(m.ttft_by_priority[i].priority, static_cast<int>(i));
+        EXPECT_EQ(m.ttft_by_priority[i].count, 4);
+        EXPECT_GT(m.ttft_by_priority[i].mean_s, 0);
+        EXPECT_GE(m.ttft_by_priority[i].p95_s,
+                  m.ttft_by_priority[i].mean_s * 0.5);
+        total += m.ttft_by_priority[i].count;
+    }
+    EXPECT_EQ(total, m.num_requests);
 }
 
 TEST(Engine, DerivedPoolScalesWithBitWidth)
