@@ -19,9 +19,16 @@
  *  4. Scheduling policy: FCFS vs priority-with-aging on a three-class
  *     workload — per-priority TTFT shows urgent requests jumping the
  *     queue without starving the background class.
+ *  5. Chunked prefill: 100K-token prompts landing in the middle of an
+ *     active decode batch, monolithic prefill vs a sweep of per-tick
+ *     token budgets. Chunking bounds the tokens any tick appends, so the
+ *     decode-stall p99 (gap between a request's consecutive output
+ *     tokens) collapses while throughput and the run digest stay put.
  *
- * `--smoke` runs only view 3 as a CI gate: it fails the process unless
- * reuse sustains >= 1.5x the baseline req/s AND the two digests match.
+ * `--smoke` runs views 3 and 5 as CI gates: shared-prefix reuse must
+ * sustain >= 1.5x the baseline req/s with matching digests, and chunked
+ * prefill must cut decode-stall p99 >= 3x vs monolithic at equal
+ * throughput (within 10%) with a byte-identical run digest.
  */
 #include <cstdio>
 #include <cstring>
@@ -84,7 +91,7 @@ engineConfig(const SystemUnderTest& sut)
     cfg.num_pages = 0; // derive from the A100 HBM budget
     cfg.cache_head_dim = 4;
     cfg.sched.max_batch = 64;
-    cfg.sched.prefill_chunk = 2048;
+    cfg.sched.prefill_chunk_tokens = 2048;
     return cfg;
 }
 
@@ -199,6 +206,104 @@ policySection()
     }
 }
 
+// ---------------------------------------------------- chunked prefill --
+
+/**
+ * Interactive decode traffic with 100K-token stragglers: every second
+ * request is a fixed 100K prompt landing while the short-prompt requests
+ * are mid-decode. Outputs are short so the stragglers' prefill ticks are
+ * a visible fraction of every request's inter-token gaps.
+ */
+TraceConfig
+longPromptTrace()
+{
+    TraceConfig tc;
+    tc.seed = kTraceSeed;
+    tc.num_requests = 16;
+    tc.arrival_rate_qps = 2.0; // burst: stragglers land mid-decode
+    tc.prompt_median = 2048;   // short interactive prompts...
+    tc.prompt_log_sigma = 0.2;
+    tc.prompt_min = 1024;
+    tc.prompt_max = 4096;
+    tc.output_median = 64;
+    tc.output_log_sigma = 0.3;
+    tc.output_min = 32;
+    tc.output_max = 128;
+    tc.long_prompt_every = 2; // ...and a 100K prompt every other request
+    tc.long_prompt_tokens = 100 * 1024;
+    return tc;
+}
+
+/** One long-prompt run at the given per-tick budget (0 = monolithic). */
+ServingMetrics
+runLongPrompt(int prefill_chunk_tokens)
+{
+    auto trace = generateTrace(longPromptTrace());
+    SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
+    EngineConfig cfg = engineConfig(bd4);
+    cfg.sched.prefill_chunk_tokens = prefill_chunk_tokens;
+    Engine engine(sim::archA100(), model::llama31_8b(), cfg);
+    return engine.run(trace);
+}
+
+/**
+ * Sweeps per-tick prefill budgets against monolithic prefill and checks
+ * the gate: the 2048-token budget must cut decode-stall p99 by
+ * >= @p min_stall_ratio at equal throughput (within 10%) with an
+ * identical run digest. @return true when the gate passes.
+ */
+bool
+chunkedPrefillSection(double min_stall_ratio)
+{
+    bench::section("Chunked prefill: 100K prompts arriving mid-decode "
+                   "(BitDecoding-4, decode-stall = inter-token gap)");
+    const ServingMetrics mono = runLongPrompt(0);
+    bench::head("prefill mode", {"stall-p50", "stall-p99", "stall-max",
+                                 "ttft-p99", "tok/s", "preempt"});
+    const auto report = [](const char* label, const ServingMetrics& m) {
+        bench::row(label, {m.decode_stall_p50_s, m.decode_stall_p99_s,
+                           m.decode_stall_max_s, m.ttft_p99_s,
+                           m.sustained_tokens_per_s,
+                           static_cast<double>(m.preemptions)});
+    };
+    report("monolithic (chunking off)", mono);
+
+    ServingMetrics gated; // the 2048-budget run the CI gate judges
+    for (const int budget : {8192, 2048, 512}) {
+        const ServingMetrics m = runLongPrompt(budget);
+        char label[48];
+        std::snprintf(label, sizeof(label), "chunked, budget %d tok/tick",
+                      budget);
+        report(label, m);
+        if (budget == 2048)
+            gated = m;
+    }
+
+    const double stall_ratio = gated.decode_stall_p99_s > 0
+                                   ? mono.decode_stall_p99_s /
+                                         gated.decode_stall_p99_s
+                                   : 0;
+    const double tput_ratio = mono.sustained_tokens_per_s > 0
+                                  ? gated.sustained_tokens_per_s /
+                                        mono.sustained_tokens_per_s
+                                  : 0;
+    const bool digests_match = mono.outputs_digest == gated.outputs_digest;
+    std::printf("\nbudget 2048 cuts decode-stall p99 %.1fx at %.2fx "
+                "throughput; digests %s (%016llx vs %016llx)\n",
+                stall_ratio, tput_ratio,
+                digests_match ? "match" : "DIFFER",
+                static_cast<unsigned long long>(mono.outputs_digest),
+                static_cast<unsigned long long>(gated.outputs_digest));
+
+    const bool pass =
+        stall_ratio >= min_stall_ratio && tput_ratio >= 0.9 && digests_match;
+    if (!pass)
+        std::printf("FAIL: expected >= %.1fx stall-p99 cut at >= 0.9x "
+                    "throughput with matching digests\n",
+                    min_stall_ratio);
+    return pass;
+}
+
 } // namespace
 
 int
@@ -206,9 +311,12 @@ main(int argc, char** argv)
 {
     const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
     if (smoke) {
-        // CI gate: only the shared-prefix scenario, hard pass/fail.
-        bench::banner("Serving E2E smoke: shared-prefix page reuse gate");
-        return sharedPrefixSection(1.5) ? 0 : 1;
+        // CI gates: shared-prefix reuse + chunked prefill, hard pass/fail.
+        bench::banner("Serving E2E smoke: prefix-reuse and chunked-prefill "
+                      "gates");
+        const bool prefix_ok = sharedPrefixSection(1.5);
+        const bool chunk_ok = chunkedPrefillSection(3.0);
+        return prefix_ok && chunk_ok ? 0 : 1;
     }
 
     bench::banner("Serving E2E: continuous batching, 32K context "
@@ -279,5 +387,6 @@ main(int argc, char** argv)
 
     const bool prefix_ok = sharedPrefixSection(1.5);
     policySection();
-    return prefix_ok ? 0 : 1;
+    const bool chunk_ok = chunkedPrefillSection(3.0);
+    return prefix_ok && chunk_ok ? 0 : 1;
 }

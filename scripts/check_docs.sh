@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs guard: keep the handbook from silently rotting.
+#
+#  1. Every relative markdown link in README.md and docs/*.md must point
+#     at a file or directory that exists (anchors and external URLs are
+#     ignored).
+#  2. Every src/*/ module directory must be mentioned in
+#     docs/ARCHITECTURE.md — adding a subsystem without documenting it
+#     fails CI.
+#
+# Run from the repo root: scripts/check_docs.sh
+set -u
+
+fail=0
+
+check_links() {
+    local file="$1"
+    local dir
+    dir=$(dirname "$file")
+    # Pull out markdown link targets: [text](target)
+    local targets
+    targets=$(grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//')
+    local t
+    for t in $targets; do
+        case "$t" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        local path="${t%%#*}" # strip in-page anchor
+        [ -z "$path" ] && continue
+        # Markdown links resolve relative to the containing file.
+        if [ ! -e "$dir/$path" ]; then
+            echo "ERROR: $file links to missing path: $t"
+            fail=1
+        fi
+    done
+}
+
+for f in README.md docs/*.md; do
+    [ -e "$f" ] || continue
+    check_links "$f"
+done
+
+arch_doc="docs/ARCHITECTURE.md"
+if [ ! -e "$arch_doc" ]; then
+    echo "ERROR: $arch_doc is missing"
+    fail=1
+else
+    for d in src/*/; do
+        mod=$(basename "$d")
+        # Require the explicit `src/<mod>/` form: a bare substring would
+        # be satisfied by incidental prose ("timing model", "serving").
+        if ! grep -q "src/$mod/" "$arch_doc"; then
+            echo "ERROR: module src/$mod/ is not mentioned in $arch_doc"
+            fail=1
+        fi
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check FAILED"
+    exit 1
+fi
+echo "docs check passed: links resolve, all modules documented"

@@ -295,11 +295,19 @@ PagedHeadCache::pagesFor(int tokens) const
 }
 
 int
+PagedHeadCache::pagesToGrow(int from_tokens, int to_tokens) const
+{
+    BITDEC_ASSERT(from_tokens >= 0 && from_tokens <= to_tokens,
+                  "bad growth range ", from_tokens, " -> ", to_tokens);
+    return pagesFor(to_tokens) - pagesFor(from_tokens);
+}
+
+int
 PagedHeadCache::pagesNeededForAppend(int seq, int extra) const
 {
     const auto& s = seqs_.at(static_cast<std::size_t>(seq));
     BITDEC_ASSERT(s.live, "sequence not live");
-    int needed = pagesFor(s.len + extra) - pagesFor(s.len);
+    int needed = pagesToGrow(s.len, s.len + extra);
     // Writing into a shared partially-filled page costs one CoW page.
     if (extra > 0 && s.len % page_size_ != 0 &&
         allocator_.refCount(s.pages.back()) > 1)
@@ -310,9 +318,8 @@ PagedHeadCache::pagesNeededForAppend(int seq, int extra) const
 bool
 PagedHeadCache::hasHeadroom(int current_len, int extra_tokens) const
 {
-    const int needed =
-        pagesFor(current_len + extra_tokens) - pagesFor(current_len);
-    return allocator_.freePages() >= needed;
+    return allocator_.freePages() >=
+           pagesToGrow(current_len, current_len + extra_tokens);
 }
 
 std::vector<int>

@@ -196,9 +196,21 @@ class PagedHeadCache
     int pagesFor(int tokens) const;
 
     /**
+     * Fresh pages a sequence must allocate to grow from @p from_tokens to
+     * @p to_tokens tokens (0 <= from <= to), assuming its partial last
+     * page is private. This is the chunk-granular reservation primitive:
+     * a partially-prefilled sequence holds only the pages its chunks have
+     * filled, so admitting its next chunk costs pagesToGrow(len,
+     * len + chunk) — not pagesFor(whole prompt). For a live sequence with
+     * possibly-shared pages, use pagesNeededForAppend instead.
+     */
+    int pagesToGrow(int from_tokens, int to_tokens) const;
+
+    /**
      * Fresh pool pages appending @p extra tokens to @p seq will consume,
      * including the copy-on-write page when the sequence's partially
-     * filled last page is shared. Step planners budget with this.
+     * filled last page is shared. Step planners budget with this;
+     * @p extra == 0 (a prefill stalled for the tick) costs nothing.
      */
     int pagesNeededForAppend(int seq, int extra) const;
 

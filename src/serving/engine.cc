@@ -177,19 +177,20 @@ Engine::run(std::vector<Request>& requests)
             continue;
         }
 
-        // Plan this tick's appends; preempt (policy order, reclaimable
-        // victims only) until they fit, evicting unused shared prefixes
-        // before giving up.
+        // Plan this tick's appends under the unified token budget;
+        // preempt (policy order, reclaimable victims only) until they
+        // fit, evicting unused shared prefixes before giving up. The
+        // plan is recomputed after every preemption: the victim's
+        // appends leave the demand and its budget share flows to the
+        // surviving prefills.
+        TickPlan plan;
         for (;;) {
+            plan = sched_.planTick();
+            const std::vector<Request*>& run = sched_.running();
             int pages_needed = 0;
-            for (const Request* r : sched_.running()) {
-                const int append =
-                    r->state == RequestState::Prefill
-                        ? std::min(cfg_.sched.prefill_chunk,
-                                   r->prefillTarget() - r->prefilled)
-                        : 1;
-                pages_needed += cache_.pagesNeededForAppend(r->seq, append);
-            }
+            for (std::size_t i = 0; i < run.size(); i++)
+                pages_needed +=
+                    cache_.pagesNeededForAppend(run[i]->seq, plan.tokens[i]);
             if (pages_needed <= cache_.freePages())
                 break;
             Request* victim = sched_.running().size() > 1
@@ -214,24 +215,24 @@ Engine::run(std::vector<Request>& requests)
             sched_.preempt(victim, cache_);
         }
 
-        // Execute the appends.
-        int decode_batch = 0;
-        int prefill_tokens = 0;
+        // Execute the planned appends: budgeted prefill chunks and decode
+        // tokens interleave inside the same tick (hybrid batching).
         long decode_len_sum = 0;
         const std::vector<Request*> batch = sched_.running();
         std::vector<Request*> decoded;
-        for (Request* r : batch) {
+        for (std::size_t bi = 0; bi < batch.size(); bi++) {
+            Request* r = batch[bi];
             if (r->state == RequestState::Prefill) {
-                const int chunk = std::min(
-                    cfg_.sched.prefill_chunk,
-                    r->prefillTarget() - r->prefilled);
+                const int chunk = plan.tokens[bi];
                 for (int i = 0; i < chunk; i++)
                     appendToken(*r, r->prefilled + i);
                 r->prefilled += chunk;
-                prefill_tokens += chunk;
-                // First request past the shared prefix publishes its pages
-                // for everyone arriving later (no-op when already
-                // published; republishes after an index eviction).
+                // Chunk-aware publication: the first request whose chunk
+                // crosses the shared-prefix boundary publishes the packed
+                // pages immediately — mid-prefill, possibly mid-page —
+                // so followers map them while the publisher is still
+                // loading its unique tail (no-op when already published;
+                // republishes after an index eviction).
                 if (cfg_.sched.prefix_reuse && r->prefix_id != 0 &&
                     r->prefix_tokens > 0 &&
                     r->prefilled >= r->prefix_tokens &&
@@ -252,7 +253,6 @@ Engine::run(std::vector<Request>& requests)
                     r->output_hash * 0x100000001B3ull ^
                     (tokenSeed(r->id, pos) ^ ctx);
                 r->generated++;
-                decode_batch++;
                 decode_len_sum += pos + 1;
                 decoded.push_back(r);
             }
@@ -291,11 +291,20 @@ Engine::run(std::vector<Request>& requests)
                     decoded[i]->attn_hash * 0x100000001B3ull ^ digests[i];
         }
 
-        const double step_s =
-            stepLatency(decode_batch, decode_len_sum, prefill_tokens);
+        const double step_s = stepLatency(plan.decode_batch, decode_len_sum,
+                                          plan.prefill_tokens);
         clock += step_s;
         BITDEC_ASSERT(clock < cfg_.max_clock_s,
                       "virtual clock exceeded max_clock_s");
+
+        // Decode-stall samples: the gap between a request's consecutive
+        // output tokens. A tick that also carried a huge prefill chunk
+        // (or a preemption requeue) shows up here as a long gap.
+        for (Request* r : decoded) {
+            if (r->last_token_s >= 0)
+                mc.onDecodeGap(clock - r->last_token_s);
+            r->last_token_s = clock;
+        }
 
         for (Request* r : batch) {
             if (r->state != RequestState::Decode)
@@ -309,7 +318,7 @@ Engine::run(std::vector<Request>& requests)
                 finished++;
             }
         }
-        mc.onStep(step_s, decode_batch, prefill_tokens,
+        mc.onStep(step_s, plan.decode_batch, plan.prefill_tokens,
                   cache_.totalPages() - cache_.freePages(),
                   cache_.totalPages());
     }

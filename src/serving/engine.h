@@ -3,12 +3,20 @@
  * Continuous-batching serving engine on a virtual clock.
  *
  * Each tick the engine admits arrived requests (FCFS or priority-with-
- * aging, see SchedulerConfig::policy), appends tokens into the functional
- * paged KV cache — chunked prefill for PREFILL requests, one token per
- * DECODE request — and advances the clock by the step latency the
- * analytical model charges for the configured system (FP16 FlashDecoding,
- * KIVI, QServe or BitDecoding). Page-pool exhaustion mid-step triggers
- * preempt-and-recompute via the scheduler; no request is ever dropped.
+ * aging, see SchedulerConfig::policy), asks the scheduler for the tick's
+ * append plan (Scheduler::planTick) — one token per DECODE request plus
+ * budget-shared prefill chunks, interleaved in the same tick under the
+ * unified SchedulerConfig::prefill_chunk_tokens budget — executes it
+ * against the functional paged KV cache, and advances the clock by the
+ * step latency the analytical model charges for the configured system
+ * (FP16 FlashDecoding, KIVI, QServe or BitDecoding). Because the budget
+ * caps the tokens any tick can append, a 100K-token prompt prefills
+ * across many bounded ticks instead of stalling every decoding request
+ * for one monolithic multi-second tick; the gap between a request's
+ * consecutive output tokens is reported as the decode-stall distribution
+ * (ServingMetrics::decode_stall_*). Page-pool exhaustion mid-step
+ * triggers preempt-and-recompute via the scheduler; no request is ever
+ * dropped.
  *
  * Requests that declare a shared prefix (Request::prefix_id) ride the
  * cache's prefix index: the first request to prefill the prefix publishes

@@ -35,6 +35,13 @@ MetricsCollector::onStep(double step_s, int decode_batch, int prefill_tokens,
 }
 
 void
+MetricsCollector::onDecodeGap(double gap_s)
+{
+    BITDEC_ASSERT(gap_s > 0, "decode gap must be positive");
+    decode_gaps_.push_back(gap_s);
+}
+
+void
 MetricsCollector::onFinish(const Request& r)
 {
     BITDEC_ASSERT(r.state == RequestState::Finished,
@@ -81,6 +88,11 @@ MetricsCollector::finalize(double makespan_s, int preemptions,
     m.ttft_p99_s = percentile(ttft_, 99);
 
     m.tpot_mean_s = mean(tpot_);
+
+    m.decode_stall_mean_s = mean(decode_gaps_);
+    m.decode_stall_p50_s = percentile(decode_gaps_, 50);
+    m.decode_stall_p99_s = percentile(decode_gaps_, 99);
+    m.decode_stall_max_s = percentile(decode_gaps_, 100);
 
     m.latency_mean_s = mean(latency_);
     m.latency_p50_s = percentile(latency_, 50);

@@ -44,6 +44,19 @@ struct ServingMetrics
 
     double tpot_mean_s = 0; //!< time per output token after the first
 
+    /**
+     * Decode-stall distribution: gaps between consecutive output tokens
+     * of the same request (virtual seconds), sampled across every
+     * decoding request and step. A monolithic long prefill sharing a
+     * tick with the decode batch — or a preemption requeue — shows up
+     * as a long gap; chunked prefill bounds the tail. Zero when no
+     * request produced two or more tokens.
+     */
+    double decode_stall_mean_s = 0;
+    double decode_stall_p50_s = 0;
+    double decode_stall_p99_s = 0;
+    double decode_stall_max_s = 0;
+
     double latency_mean_s = 0; //!< arrival -> completion
     double latency_p50_s = 0;
     double latency_p95_s = 0;
@@ -87,6 +100,14 @@ class MetricsCollector
     void onStep(double step_s, int decode_batch, int prefill_tokens,
                 int used_pages, int total_pages);
 
+    /**
+     * Records one decode-stall sample: the virtual-time gap (seconds,
+     * > 0) between two consecutive output tokens of the same request.
+     * Called once per decoding request per step, from the second output
+     * token on (the first token's wait is TTFT, not a stall).
+     */
+    void onDecodeGap(double gap_s);
+
     /** Records a finished request (state must be FINISHED). */
     void onFinish(const Request& r);
 
@@ -102,6 +123,7 @@ class MetricsCollector
   private:
     std::vector<double> ttft_;
     std::vector<double> tpot_;
+    std::vector<double> decode_gaps_;
     std::vector<double> latency_;
     std::map<int, std::vector<double>> ttft_by_priority_;
     std::uint64_t outputs_digest_ = 0;

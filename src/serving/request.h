@@ -4,9 +4,12 @@
  *
  * A request arrives at a (virtual) wall-clock time with a prompt budget and
  * an output budget, moves QUEUED -> PREFILL -> DECODE -> FINISHED, and may
- * bounce through PREEMPTED when the page pool runs dry. Preemption uses the
- * recompute policy: the sequence's pages are dropped and, on resume, the
- * prompt plus every token generated so far is prefilled again.
+ * bounce through PREEMPTED when the page pool runs dry. Prefill is chunked:
+ * a request can sit in PREFILL for many ticks, loading the scheduler's
+ * budget share of its prompt each tick (see TickPlan), while other
+ * requests decode in the same ticks. Preemption uses the recompute policy:
+ * the sequence's pages are dropped and, on resume, the prompt plus every
+ * token generated so far is prefilled again.
  */
 #ifndef BITDEC_SERVING_REQUEST_H
 #define BITDEC_SERVING_REQUEST_H
@@ -57,6 +60,9 @@ struct Request
                                 //!< pages, summed over (re-)admissions
 
     double first_token_s = -1; //!< when the first output token appeared
+    double last_token_s = -1;  //!< when the most recent output token
+                               //!< appeared; successive gaps are the
+                               //!< decode-stall samples (virtual seconds)
     double finish_s = -1;      //!< when the output budget was met
     std::uint64_t output_hash = 0; //!< checksum of the generated KV stream
     std::uint64_t attn_hash = 0;   //!< checksum of per-step fused attention

@@ -1,6 +1,7 @@
 #include "serving/scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -21,7 +22,8 @@ toString(SchedPolicy policy)
 Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg)
 {
     BITDEC_ASSERT(cfg.max_batch > 0, "max_batch must be positive");
-    BITDEC_ASSERT(cfg.prefill_chunk > 0, "prefill_chunk must be positive");
+    BITDEC_ASSERT(cfg.prefill_chunk_tokens >= 0,
+                  "prefill_chunk_tokens must be >= 0 (0 = monolithic)");
     BITDEC_ASSERT(cfg.reserve_pages >= 0, "reserve_pages must be >= 0");
     BITDEC_ASSERT(cfg.aging_rate >= 0, "aging_rate must be >= 0");
 }
@@ -96,8 +98,17 @@ Scheduler::admit(kv::PagedHeadCache& cache, double now)
             if (published > 0 && published <= r->prefix_tokens)
                 hit = published;
         }
+        // Chunk-granular admission: with chunking on, only the first
+        // prefill chunk is budgeted — a partially-prefilled sequence
+        // holds only the pages its chunks have filled, and later chunks
+        // are paid for tick by tick (preemption absorbs mid-prefill
+        // exhaustion). Monolithic mode budgets the whole target.
+        int budget_tokens = r->prefillTarget();
+        if (cfg_.prefill_chunk_tokens > 0)
+            budget_tokens = std::min(budget_tokens,
+                                     hit + cfg_.prefill_chunk_tokens);
         const int full_shared = hit / cache.pageSize();
-        const int need = cache.pagesFor(r->prefillTarget()) - full_shared;
+        const int need = cache.pagesFor(budget_tokens) - full_shared;
         if (cache.freePages() - cfg_.reserve_pages < need)
             break; // the policy's pick blocks until it fits (no bypass)
 
@@ -113,6 +124,53 @@ Scheduler::admit(kv::PagedHeadCache& cache, double now)
         r->state = RequestState::Prefill;
         running_.push_back(r);
     }
+}
+
+TickPlan
+Scheduler::planTick() const
+{
+    TickPlan plan;
+    plan.tokens.assign(running_.size(), 0);
+    std::vector<std::size_t> prefills;
+    for (std::size_t i = 0; i < running_.size(); i++) {
+        if (running_[i]->state == RequestState::Decode) {
+            plan.decode_batch++;
+            plan.tokens[i] = 1;
+        } else if (running_[i]->prefillTarget() > running_[i]->prefilled) {
+            prefills.push_back(i);
+        }
+    }
+    if (prefills.empty())
+        return plan;
+    // Decode tokens are reserved off the top of the unified budget:
+    // generation latency is what the budget protects, so decode is never
+    // throttled. Prefilling requests then fair-share the remainder
+    // (water-filling, earlier-admitted requests take the remainders):
+    // an equal split rather than order-greedy, so a follower that mapped
+    // a freshly published prefix loads its short tail alongside the
+    // publisher's long prefill instead of queueing behind it.
+    long budget = cfg_.prefill_chunk_tokens == 0
+                      ? std::numeric_limits<long>::max()
+                      : std::max<long>(0, cfg_.prefill_chunk_tokens -
+                                             plan.decode_batch);
+    while (budget > 0 && !prefills.empty()) {
+        const long share = std::max<long>(
+            1, budget / static_cast<long>(prefills.size()));
+        std::vector<std::size_t> still_hungry;
+        for (const std::size_t i : prefills) {
+            const Request* r = running_[i];
+            const long remaining =
+                r->prefillTarget() - r->prefilled - plan.tokens[i];
+            const long grant = std::min({remaining, share, budget});
+            plan.tokens[i] += static_cast<int>(grant);
+            plan.prefill_tokens += static_cast<int>(grant);
+            budget -= grant;
+            if (remaining > grant && budget > 0)
+                still_hungry.push_back(i);
+        }
+        prefills = std::move(still_hungry);
+    }
+    return plan;
 }
 
 Request*

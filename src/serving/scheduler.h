@@ -5,15 +5,27 @@
  * The scheduler owns the waiting queue and the running batch, with two
  * admission policies:
  *
- *  - Fcfs: first-come-first-served with no queue jumping. A request is
- *    admitted only when the page pool has headroom for its whole prefill
- *    target (plus a configurable reserve that absorbs decode growth); the
- *    head of the queue blocks until it fits.
+ *  - Fcfs: first-come-first-served with no queue jumping. The head of the
+ *    queue blocks admission until the page pool has headroom for its
+ *    admission budget (plus a configurable reserve that absorbs decode
+ *    growth).
  *  - Priority: highest effective priority first, where effective priority
  *    is the request's static priority plus an aging credit proportional to
  *    its waiting time — so low-priority requests cannot starve. The
  *    selected candidate blocks admission until it fits (no bypass), which
  *    keeps aging meaningful.
+ *
+ * Prefill is chunked and budgeted: planTick() hands the engine one append
+ * plan per tick in which every decoding request gets exactly one token and
+ * the prefilling requests fair-share what is left of the unified per-tick
+ * token budget (SchedulerConfig::prefill_chunk_tokens) — the
+ * piggyback/hybrid batching that keeps a 100K-token prefill from stalling
+ * the decode batch for seconds. With chunking on, admission budgets pages
+ * for only the first chunk of a request's prefill (the cache allocates
+ * page-by-page as chunks land), so a long prompt no longer blocks the
+ * queue until its entire prompt fits; with chunking off
+ * (prefill_chunk_tokens == 0) the whole prefill target is budgeted and
+ * executed in a single tick (monolithic prefill).
  *
  * Admission is prefix-aware: when a request names a published shared
  * prefix, the already-packed prefix pages are mapped into its fresh
@@ -55,9 +67,19 @@ const char* toString(SchedPolicy policy);
 /** Scheduler policy knobs. */
 struct SchedulerConfig
 {
-    int max_batch = 64;       //!< cap on concurrently running requests
-    int reserve_pages = 0;    //!< pages kept free at admission time
-    int prefill_chunk = 2048; //!< prompt tokens loaded per request per step
+    int max_batch = 64;    //!< cap on concurrently running requests
+    int reserve_pages = 0; //!< pages kept free at admission time
+
+    /**
+     * Unified per-tick token budget (tokens/tick). Each tick, every
+     * decoding request consumes one budget token first; prefilling
+     * requests then split the remainder in admission order, so total
+     * appended tokens per tick never exceed this bound and the step
+     * latency a huge prefill charges is capped. 0 disables chunking:
+     * every prefill loads its whole remaining target in one tick
+     * (monolithic prefill — the head-of-line-blocking baseline).
+     */
+    int prefill_chunk_tokens = 2048;
 
     SchedPolicy policy = SchedPolicy::Fcfs;
 
@@ -74,6 +96,19 @@ struct SchedulerConfig
     bool prefix_reuse = true;
 };
 
+/**
+ * One engine tick's append plan, parallel to Scheduler::running().
+ * tokens[i] is how many tokens running()[i] appends this tick: exactly 1
+ * for a DECODE request, its budget share (possibly 0 when the budget is
+ * exhausted by earlier requests) for a PREFILL request.
+ */
+struct TickPlan
+{
+    std::vector<int> tokens; //!< appends per running request, batch order
+    int decode_batch = 0;    //!< requests producing one output token
+    int prefill_tokens = 0;  //!< total prompt tokens appended this tick
+};
+
 /** Continuous-batching scheduler with pluggable admission order. */
 class Scheduler
 {
@@ -85,14 +120,29 @@ class Scheduler
 
     /**
      * Admits waiting requests in policy order while the batch has a slot
-     * and the pool has headroom for the candidate's remaining prefill
-     * target (shared-prefix pages it can map are not re-budgeted). Stops
-     * at the first candidate that does not fit (no skipping). Admitted
-     * requests get a fresh cache sequence — prefix pages mapped when
-     * available — and enter PREFILL.
+     * and the pool has headroom for the candidate's admission budget:
+     * its whole remaining prefill target when chunking is off, only its
+     * first prefill chunk when chunking is on (shared-prefix pages it can
+     * map are never re-budgeted). Stops at the first candidate that does
+     * not fit (no skipping). Admitted requests get a fresh cache
+     * sequence — prefix pages mapped when available — and enter PREFILL.
      * @param now virtual-clock time, used for priority aging.
      */
     void admit(kv::PagedHeadCache& cache, double now = 0);
+
+    /**
+     * Plans this tick's appends under the unified token budget: decode
+     * requests are reserved one token each first, then prefilling
+     * requests fair-share the remaining prefill_chunk_tokens budget
+     * (equal water-filling split; earlier-admitted requests take the
+     * remainders, and budget a finished prefill cannot use cascades to
+     * the still-hungry ones). A prefilling request may be planned 0
+     * tokens on a tick where decode consumes the whole budget — it
+     * stalls for the tick but is never starved, because decoding
+     * requests retire and return their budget share. Pure function of
+     * the current batch: the engine re-plans after every preemption.
+     */
+    TickPlan planTick() const;
 
     /**
      * Picks the preemption victim among running requests: policy order

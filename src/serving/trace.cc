@@ -31,6 +31,8 @@ generateTrace(const TraceConfig& cfg)
                   "need at least one priority level");
     BITDEC_ASSERT(cfg.shared_prefix_tokens == 0 || cfg.shared_prefix_id != 0,
                   "a shared prefix needs a non-zero id");
+    BITDEC_ASSERT(cfg.long_prompt_every == 0 || cfg.long_prompt_tokens > 0,
+                  "long-prompt stragglers need a positive prompt length");
 
     Rng rng(cfg.seed);
     std::vector<Request> trace;
@@ -47,6 +49,11 @@ generateTrace(const TraceConfig& cfg)
         r.prompt_tokens = lognormalLength(rng, cfg.prompt_median,
                                           cfg.prompt_log_sigma,
                                           cfg.prompt_min, cfg.prompt_max);
+        // Stragglers override the draw (which is still consumed above, so
+        // the rest of the trace is unchanged) with a fixed long prompt.
+        if (cfg.long_prompt_every > 0 &&
+            (i + 1) % cfg.long_prompt_every == 0)
+            r.prompt_tokens = cfg.long_prompt_tokens;
         r.output_tokens = lognormalLength(rng, cfg.output_median,
                                           cfg.output_log_sigma,
                                           cfg.output_min, cfg.output_max);

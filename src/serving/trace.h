@@ -50,6 +50,18 @@ struct TraceConfig
      * (all 0 for the default single level). Higher is more urgent.
      */
     int num_priority_levels = 1;
+
+    /**
+     * Long-prompt stragglers: when > 0, every long_prompt_every-th
+     * request (ids every-1, 2*every-1, ...) gets a fixed prompt of
+     * long_prompt_tokens tokens instead of its lognormal draw — the
+     * head-of-line-blocking workload where 100K-token prompts land in
+     * the middle of an active decode batch. The lognormal draw is still
+     * consumed, so the rest of the trace (arrivals, other lengths) is
+     * byte-identical to the long_prompt_every == 0 trace.
+     */
+    int long_prompt_every = 0;
+    int long_prompt_tokens = 0; //!< prompt length of each straggler
 };
 
 /** Generates a Poisson/lognormal trace; requests come sorted by arrival. */

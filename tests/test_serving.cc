@@ -577,7 +577,7 @@ tinyEngineConfig(int num_pages)
     cfg.num_pages = num_pages;
     cfg.cache_head_dim = 4;
     cfg.sched.max_batch = 8;
-    cfg.sched.prefill_chunk = 16;
+    cfg.sched.prefill_chunk_tokens = 16;
     return cfg;
 }
 
@@ -802,6 +802,228 @@ TEST(Engine, PerPriorityTtftIsReported)
         total += m.ttft_by_priority[i].count;
     }
     EXPECT_EQ(total, m.num_requests);
+}
+
+// ------------------------------------------------- chunked prefill ----
+
+TEST(PagedCache, PagesToGrowIsAlignmentAware)
+{
+    kv::PagedHeadCache cache(4, 4, 16);
+    EXPECT_EQ(cache.pagesToGrow(0, 0), 0);
+    EXPECT_EQ(cache.pagesToGrow(0, 9), 3);
+    EXPECT_EQ(cache.pagesToGrow(3, 4), 0);  // partial page absorbs it
+    EXPECT_EQ(cache.pagesToGrow(4, 5), 1);  // next token opens a page
+    EXPECT_EQ(cache.pagesToGrow(5, 13), 2); // 2 pages -> 4 pages
+}
+
+TEST(Scheduler, PlanTickReservesDecodeAndFairSharesPrefill)
+{
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    cfg.max_batch = 8;
+    cfg.prefill_chunk_tokens = 10;
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(3);
+    for (int i = 0; i < 3; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 8;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 3u);
+
+    // Three prefills split the 10-token budget evenly; the first request
+    // takes the remainder token.
+    serving::TickPlan plan = sched.planTick();
+    EXPECT_EQ(plan.decode_batch, 0);
+    EXPECT_EQ(plan.prefill_tokens, 10);
+    EXPECT_EQ(plan.tokens, (std::vector<int>{4, 3, 3}));
+
+    // A decoding request is reserved its token off the top; the two
+    // remaining prefills fair-share the other 9.
+    reqs[0].prefilled = 8;
+    reqs[0].state = RequestState::Decode;
+    plan = sched.planTick();
+    EXPECT_EQ(plan.decode_batch, 1);
+    EXPECT_EQ(plan.prefill_tokens, 9);
+    EXPECT_EQ(plan.tokens, (std::vector<int>{1, 5, 4}));
+
+    // Budget a nearly-done prefill cannot use cascades to hungry ones.
+    reqs[1].prefilled = 6; // 2 tokens to go
+    plan = sched.planTick();
+    EXPECT_EQ(plan.tokens, (std::vector<int>{1, 2, 7}));
+    EXPECT_EQ(plan.prefill_tokens, 9);
+}
+
+TEST(Scheduler, MonolithicPlanLoadsWholeTargetInOneTick)
+{
+    kv::PagedHeadCache cache(4, 4, 64);
+    serving::SchedulerConfig cfg;
+    cfg.prefill_chunk_tokens = 0; // monolithic
+    serving::Scheduler sched(cfg);
+
+    std::vector<Request> reqs(2);
+    for (int i = 0; i < 2; i++) {
+        reqs[static_cast<std::size_t>(i)].id = i;
+        reqs[static_cast<std::size_t>(i)].prompt_tokens = 30 + i;
+        reqs[static_cast<std::size_t>(i)].output_tokens = 4;
+        sched.enqueue(&reqs[static_cast<std::size_t>(i)]);
+    }
+    sched.admit(cache);
+    ASSERT_EQ(sched.running().size(), 2u);
+    const serving::TickPlan plan = sched.planTick();
+    EXPECT_EQ(plan.tokens, (std::vector<int>{30, 31}));
+    EXPECT_EQ(plan.prefill_tokens, 61);
+}
+
+TEST(Scheduler, ChunkedAdmissionBudgetsOnlyFirstChunk)
+{
+    // 4 pages x 4 tokens: a 64-token prompt can never be budgeted whole.
+    Request r;
+    r.id = 0;
+    r.prompt_tokens = 64;
+    r.output_tokens = 4;
+
+    kv::PagedHeadCache mono_cache(4, 4, 4);
+    serving::SchedulerConfig mono_cfg;
+    mono_cfg.prefill_chunk_tokens = 0;
+    serving::Scheduler mono(mono_cfg);
+    mono.enqueue(&r);
+    mono.admit(mono_cache);
+    EXPECT_EQ(mono.running().size(), 0u); // blocks: 16 pages needed
+    EXPECT_EQ(mono.waitingCount(), 1);
+
+    Request rc = r;
+    rc.state = RequestState::Queued;
+    kv::PagedHeadCache chunk_cache(4, 4, 4);
+    serving::SchedulerConfig chunk_cfg;
+    chunk_cfg.prefill_chunk_tokens = 8; // first chunk = 2 pages
+    serving::Scheduler chunked(chunk_cfg);
+    chunked.enqueue(&rc);
+    chunked.admit(chunk_cache);
+    ASSERT_EQ(chunked.running().size(), 1u);
+    EXPECT_EQ(rc.state, RequestState::Prefill);
+}
+
+TEST(Engine, ChunkedMatchesMonolithicDigestUnderPreemption)
+{
+    // The same trace through chunked prefill on a pressured pool and
+    // monolithic prefill on pressured and relaxed pools: scheduling
+    // changes completely, token content must not.
+    auto chunked_trace = serving::smokeTrace();
+    auto mono_trace = serving::smokeTrace();
+    auto relaxed_trace = serving::smokeTrace();
+    EngineConfig mono_cfg = tinyEngineConfig(28);
+    mono_cfg.sched.prefill_chunk_tokens = 0;
+    EngineConfig relaxed_cfg = tinyEngineConfig(512);
+    relaxed_cfg.sched.prefill_chunk_tokens = 0;
+    Engine chunked(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
+    Engine mono(sim::archA100(), model::llama2_7b(), mono_cfg);
+    Engine relaxed(sim::archA100(), model::llama2_7b(), relaxed_cfg);
+    const ServingMetrics m_chunked = chunked.run(chunked_trace);
+    const ServingMetrics m_mono = mono.run(mono_trace);
+    const ServingMetrics m_relaxed = relaxed.run(relaxed_trace);
+    ASSERT_GT(m_chunked.preemptions, 0);
+    ASSERT_EQ(m_relaxed.preemptions, 0);
+    EXPECT_EQ(m_chunked.outputs_digest, m_mono.outputs_digest);
+    EXPECT_EQ(m_chunked.outputs_digest, m_relaxed.outputs_digest);
+    for (std::size_t i = 0; i < chunked_trace.size(); i++) {
+        EXPECT_EQ(chunked_trace[i].output_hash, mono_trace[i].output_hash);
+        EXPECT_EQ(chunked_trace[i].output_hash, relaxed_trace[i].output_hash);
+    }
+}
+
+TEST(Engine, ChunkBoundaryCowIntoSharedPartialPage)
+{
+    // The 20-token prefix ends at slot 4 of page 2 (page_size 8), so a
+    // follower's very first 4-token chunk lands inside the shared partial
+    // page: the chunk-granular page plan must budget the CoW copy and the
+    // divergence must stay private to each follower.
+    auto hit_trace = prefixTrace();
+    auto cold_trace = prefixTrace();
+    EngineConfig hit_cfg = tinyEngineConfig(64);
+    hit_cfg.sched.prefill_chunk_tokens = 4;
+    EngineConfig cold_cfg = tinyEngineConfig(64);
+    cold_cfg.sched.prefix_reuse = false;
+    Engine hit(sim::archA100(), model::llama2_7b(), hit_cfg);
+    Engine cold(sim::archA100(), model::llama2_7b(), cold_cfg);
+    const ServingMetrics mh = hit.run(hit_trace);
+    const ServingMetrics mc = cold.run(cold_trace);
+    EXPECT_EQ(mh.prefix_hit_tokens, 3 * 20);
+    EXPECT_GE(mh.cow_copies, 3); // one CoW per follower divergence
+    EXPECT_EQ(mh.outputs_digest, mc.outputs_digest);
+    for (std::size_t i = 0; i < hit_trace.size(); i++)
+        EXPECT_EQ(hit_trace[i].output_hash, cold_trace[i].output_hash);
+}
+
+TEST(Engine, PrefixPublishesMidPrefillOnNonChunkAlignedBoundary)
+{
+    // The publisher's 200-token prompt prefills 16 tokens per tick, so
+    // the 20-token prefix boundary is crossed mid-chunk (prefilled 16 ->
+    // 32). Chunk-aware publication must publish right then: followers
+    // map the prefix, fair-share the budget to load their short tails
+    // alongside the still-prefilling publisher, and finish their decode
+    // before the publisher produces its first token.
+    std::vector<Request> trace;
+    for (int i = 0; i < 4; i++) {
+        Request r;
+        r.id = i;
+        r.arrival_s = 0.001 * i;
+        r.prompt_tokens = i == 0 ? 200 : 30;
+        r.output_tokens = 4;
+        r.prefix_id = 0xF00Dull;
+        r.prefix_tokens = 20;
+        trace.push_back(r);
+    }
+    EngineConfig cfg = tinyEngineConfig(512);
+    // 20 % 16 != 0: the boundary never coincides with a chunk boundary.
+    ASSERT_EQ(cfg.sched.prefill_chunk_tokens, 16);
+    Engine engine(sim::archA100(), model::llama2_7b(), cfg);
+    const ServingMetrics m = engine.run(trace);
+    EXPECT_EQ(m.prefix_hit_tokens, 3 * 20);
+    for (int i = 1; i < 4; i++)
+        EXPECT_LT(trace[static_cast<std::size_t>(i)].finish_s,
+                  trace[0].first_token_s)
+            << "follower " << i << " should finish while the publisher "
+            << "is still prefilling";
+}
+
+TEST(Engine, DecodeStallMetricsReported)
+{
+    auto trace = serving::smokeTrace();
+    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(512));
+    const ServingMetrics m = engine.run(trace);
+    EXPECT_GT(m.decode_stall_p50_s, 0);
+    EXPECT_GE(m.decode_stall_p99_s, m.decode_stall_p50_s);
+    EXPECT_GE(m.decode_stall_max_s, m.decode_stall_p99_s);
+    EXPECT_GT(m.decode_stall_mean_s, 0);
+    // Stalls are inter-token gaps: bounded below by the fastest step.
+    EXPECT_LE(m.decode_stall_p50_s, m.makespan_s);
+}
+
+TEST(Trace, LongPromptStragglersOverrideOnlyTheirDraw)
+{
+    serving::TraceConfig base;
+    base.seed = 5;
+    base.num_requests = 12;
+    base.prompt_min = 16;
+    base.prompt_max = 256;
+    serving::TraceConfig straggler = base;
+    straggler.long_prompt_every = 3;
+    straggler.long_prompt_tokens = 5000;
+    const auto a = serving::generateTrace(base);
+    const auto b = serving::generateTrace(straggler);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+        if ((i + 1) % 3 == 0)
+            EXPECT_EQ(b[i].prompt_tokens, 5000);
+        else
+            EXPECT_EQ(b[i].prompt_tokens, a[i].prompt_tokens);
+    }
 }
 
 TEST(Engine, DerivedPoolScalesWithBitWidth)
