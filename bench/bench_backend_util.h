@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared `--backend=<name>` / `--list-backends` CLI handling for the
+ * backend-aware binaries (bench_cpu_hotpath, bench_serving_e2e,
+ * examples/serving_throughput). Kept separate from bench_util.h so the
+ * figure/table benches that only need the printing helpers never pull
+ * in the registry header graph.
+ */
+#ifndef BITDEC_BENCH_BENCH_BACKEND_UTIL_H
+#define BITDEC_BENCH_BENCH_BACKEND_UTIL_H
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "backend/registry.h"
+#include "common/logging.h"
+
+namespace bitdec::bench {
+
+/** Parsed backend-selection flags. */
+struct BackendArgs
+{
+    std::string backend; //!< --backend=<name>; empty = caller's default
+    bool list = false;   //!< --list-backends[=names|fused] was given
+    std::string list_mode; //!< "" (table), "names" or "fused"
+};
+
+/**
+ * Scans argv for `--backend=<name>` and `--list-backends[=mode]`.
+ * Unrelated arguments are left for the caller.
+ */
+inline BackendArgs
+parseBackendArgs(int argc, char** argv)
+{
+    BackendArgs a;
+    for (int i = 1; i < argc; i++) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--backend=", 10) == 0) {
+            a.backend = arg + 10;
+            if (a.backend.empty())
+                BITDEC_FATAL("--backend= needs a name (see "
+                             "--list-backends)");
+        } else if (std::strcmp(arg, "--backend") == 0) {
+            // Space-separated form would silently select the default
+            // backend — the exact silent fallback this API forbids.
+            BITDEC_FATAL("--backend takes its value with '=', e.g. "
+                         "--backend=fused-paged");
+        } else if (std::strcmp(arg, "--list-backends") == 0) {
+            a.list = true;
+        } else if (std::strncmp(arg, "--list-backends=", 16) == 0) {
+            a.list = true;
+            a.list_mode = arg + 16;
+        }
+    }
+    return a;
+}
+
+/**
+ * Handles `--list-backends`: the default mode prints the capability
+ * matrix; `=names` prints bare registered names one per line and
+ * `=fused` only the fused hot-path names (machine-readable — CI loops
+ * the perf smoke over exactly this set). Returns true when the caller
+ * should exit (the flag was given).
+ */
+inline bool
+maybeListBackends(const BackendArgs& a)
+{
+    if (!a.list)
+        return false;
+    if (!a.list_mode.empty() && a.list_mode != "names" &&
+        a.list_mode != "fused")
+        BITDEC_FATAL("unknown --list-backends mode '", a.list_mode,
+                     "' (use --list-backends, =names or =fused)");
+    auto& reg = backend::BackendRegistry::instance();
+    if (a.list_mode == "names" || a.list_mode == "fused") {
+        const auto names =
+            a.list_mode == "fused" ? reg.fusedNames() : reg.names();
+        for (const std::string& n : names)
+            std::printf("%s\n", n.c_str());
+        return true;
+    }
+    std::printf("registered attention backends "
+                "(caches | formats | scenarios):\n%s",
+                reg.capabilityMatrix().c_str());
+    return true;
+}
+
+/**
+ * Resolves the requested backend (or @p fallback when the flag was
+ * absent) through the registry; unknown names die listing every
+ * registered backend.
+ */
+inline backend::AttentionBackend&
+resolveBackendArg(const BackendArgs& a, const std::string& fallback)
+{
+    return backend::BackendRegistry::instance().resolve(
+        a.backend.empty() ? fallback : a.backend);
+}
+
+} // namespace bitdec::bench
+
+#endif // BITDEC_BENCH_BENCH_BACKEND_UTIL_H

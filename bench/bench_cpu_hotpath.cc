@@ -1,31 +1,37 @@
 /**
  * @file
- * CPU hot-path bench: decode-step latency of the fused execution backend
- * vs the legacy warp/register-emulated Packing Kernel, across context
- * lengths and thread counts. Writes machine-readable
+ * CPU hot-path bench: decode-step latency of a registry-resolved
+ * attention backend vs the legacy warp/register-emulated Packing Kernel,
+ * across context lengths and thread counts. Writes machine-readable
  * BENCH_cpu_hotpath.json so the perf trajectory is tracked across PRs.
  *
  * Modes:
- *   (default)  full sweep: 4K/32K/128K contexts, 1/4/8 threads
- *   --smoke    4K only, one repetition — the CI perf-regression gate
+ *   (default)          full sweep: 4K/32K/128K contexts, 1/4/8 threads
+ *   --smoke            4K only, one repetition — the CI perf gate
+ *   --backend=<name>   backend to sweep (default fused-packed); CI runs
+ *                      the smoke gate once per fused backend
+ *   --list-backends    capability matrix; =fused prints the gated names
  *
  * The legacy path at 128K is extrapolated linearly from 32K (it is
  * O(context) and already dominates the full-sweep runtime); the JSON
- * marks it "legacy_estimated": true.
+ * marks it "legacy_estimated": true. The legacy kernel is the same
+ * baseline for every backend — the gate is a regression tripwire for
+ * the registered hot paths, not a like-for-like bandwidth comparison.
  */
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "attention/reference.h"
+#include "backend/harness.h"
+#include "backend/registry.h"
+#include "bench_backend_util.h"
 #include "bench_util.h"
-#include "common/rng.h"
 #include "core/bitdecoding.h"
 #include "core/packing_kernel.h"
-#include "exec/fused_attention.h"
 #include "exec/thread_pool.h"
 
 namespace bitdec {
@@ -53,54 +59,48 @@ timeMs(int reps, Fn&& fn)
     return best;
 }
 
-void
-randomize(Tensor<Half>& t, Rng& rng)
-{
-    for (std::size_t i = 0; i < t.numel(); i++)
-        t[i] = Half(rng.uniformRange(-1.f, 1.f));
-}
-
 struct ContextResult
 {
+    backend::Binding binding; //!< cache structure the backend consumed
     int context;
     double legacy_ms;
     bool legacy_estimated;
     double fused_ms_t1;
     double fused_ms_t4;
     double fused_ms_t8;
-    double paged_gather_ms; //!< gather + reference baseline; -1 = skipped
-    double paged_fused_ms;  //!< fused in-place paged kernel
+    double paged_gather_ms; //!< reference backend over pages; -1 = skipped
+    double paged_fused_ms;  //!< fused-paged backend, in place
 };
 
 ContextResult
-runContext(int context, bool smoke, double legacy_32k_ms)
+runContext(const backend::AttentionBackend& be, int context, bool smoke,
+           double legacy_32k_ms)
 {
     const int d = 128;
     const int gq = 8;
     const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
-    core::BitDecodingConfig cfg; // KC-4, wn = 4
-    core::HeadDecoder dec(d, cfg);
-    Rng rng(2026 + context);
-    Tensor<Half> k({static_cast<std::size_t>(context),
-                    static_cast<std::size_t>(d)});
-    Tensor<Half> v({static_cast<std::size_t>(context),
-                    static_cast<std::size_t>(d)});
-    randomize(k, rng);
-    randomize(v, rng);
-    dec.prefill(k, v);
-    Tensor<Half> q({static_cast<std::size_t>(gq), static_cast<std::size_t>(d)});
-    randomize(q, rng);
+    backend::FixtureConfig fc;
+    fc.context = context;
+    fc.head_dim = d;
+    fc.gq = gq;
+    fc.seed = 2026 + static_cast<std::uint64_t>(context);
+    const backend::DecodeFixture fx(be, fc);
 
     ContextResult r{};
+    r.binding = fx.binding();
     r.context = context;
 
-    // Legacy: the warp/register-emulated kernel (the pre-backend hot path).
-    // Measure up to 32K; extrapolate linearly above (it is O(context)).
+    // Legacy: the warp/register-emulated kernel (the pre-backend hot
+    // path), over a packed cache holding the fixture's content. Measure
+    // up to 32K; extrapolate linearly above (it is O(context)).
     if (context <= 32768) {
-        const int reps = context <= 4096 ? 3 : 1;
-        r.legacy_ms = timeMs(reps, [&] {
-            core::packingKernelAttention(q, dec.cache(), scale, {});
+        core::BitDecodingConfig cfg; // KC-4, wn = 4
+        core::HeadDecoder dec(d, cfg);
+        dec.prefill(fx.keys(), fx.values());
+        const int legacy_reps = context <= 4096 ? 3 : 1;
+        r.legacy_ms = timeMs(legacy_reps, [&] {
+            core::packingKernelAttention(fx.query(), dec.cache(), scale, {});
         });
         r.legacy_estimated = false;
     } else {
@@ -109,51 +109,39 @@ runContext(int context, bool smoke, double legacy_32k_ms)
     }
 
     const int reps = context <= 4096 ? 20 : (context <= 32768 ? 5 : 3);
-    r.fused_ms_t1 = timeMs(reps, [&] {
-        core::fusedPackedAttention(q, dec.cache(), scale, nullptr);
-    });
+    backend::DecodeBatch b = fx.batch();
+    b.scale = scale;
+    r.fused_ms_t1 = timeMs(reps, [&] { be.decodeStep(b); });
     {
         exec::ThreadPool pool4(4);
-        r.fused_ms_t4 = timeMs(reps, [&] {
-            core::fusedPackedAttention(q, dec.cache(), scale, &pool4);
-        });
+        b.pool = &pool4;
+        r.fused_ms_t4 = timeMs(reps, [&] { be.decodeStep(b); });
     }
     {
         exec::ThreadPool pool8(8);
-        r.fused_ms_t8 = timeMs(reps, [&] {
-            core::fusedPackedAttention(q, dec.cache(), scale, &pool8);
-        });
+        b.pool = &pool8;
+        r.fused_ms_t8 = timeMs(reps, [&] { be.decodeStep(b); });
     }
 
-    // Paged section: fused in-place paged attention vs gather + reference.
+    // Paged section: the fused-paged backend in place vs the reference
+    // backend gathering the sequence, both resolved through the registry.
     {
-        const int page_size = 64;
-        kv::PagedHeadCache paged(d, page_size,
-                                 context / page_size + 2);
-        const int seq = paged.addSequence();
-        std::vector<Half> kr(static_cast<std::size_t>(d));
-        std::vector<Half> vr(static_cast<std::size_t>(d));
-        for (int t = 0; t < context; t++) {
-            for (int c = 0; c < d; c++) {
-                kr[static_cast<std::size_t>(c)] =
-                    k.at(static_cast<std::size_t>(t),
-                         static_cast<std::size_t>(c));
-                vr[static_cast<std::size_t>(c)] =
-                    v.at(static_cast<std::size_t>(t),
-                         static_cast<std::size_t>(c));
-            }
-            paged.append(seq, kr, vr);
-        }
+        auto& reg = backend::BackendRegistry::instance();
+        const backend::AttentionBackend& paged = reg.resolve("fused-paged");
+        // When the swept backend is fused-paged the main fixture already
+        // holds the paged pool — don't build a second 128K one.
+        std::optional<backend::DecodeFixture> alt;
+        if (std::strcmp(be.name(), "fused-paged") != 0)
+            alt.emplace(paged, fc);
+        const backend::DecodeFixture& pfx = alt ? *alt : fx;
+        backend::DecodeBatch pb = pfx.batch();
+        pb.scale = scale;
         r.paged_gather_ms = -1.0; // not measured (smoke / too slow at 128K)
         if (!smoke && context <= 32768) {
-            r.paged_gather_ms = timeMs(1, [&] {
-                attn::referenceAttention(q, paged.gatherKeys(seq),
-                                         paged.gatherValues(seq), scale);
-            });
+            const backend::AttentionBackend& ref = reg.resolve("reference");
+            r.paged_gather_ms = timeMs(1, [&] { ref.decodeStep(pb); });
         }
-        r.paged_fused_ms = timeMs(reps, [&] {
-            exec::fusedPagedAttention(q, paged, seq, scale, nullptr);
-        });
+        r.paged_fused_ms = timeMs(reps, [&] { paged.decodeStep(pb); });
     }
     return r;
 }
@@ -170,10 +158,14 @@ main(int argc, char** argv)
     for (int i = 1; i < argc; i++)
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+    const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
+    if (bench::maybeListBackends(ba))
+        return 0;
+    const backend::AttentionBackend& be =
+        bench::resolveBackendArg(ba, "fused-packed");
 
-    bench::banner(std::string("CPU hot path: fused execution backend vs "
-                              "legacy kernel") +
-                  (smoke ? " [smoke]" : ""));
+    bench::banner(std::string("CPU hot path: '") + be.name() +
+                  "' backend vs legacy kernel" + (smoke ? " [smoke]" : ""));
     std::printf("hardware threads: %u, BITDEC_THREADS default pool: %d\n",
                 std::thread::hardware_concurrency(),
                 exec::ThreadPool::globalThreadCount());
@@ -185,13 +177,13 @@ main(int argc, char** argv)
     std::vector<ContextResult> results;
     double legacy_32k = 0;
     for (int ctx : contexts) {
-        const ContextResult r = runContext(ctx, smoke, legacy_32k);
+        const ContextResult r = runContext(be, ctx, smoke, legacy_32k);
         if (ctx == 32768)
             legacy_32k = r.legacy_ms;
         results.push_back(r);
     }
 
-    bench::head("context", {"legacy", "fused-1t", "fused-4t", "fused-8t",
+    bench::head("context", {"legacy", "be-1t", "be-4t", "be-8t",
                             "speedup", "scale-8t"});
     for (const ContextResult& r : results) {
         bench::row(std::to_string(r.context / 1024) + "K" +
@@ -201,7 +193,8 @@ main(int argc, char** argv)
                     r.fused_ms_t1 / r.fused_ms_t8},
                    "%10.3f");
     }
-    bench::section("paged: fused in-place vs gather+reference (1 thread)");
+    bench::section("paged: fused-paged in place vs reference gather "
+                   "(1 thread)");
     bench::head("context", {"gather", "fused"});
     for (const ContextResult& r : results) {
         if (r.paged_gather_ms < 0)
@@ -225,7 +218,15 @@ main(int argc, char** argv)
     }
     std::fprintf(f, "{\n  \"bench\": \"cpu_hotpath\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"bits\": 4,\n  \"head_dim\": 128,\n  \"gq\": 8,\n");
+    std::fprintf(f, "  \"backend\": \"%s\",\n", be.name());
+    // Honest format labeling: FP16 bindings are not a 4-bit sweep; the
+    // packed, quantized and MX(FP4) bindings are.
+    const backend::Binding binding = results[0].binding;
+    const bool fp16 = binding == backend::Binding::Fp16Contiguous ||
+                      binding == backend::Binding::PagedFp16;
+    std::fprintf(f, "  \"binding\": \"%s\",\n  \"bits\": %d,\n",
+                 backend::toString(binding), fp16 ? 16 : 4);
+    std::fprintf(f, "  \"head_dim\": 128,\n  \"gq\": 8,\n");
     std::fprintf(f, "  \"hardware_threads\": %u,\n",
                  std::thread::hardware_concurrency());
     std::fprintf(f, "  \"results\": [\n");
@@ -254,18 +255,23 @@ main(int argc, char** argv)
     std::fclose(f);
     std::printf("\nwrote %s\n", json_path);
 
-    // Smoke mode is the CI perf gate: the fused path regressing to within
-    // 5x of the legacy kernel fails the job loudly. (Measured margin is
-    // ~25-30x, so this trips on real regressions, not runner noise.)
+    // Smoke mode is the CI perf gate: the selected backend regressing to
+    // within 5x of the legacy kernel fails the job loudly. (Measured
+    // margins for the fused hot paths are ~20-30x, so this trips on real
+    // regressions, not runner noise.) CI loops this once per
+    // --list-backends=fused name, so a backend registered but broken
+    // fails the pipeline.
     if (smoke) {
         const double speedup = results[0].legacy_ms / results[0].fused_ms_t1;
         if (speedup < 5.0) {
             std::fprintf(stderr,
-                         "PERF REGRESSION: fused speedup %.2fx < 5x floor\n",
-                         speedup);
+                         "PERF REGRESSION: backend '%s' speedup %.2fx < 5x "
+                         "floor\n",
+                         be.name(), speedup);
             return 2;
         }
-        std::printf("perf gate: %.1fx >= 5x floor — OK\n", speedup);
+        std::printf("perf gate [%s]: %.1fx >= 5x floor — OK\n", be.name(),
+                    speedup);
     }
     return 0;
 }

@@ -34,6 +34,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_backend_util.h"
 #include "bench_util.h"
 #include "gpusim/arch.h"
 #include "model/decode_sim.h"
@@ -49,6 +50,14 @@ namespace {
 constexpr double kTtftSloS = 15.0; //!< p99 TTFT budget for "sustained"
 constexpr int kNumRequests = 24;
 constexpr std::uint64_t kTraceSeed = 2026;
+
+/**
+ * Per-step functional attention backend every engine in this bench runs
+ * with (--backend=<name>); empty keeps the numeric work off, which is
+ * the CI default — run digests then fold only the cache-content hashes
+ * and stay byte-comparable across backend-independent refactors.
+ */
+std::string g_backend;
 
 struct SystemUnderTest
 {
@@ -92,6 +101,7 @@ engineConfig(const SystemUnderTest& sut)
     cfg.cache_head_dim = 4;
     cfg.sched.max_batch = 64;
     cfg.sched.prefill_chunk_tokens = 2048;
+    cfg.backend = g_backend;
     return cfg;
 }
 
@@ -309,7 +319,22 @@ chunkedPrefillSection(double min_stall_ratio)
 int
 main(int argc, char** argv)
 {
-    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bool smoke = false;
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
+    if (bench::maybeListBackends(ba))
+        return 0;
+    if (!ba.backend.empty()) {
+        // Resolve up front: an unknown or paged-incapable name dies here
+        // with the registry listing, before any multi-minute sweep runs.
+        backend::requireServingCapable(
+            backend::BackendRegistry::instance().resolve(ba.backend));
+        g_backend = ba.backend;
+        std::printf("per-step functional attention backend: %s\n",
+                    g_backend.c_str());
+    }
     if (smoke) {
         // CI gates: shared-prefix reuse + chunked prefill, hard pass/fail.
         bench::banner("Serving E2E smoke: prefix-reuse and chunked-prefill "

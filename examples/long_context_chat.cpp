@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "attention/reference.h"
+#include "backend/registry.h"
 #include "common/rng.h"
 #include "core/bitdecoding.h"
 #include "gpusim/arch.h"
@@ -58,13 +59,18 @@ main()
         v[i] = Half(rng.normal());
     }
     dec.prefill(k, v);
+    // The registry-resolved fused backend computes the same step fast.
+    const backend::AttentionBackend& fused_be =
+        backend::BackendRegistry::instance().resolve("fused-packed");
     for (int step = 0; step < 5; step++) {
         Tensor<Half> q({4, 64});
         for (std::size_t i = 0; i < q.numel(); i++)
             q[i] = Half(rng.normal());
         const auto out = dec.decodeStep(q, 0.125f);
-        // The fused execution backend computes the same step fast.
-        const auto fused = dec.fusedDecodeStep(q, 0.125f);
+        backend::DecodeBatch fb;
+        fb.scale = 0.125f;
+        fb.items.push_back(backend::packedItem(q, dec.cache()));
+        const auto fused = fused_be.decodeStep(fb)[0];
         std::vector<Half> nk(64), nv(64);
         for (int c = 0; c < 64; c++) {
             nk[static_cast<std::size_t>(c)] = Half(rng.normal());

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "attention/reference.h"
+#include "backend/registry.h"
 #include "common/rng.h"
 #include "core/bitdecoding.h"
 #include "gpusim/arch.h"
@@ -63,6 +64,21 @@ main()
                                           want.at(g, c)));
     std::printf("max |output - FP16 reference| = %.4f "
                 "(bounded by 4-bit quantization error)\n", err);
+
+    // 5b. The same step through the backend registry — the seam the
+    // serving engine and benches use to swap kernels by name.
+    const backend::AttentionBackend& be =
+        backend::BackendRegistry::instance().resolve("fused-packed");
+    backend::DecodeBatch batch;
+    batch.scale = scale;
+    batch.items.push_back(backend::packedItem(q, decoder.cache()));
+    const auto fast = be.decodeStep(batch)[0];
+    float dev = 0;
+    for (std::size_t g = 0; g < 8; g++)
+        for (std::size_t c = 0; c < static_cast<std::size_t>(d); c++)
+            dev = std::max(dev, std::fabs(fast.at(g, c) - result.out.at(g, c)));
+    std::printf("'%s' backend matches the emulated kernel to %.2e\n",
+                be.name(), dev);
 
     // 6. What would this cost on a real GPU? Ask the timing model.
     attn::DecodeShape shape;

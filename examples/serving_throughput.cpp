@@ -8,6 +8,7 @@
  */
 #include <cstdio>
 
+#include "bench_backend_util.h"
 #include "gpusim/arch.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
@@ -40,8 +41,19 @@ exampleTrace()
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    // --list-backends prints the registry's capability matrix;
+    // --backend=<name> picks the per-step functional attention backend
+    // of the preemption demo below (default fused-paged).
+    const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
+    if (bench::maybeListBackends(ba))
+        return 0;
+    const backend::AttentionBackend& demo_backend =
+        bench::resolveBackendArg(ba, "fused-paged");
+    // Die before the multi-system sweep, not at the demo's engine.
+    backend::requireServingCapable(demo_backend);
+
     std::printf("Continuous-batching serving explorer (A100, 32K)\n");
     std::printf("================================================\n");
     std::printf("16 Poisson arrivals at 0.10 req/s, 32K prompts, "
@@ -85,22 +97,31 @@ main()
     }
 
     // The fixed smoke trace through a deliberately tiny pool: watch the
-    // scheduler preempt-and-recompute instead of dropping requests.
-    std::printf("Preemption demo (smoke trace, 28-page pool):\n");
+    // scheduler preempt-and-recompute instead of dropping requests. The
+    // engine also runs the registry-resolved attention backend on every
+    // decode step, folding each output into the request's attn_hash.
+    std::printf("Preemption demo (smoke trace, 28-page pool, "
+                "'%s' attention backend):\n",
+                demo_backend.name());
     EngineConfig tiny;
     tiny.page_size = 8;
     tiny.num_pages = 28;
     tiny.cache_head_dim = 4;
     tiny.sched.max_batch = 8;
     tiny.sched.prefill_chunk_tokens = 16;
+    tiny.backend = demo_backend.name();
     auto smoke = smokeTrace();
     Engine engine(a100, model::llama2_7b(), tiny);
     const ServingMetrics m = engine.run(smoke);
+    std::uint64_t attn_digest = 0;
+    for (const Request& r : smoke)
+        attn_digest ^= r.attn_hash;
     std::printf("  %d/%zu finished, %d preemptions, peak pool use %.0f%%, "
-                "digest %016llx\n\n",
+                "digest %016llx, attn digest %016llx\n\n",
                 m.num_requests, smoke.size(), m.preemptions,
                 100.0 * m.peak_page_utilization,
-                static_cast<unsigned long long>(m.outputs_digest));
+                static_cast<unsigned long long>(m.outputs_digest),
+                static_cast<unsigned long long>(attn_digest));
 
     // Shared-prefix reuse + priority scheduling: a burst of requests with
     // a common 16K system prompt and three priority classes. The first

@@ -1,0 +1,247 @@
+#include "backend/attention_backend.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "exec/thread_pool.h"
+
+namespace bitdec::backend {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+} // namespace
+
+const char*
+toString(CacheKind k)
+{
+    switch (k) {
+    case CacheKind::Contiguous: return "contiguous";
+    case CacheKind::Paged: return "paged";
+    }
+    return "?";
+}
+
+const char*
+toString(QuantFormat f)
+{
+    switch (f) {
+    case QuantFormat::Fp16: return "fp16";
+    case QuantFormat::Int4: return "int4";
+    case QuantFormat::Int2: return "int2";
+    case QuantFormat::Mx: return "mx";
+    }
+    return "?";
+}
+
+const char*
+toString(Binding b)
+{
+    switch (b) {
+    case Binding::Fp16Contiguous: return "fp16-contiguous";
+    case Binding::PackedLowBit: return "packed-lowbit";
+    case Binding::PagedFp16: return "paged-fp16";
+    case Binding::QuantizedMatrices: return "quantized-matrices";
+    case Binding::MxBlocks: return "mx-blocks";
+    }
+    return "?";
+}
+
+std::string
+describe(const BackendCapabilities& caps)
+{
+    std::string s;
+    const auto append = [&s](const char* name) {
+        if (!s.empty() && s.back() != ' ')
+            s += ",";
+        s += name;
+    };
+    for (CacheKind k : {CacheKind::Contiguous, CacheKind::Paged})
+        if (caps.supportsCache(k))
+            append(toString(k));
+    s += " | ";
+    for (QuantFormat f : {QuantFormat::Fp16, QuantFormat::Int4,
+                          QuantFormat::Int2, QuantFormat::Mx})
+        if (caps.supportsFormat(f))
+            append(toString(f));
+    s += " | ";
+    for (attn::Scenario sc :
+         {attn::Scenario::Single, attn::Scenario::Batches,
+          attn::Scenario::Pages, attn::Scenario::Serving})
+        if (caps.supportsScenario(sc))
+            append(attn::toString(sc));
+    if (caps.fused_hot_path)
+        s += " | fused";
+    return s;
+}
+
+Binding
+DecodeItem::binding() const
+{
+    BITDEC_ASSERT(q != nullptr, "decode item has no query tile");
+    int bound = 0;
+    Binding b = Binding::Fp16Contiguous;
+    if (fp16 != nullptr) {
+        b = Binding::Fp16Contiguous;
+        bound++;
+    }
+    if (packed != nullptr) {
+        b = Binding::PackedLowBit;
+        bound++;
+    }
+    if (paged != nullptr) {
+        b = Binding::PagedFp16;
+        bound++;
+    }
+    if (kq != nullptr || vq != nullptr) {
+        BITDEC_ASSERT(kq != nullptr && vq != nullptr,
+                      "quantized binding needs both K and V matrices");
+        b = Binding::QuantizedMatrices;
+        bound++;
+    }
+    if (mx != nullptr) {
+        b = Binding::MxBlocks;
+        bound++;
+    }
+    BITDEC_ASSERT(bound == 1, "decode item must bind exactly one cache "
+                  "structure (got ", bound, ")");
+    return b;
+}
+
+DecodeItem
+fp16Item(const Tensor<Half>& q, const kv::Fp16HeadCache& cache)
+{
+    DecodeItem it;
+    it.q = &q;
+    it.fp16 = &cache;
+    return it;
+}
+
+DecodeItem
+packedItem(const Tensor<Half>& q, const kv::PackedHeadCache& cache)
+{
+    DecodeItem it;
+    it.q = &q;
+    it.packed = &cache;
+    return it;
+}
+
+DecodeItem
+pagedItem(const Tensor<Half>& q, const kv::PagedHeadCache& cache, int seq)
+{
+    DecodeItem it;
+    it.q = &q;
+    it.paged = &cache;
+    it.seq = seq;
+    return it;
+}
+
+DecodeItem
+quantizedItem(const Tensor<Half>& q, const quant::QuantizedMatrix& kq,
+              const quant::QuantizedMatrix& vq)
+{
+    DecodeItem it;
+    it.q = &q;
+    it.kq = &kq;
+    it.vq = &vq;
+    return it;
+}
+
+DecodeItem
+mxItem(const Tensor<Half>& q, const core::MxKvCache& kv)
+{
+    DecodeItem it;
+    it.q = &q;
+    it.mx = &kv;
+    return it;
+}
+
+DecodePlan
+AttentionBackend::plan(const attn::DecodeShape& shape) const
+{
+    const BackendCapabilities caps = capabilities();
+    DecodePlan p;
+    if (!caps.supportsScenario(shape.scenario)) {
+        p.reason = std::string("backend '") + name() +
+                   "' does not support scenario " +
+                   attn::toString(shape.scenario);
+        return p;
+    }
+    if (attn::isPaged(shape.scenario) &&
+        !caps.supportsCache(CacheKind::Paged)) {
+        p.reason = std::string("backend '") + name() +
+                   "' traverses only contiguous caches, but scenario " +
+                   attn::toString(shape.scenario) + " pages the KV";
+        return p;
+    }
+    p.supported = true;
+    p.chunking = "single pass over the cache";
+    return p;
+}
+
+void
+AttentionBackend::requireBindings(const DecodeBatch& batch) const
+{
+    const BackendCapabilities caps = capabilities();
+    for (const DecodeItem& it : batch.items) {
+        const Binding b = it.binding();
+        if (!caps.supportsBinding(b))
+            BITDEC_FATAL("backend '", name(), "' cannot consume a ",
+                         toString(b), " item (capabilities: ",
+                         describe(caps), ")");
+    }
+}
+
+void
+requireServingCapable(const AttentionBackend& be)
+{
+    const BackendCapabilities caps = be.capabilities();
+    if (!caps.supportsBinding(Binding::PagedFp16) ||
+        !caps.supportsScenario(attn::Scenario::Serving))
+        BITDEC_FATAL("backend '", be.name(),
+                     "' cannot serve the engine's paged FP16 cache "
+                     "(capabilities: ", describe(caps),
+                     "); pick one supporting paged fp16 + Serving, "
+                     "e.g. 'fused-paged'");
+}
+
+std::uint64_t
+fnv1aFold(const Tensor<float>& t, std::uint64_t h)
+{
+    for (std::size_t i = 0; i < t.numel(); i++) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &t[i], sizeof(bits));
+        h ^= bits;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::vector<Tensor<float>>
+runBatch(const DecodeBatch& batch,
+         const std::function<Tensor<float>(const DecodeItem&,
+                                           exec::ThreadPool*)>& kernel)
+{
+    // A batch of one has no outer fan-out; hand the pool to the kernel so
+    // its KV chunks still parallelize. (Safe: parallelFor(n == 1) runs
+    // inline, outside any pool task.)
+    exec::ThreadPool* inner = batch.items.size() == 1 ? batch.pool : nullptr;
+    std::vector<Tensor<float>> outs(batch.items.size());
+    exec::parallelFor(batch.pool, batch.items.size(), [&](std::size_t i) {
+        outs[i] = kernel(batch.items[i], inner);
+    });
+    return outs;
+}
+
+std::uint64_t
+AttentionBackend::digest(const DecodeBatch& batch) const
+{
+    const std::vector<Tensor<float>> outs = decodeStep(batch);
+    std::uint64_t h = kFnvOffset;
+    for (const Tensor<float>& o : outs)
+        h = fnv1aFold(o, h);
+    return h;
+}
+
+} // namespace bitdec::backend

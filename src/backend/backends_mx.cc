@@ -1,0 +1,52 @@
+/**
+ * @file
+ * `mx`: the Blackwell native block-scaled path — attention with K/V (and
+ * P, re-quantized after softmax) in an MX format, consuming a
+ * pre-encoded core::MxKvCache.
+ */
+#include "backend/registry.h"
+#include "core/bitdecoding.h"
+
+namespace bitdec::backend {
+
+namespace {
+
+class MxBackend : public AttentionBackend
+{
+  public:
+    const char* name() const override { return "mx"; }
+
+    BackendCapabilities capabilities() const override
+    {
+        BackendCapabilities caps;
+        caps.bindings = static_cast<unsigned>(Binding::MxBlocks);
+        caps.cache_kinds = static_cast<unsigned>(CacheKind::Contiguous);
+        caps.quant_formats = static_cast<unsigned>(QuantFormat::Mx);
+        caps.scenarios = scenarioBit(attn::Scenario::Single) |
+                         scenarioBit(attn::Scenario::Batches);
+        return caps;
+    }
+
+    std::vector<Tensor<float>> decodeStep(
+        const DecodeBatch& batch) const override
+    {
+        requireBindings(batch);
+        return runBatch(batch, [&batch](const DecodeItem& it,
+                                        exec::ThreadPool* inner) {
+            return core::mxAttention(*it.q, *it.mx, batch.scale,
+                                     /*requantize_p=*/true, inner);
+        });
+    }
+};
+
+BITDEC_REGISTER_BACKEND(MxBackend);
+
+} // namespace
+
+int
+linkMxBackends()
+{
+    return 0;
+}
+
+} // namespace bitdec::backend

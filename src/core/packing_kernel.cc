@@ -377,14 +377,6 @@ packingKernelAttention(const Tensor<Half>& q_tile,
     return result;
 }
 
-namespace {
-
-/** Blocks per split chunk; fixed so chunking (and therefore the merge
- *  order and the numerics) never depends on the thread count. */
-constexpr int kChunkBlocks = 4;
-
-} // namespace
-
 Tensor<float>
 fusedPackedAttention(const Tensor<Half>& q_tile,
                      const kv::PackedHeadCache& cache, float scale,

@@ -34,6 +34,10 @@
 
 namespace bitdec::core {
 
+/** Packed blocks per split chunk of the fused packed path; fixed so
+ *  chunking (and therefore the merge order) never depends on threads. */
+constexpr int kChunkBlocks = 4;
+
 /** Behavioral switches of the functional Packing Kernel. */
 struct PackingKernelOptions
 {

@@ -13,10 +13,6 @@ namespace {
 
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
-/** Tokens per split chunk for the contiguous path; paged chunks are one
- *  page. Fixed sizes keep the merge order independent of thread count. */
-constexpr int kChunkTokens = 128;
-
 } // namespace
 
 void

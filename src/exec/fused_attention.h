@@ -21,6 +21,10 @@
 
 namespace bitdec::exec {
 
+/** Tokens per split chunk of the contiguous fused path; paged chunks are
+ *  one page. Fixed so the merge order never depends on thread count. */
+constexpr int kChunkTokens = 128;
+
 /**
  * Per-row split-KV partial softmax state of one KV chunk: running max,
  * exp-sum and unnormalized [gq x d] output. Chunks fill these

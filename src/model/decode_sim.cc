@@ -5,6 +5,7 @@
 #include "attention/flash_decoding.h"
 #include "attention/kivi_baseline.h"
 #include "attention/qserve_baseline.h"
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace bitdec::model {
@@ -161,14 +162,15 @@ std::vector<Tensor<float>>
 batchedFusedDecode(const std::vector<FusedDecodeItem>& items, float scale,
                    exec::ThreadPool* pool)
 {
-    std::vector<Tensor<float>> outs(items.size());
-    exec::parallelFor(pool, items.size(), [&](std::size_t i) {
-        // Serial per item: the batch is the parallel dimension, so nested
-        // parallelism (and pool deadlock) cannot arise.
-        outs[i] = core::fusedPackedAttention(*items[i].q, *items[i].cache,
-                                             scale, nullptr);
-    });
-    return outs;
+    backend::AttentionBackend& be =
+        backend::BackendRegistry::instance().resolve("fused-packed");
+    backend::DecodeBatch batch;
+    batch.scale = scale;
+    batch.pool = pool;
+    batch.items.reserve(items.size());
+    for (const FusedDecodeItem& it : items)
+        batch.items.push_back(backend::packedItem(*it.q, *it.cache));
+    return be.decodeStep(batch);
 }
 
 ThroughputResult

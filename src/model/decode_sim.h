@@ -101,10 +101,12 @@ struct FusedDecodeItem
 };
 
 /**
- * Runs the fused attention hot path for every (sequence, head) item,
- * spread across the thread pool. Each output slot is produced by exactly
- * one task and each per-item kernel runs serially inside its task, so the
- * result vector is bitwise identical for any thread count.
+ * Runs the `fused-packed` attention backend (resolved through the
+ * BackendRegistry) for every (sequence, head) item, spread across the
+ * thread pool. Each output slot is produced by exactly one task (a
+ * single-item batch instead hands the pool to the kernel's KV chunks,
+ * which are themselves thread-count invariant), so the result vector is
+ * bitwise identical for any thread count.
  *
  * @param items (sequence, head) tiles; pointers must stay valid
  * @param scale logit scale

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "backend/registry.h"
 #include "common/logging.h"
-#include "exec/fused_attention.h"
 
 namespace bitdec::serving {
 
@@ -26,20 +26,6 @@ hashKeyRow(const std::vector<Half>& row)
     std::uint64_t h = 0xCBF29CE484222325ull;
     for (const Half& x : row) {
         h ^= x.bits();
-        h *= 0x100000001B3ull;
-    }
-    return h;
-}
-
-/** FNV-1a fold of an attention output's float bit patterns. */
-std::uint64_t
-hashFloats(const Tensor<float>& t)
-{
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    for (std::size_t i = 0; i < t.numel(); i++) {
-        std::uint32_t bits;
-        std::memcpy(&bits, &t[i], sizeof(bits));
-        h ^= bits;
         h *= 0x100000001B3ull;
     }
     return h;
@@ -81,6 +67,17 @@ Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
     e2e_.bits = cfg_.bits;
     e2e_.scenario = attn::Scenario::Serving;
     e2e_.page_size = cfg_.page_size;
+
+    if (!cfg_.backend.empty()) {
+        // Fail fast: an unknown name dies here listing every registered
+        // backend, and a backend that cannot traverse the engine's paged
+        // FP16 cache is rejected with its capability line — never a
+        // silent fallback to some default path.
+        backend::AttentionBackend& be =
+            backend::BackendRegistry::instance().resolve(cfg_.backend);
+        backend::requireServingCapable(be);
+        attn_backend_ = &be;
+    }
 }
 
 void
@@ -258,37 +255,37 @@ Engine::run(std::vector<Request>& requests)
             }
         }
 
-        // Functional per-step attention: the fused paged kernel runs over
-        // each decoding sequence's page table (no gather), fanned out
-        // across the pool. Digests are folded sequentially in batch order,
+        // Functional per-step attention: one backend decode batch over
+        // each decoding sequence's page table, resolved by name through
+        // the registry. Digests are folded sequentially in batch order,
         // so the hashes are identical for any thread count.
-        if (cfg_.functional_attention && !decoded.empty()) {
+        if (attn_backend_ != nullptr && !decoded.empty()) {
             const float scale =
                 1.0f / std::sqrt(static_cast<float>(cfg_.cache_head_dim));
-            std::vector<std::uint64_t> digests(decoded.size());
-            // A decode batch of one has no outer fan-out; hand the pool to
-            // the kernel instead so its KV chunks still parallelize. (Safe:
-            // parallelFor(n == 1) runs inline, outside any pool task.)
-            exec::ThreadPool* inner =
-                decoded.size() == 1 ? cfg_.pool : nullptr;
-            exec::parallelFor(
-                cfg_.pool, decoded.size(), [&](std::size_t i) {
-                    const Request& r = *decoded[i];
-                    const int pos = r.prompt_tokens + r.generated - 1;
-                    const std::uint64_t seed =
-                        tokenSeed(r.id, pos) ^ 0x5DEECE66Dull;
-                    Tensor<Half> q({1, static_cast<std::size_t>(
-                                           cfg_.cache_head_dim)});
-                    for (int d = 0; d < cfg_.cache_head_dim; d++)
-                        q.at(0, static_cast<std::size_t>(d)) =
-                            seedHalf(seed, d);
-                    const Tensor<float> o = exec::fusedPagedAttention(
-                        q, cache_, r.seq, scale, inner);
-                    digests[i] = hashFloats(o);
-                });
+            std::vector<Tensor<Half>> qs;
+            qs.reserve(decoded.size());
+            backend::DecodeBatch b;
+            b.scale = scale;
+            b.pool = cfg_.pool;
+            for (const Request* r : decoded) {
+                const int pos = r->prompt_tokens + r->generated - 1;
+                const std::uint64_t seed =
+                    tokenSeed(r->id, pos) ^ 0x5DEECE66Dull;
+                Tensor<Half> q({1, static_cast<std::size_t>(
+                                       cfg_.cache_head_dim)});
+                for (int d = 0; d < cfg_.cache_head_dim; d++)
+                    q.at(0, static_cast<std::size_t>(d)) = seedHalf(seed, d);
+                qs.push_back(std::move(q));
+            }
+            for (std::size_t i = 0; i < decoded.size(); i++)
+                b.items.push_back(
+                    backend::pagedItem(qs[i], cache_, decoded[i]->seq));
+            const std::vector<Tensor<float>> outs =
+                attn_backend_->decodeStep(b);
             for (std::size_t i = 0; i < decoded.size(); i++)
                 decoded[i]->attn_hash =
-                    decoded[i]->attn_hash * 0x100000001B3ull ^ digests[i];
+                    decoded[i]->attn_hash * 0x100000001B3ull ^
+                    backend::fnv1aFold(outs[i], backend::kFnvOffset);
         }
 
         const double step_s = stepLatency(plan.decode_batch, decode_len_sum,

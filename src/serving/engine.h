@@ -39,6 +39,7 @@
 #ifndef BITDEC_SERVING_ENGINE_H
 #define BITDEC_SERVING_ENGINE_H
 
+#include <string>
 #include <vector>
 
 #include "exec/thread_pool.h"
@@ -49,6 +50,10 @@
 #include "serving/metrics.h"
 #include "serving/request.h"
 #include "serving/scheduler.h"
+
+namespace bitdec::backend {
+class AttentionBackend;
+} // namespace bitdec::backend
 
 namespace bitdec::serving {
 
@@ -67,12 +72,17 @@ struct EngineConfig
     double max_clock_s = 1e6; //!< safety stop for runaway configurations
 
     /**
-     * When set, every decode step also runs the fused paged attention
-     * kernel for each decoding request — straight over the page table,
-     * parallel across requests — and folds the output into the request's
-     * attn_hash. Off by default: it adds real numeric work per step.
+     * Per-step functional attention backend, by registry name (see
+     * src/backend/ and `bench_serving_e2e --list-backends`). When
+     * non-empty, every decode step resolves this backend and runs one
+     * decode-attention batch over the decoding requests' page tables,
+     * folding each output into the request's attn_hash. The name is
+     * validated at engine construction: an unknown name is a fatal error
+     * listing the registered backends (never a silent fallback), and the
+     * backend must be able to serve the paged FP16 cache. Empty (the
+     * default) skips the numeric work entirely.
      */
-    bool functional_attention = false;
+    std::string backend;
     exec::ThreadPool* pool = nullptr; //!< pool for the per-step attention
                                       //!< fan-out; null = inline
 };
@@ -124,6 +134,8 @@ class Engine
     model::E2EConfig e2e_;
     kv::PagedHeadCache cache_;
     Scheduler sched_;
+    //! Resolved EngineConfig::backend; null when per-step attention is off.
+    const backend::AttentionBackend* attn_backend_ = nullptr;
 };
 
 } // namespace bitdec::serving

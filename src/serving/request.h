@@ -65,8 +65,8 @@ struct Request
                                //!< decode-stall samples (virtual seconds)
     double finish_s = -1;      //!< when the output budget was met
     std::uint64_t output_hash = 0; //!< checksum of the generated KV stream
-    std::uint64_t attn_hash = 0;   //!< checksum of per-step fused attention
-                                   //!< outputs (functional_attention mode)
+    std::uint64_t attn_hash = 0;   //!< checksum of per-step attention
+                                   //!< outputs (EngineConfig::backend set)
 
     /**
      * Tokens the current prefill phase must load: the prompt plus, after a

@@ -493,7 +493,7 @@ TEST(EngineFunctionalAttention, DigestsAreThreadCountInvariant)
         serving::EngineConfig cfg;
         cfg.num_pages = 64;
         cfg.page_size = 16;
-        cfg.functional_attention = true;
+        cfg.backend = "fused-paged";
         cfg.pool = pool;
         cfg.sched.max_batch = 4;
         serving::TraceConfig tc;
