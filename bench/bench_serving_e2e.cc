@@ -25,10 +25,19 @@
  *     decode-stall p99 (gap between a request's consecutive output
  *     tokens) collapses while throughput and the run digest stay put.
  *
- * `--smoke` runs views 3 and 5 as CI gates: shared-prefix reuse must
- * sustain >= 1.5x the baseline req/s with matching digests, and chunked
+ *  6. Tiered KV cache: 32K-context idle sessions oversubscribe a hot
+ *     page pool that fits ~1/6 of them; host/disk tiers hold the parked
+ *     packed pages (offload on park, demand-fetch + prefetch on wake)
+ *     while the untiered baseline must evict-and-recompute. Reports
+ *     req/s, fetch-stall p99, tier hit rate and peak concurrently
+ *     resident sequences, and writes BENCH_tiered_kv.json.
+ *
+ * `--smoke` runs views 3, 5 and 6 as CI gates: shared-prefix reuse must
+ * sustain >= 1.5x the baseline req/s with matching digests, chunked
  * prefill must cut decode-stall p99 >= 3x vs monolithic at equal
- * throughput (within 10%) with a byte-identical run digest.
+ * throughput (within 10%) with a byte-identical run digest, and the
+ * tiered pool must hold >= 3x the peak resident sequences of the
+ * untiered baseline at the same hot-pool size, digests identical.
  */
 #include <cstdio>
 #include <cstring>
@@ -314,6 +323,181 @@ chunkedPrefillSection(double min_stall_ratio)
     return pass;
 }
 
+// ---------------------------------------------------- tiered KV cache --
+
+/**
+ * Interactive traffic plus 24 parked 32K-context idle sessions — the
+ * oversubscription workload where cold tiers carry what the hot pool
+ * cannot: 24 x 512 pages of parked KV against a 2048-page hot pool.
+ */
+TraceConfig
+tieredTrace()
+{
+    TraceConfig tc;
+    tc.seed = kTraceSeed;
+    tc.num_requests = 8;
+    tc.arrival_rate_qps = 2.0;
+    tc.prompt_median = 8192; // interactive foreground traffic
+    tc.prompt_log_sigma = 0.2;
+    tc.prompt_min = 4096;
+    tc.prompt_max = 16384;
+    tc.output_median = 128;
+    tc.output_log_sigma = 0.3;
+    tc.output_min = 64;
+    tc.output_max = 256;
+    tc.num_idle_sessions = 24;
+    tc.idle_prompt_tokens = 32768; // the paper's 32K-context regime
+    tc.idle_output_tokens = 8;
+    tc.idle_wake_s = 60.0; // every session is parked before wakes begin
+    tc.idle_wake_stagger_s = 2.0;
+    return tc;
+}
+
+/** Hot pool for the tiered scenario: 4 resident 32K sessions (~1/6 of
+ *  the 24-session parked demand plus foreground traffic). */
+constexpr int kTieredHotPages = 2048;
+
+ServingMetrics
+runTiered(bool tiered)
+{
+    auto trace = generateTrace(tieredTrace());
+    SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
+    EngineConfig cfg = engineConfig(bd4);
+    cfg.num_pages = kTieredHotPages;
+    if (tiered) {
+        kv::TierSpec host;
+        host.name = "host";
+        host.capacity_gb = 8.0;
+        host.bandwidth_gbps = 32.0;
+        host.latency_s = 10e-6;
+        kv::TierSpec disk;
+        disk.name = "disk";
+        disk.capacity_gb = 64.0;
+        disk.bandwidth_gbps = 4.0;
+        disk.latency_s = 100e-6;
+        cfg.tiered.tiers = {host, disk};
+        cfg.tiered.prefetch_pages = 8;
+        // bytes_per_page = 0: derived from the model and bit width, so
+        // the 4-bit pages cross tiers packed (4x denser than FP16).
+    }
+    Engine engine(sim::archA100(), model::llama31_8b(), cfg);
+    return engine.run(trace);
+}
+
+/**
+ * Runs the oversubscription scenario with and without cold tiers at the
+ * same hot-pool size and checks the gate: the tiered run must hold
+ * >= @p min_capacity_ratio x the peak resident sequences with an
+ * identical run digest. Writes BENCH_tiered_kv.json either way.
+ * @return true when the gate passes.
+ */
+bool
+tieredKvSection(double min_capacity_ratio, bool smoke)
+{
+    bench::section("Tiered KV cache: 24 parked 32K sessions vs a "
+                   "2048-page hot pool (BitDecoding-4, host+disk tiers)");
+    const ServingMetrics cold = runTiered(false);
+    const ServingMetrics hot = runTiered(true);
+
+    bench::head("mode", {"req/s", "stall-p99", "hit-rate", "peak-seq",
+                         "cold-res", "recomp", "preempt"});
+    bench::row("untiered (recompute)",
+               {cold.sustained_qps, cold.fetch_stall_p99_s,
+                cold.tier_hit_rate,
+                static_cast<double>(cold.peak_resident_seqs),
+                static_cast<double>(cold.cold_resumes),
+                static_cast<double>(cold.recompute_resumes),
+                static_cast<double>(cold.preemptions)});
+    bench::row("tiered (host+disk)",
+               {hot.sustained_qps, hot.fetch_stall_p99_s, hot.tier_hit_rate,
+                static_cast<double>(hot.peak_resident_seqs),
+                static_cast<double>(hot.cold_resumes),
+                static_cast<double>(hot.recompute_resumes),
+                static_cast<double>(hot.preemptions)});
+
+    bench::head("tier traffic", {"offload", "fetch", "prefetch", "pf-hit",
+                                 "spill", "drop"});
+    bench::row("pages",
+               {static_cast<double>(hot.tier.offloaded_pages),
+                static_cast<double>(hot.tier.fetched_pages),
+                static_cast<double>(hot.tier.prefetched_pages),
+                static_cast<double>(hot.tier.prefetch_hits),
+                static_cast<double>(hot.tier.spilled_pages),
+                static_cast<double>(hot.tier.dropped_pages)});
+    bench::head("tier occupancy", {"capacity", "avg-used", "peak-used"});
+    for (const auto& t : hot.tiers)
+        bench::row(t.name, {static_cast<double>(t.capacity_pages),
+                            t.avg_used_pages,
+                            static_cast<double>(t.peak_used_pages)});
+
+    const double capacity_ratio =
+        cold.peak_resident_seqs > 0
+            ? static_cast<double>(hot.peak_resident_seqs) /
+                  cold.peak_resident_seqs
+            : 0;
+    const bool digests_match = cold.outputs_digest == hot.outputs_digest;
+    std::printf("\ntiering holds %.1fx the peak resident sequences at the "
+                "same hot pool; digests %s (%016llx vs %016llx)\n",
+                capacity_ratio, digests_match ? "match" : "DIFFER",
+                static_cast<unsigned long long>(cold.outputs_digest),
+                static_cast<unsigned long long>(hot.outputs_digest));
+
+    FILE* f = std::fopen("BENCH_tiered_kv.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n  \"bench\": \"tiered_kv\",\n");
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f, "  \"hot_pages\": %d, \"idle_sessions\": 24, "
+                        "\"idle_context\": 32768,\n",
+                     kTieredHotPages);
+        std::fprintf(f,
+                     "  \"untiered\": {\"req_per_s\": %.4f, "
+                     "\"peak_resident_seqs\": %d, "
+                     "\"recompute_resumes\": %d, \"preemptions\": %d},\n",
+                     cold.sustained_qps, cold.peak_resident_seqs,
+                     cold.recompute_resumes, cold.preemptions);
+        std::fprintf(
+            f,
+            "  \"tiered\": {\"req_per_s\": %.4f, "
+            "\"peak_resident_seqs\": %d,\n"
+            "    \"fetch_stall_p99_s\": %.6f, \"fetch_stall_mean_s\": %.6f, "
+            "\"tier_hit_rate\": %.4f,\n"
+            "    \"cold_resumes\": %d, \"recompute_resumes\": %d,\n"
+            "    \"offloaded_pages\": %ld, \"fetched_pages\": %ld, "
+            "\"prefetched_pages\": %ld,\n"
+            "    \"prefetch_hits\": %ld, \"spilled_pages\": %ld, "
+            "\"dropped_pages\": %ld,\n"
+            "    \"tiers\": [",
+            hot.sustained_qps, hot.peak_resident_seqs, hot.fetch_stall_p99_s,
+            hot.fetch_stall_mean_s, hot.tier_hit_rate, hot.cold_resumes,
+            hot.recompute_resumes, hot.tier.offloaded_pages,
+            hot.tier.fetched_pages, hot.tier.prefetched_pages,
+            hot.tier.prefetch_hits, hot.tier.spilled_pages,
+            hot.tier.dropped_pages);
+        for (std::size_t t = 0; t < hot.tiers.size(); t++)
+            std::fprintf(f,
+                         "%s{\"name\": \"%s\", \"capacity_pages\": %d, "
+                         "\"peak_used_pages\": %d}",
+                         t > 0 ? ", " : "", hot.tiers[t].name.c_str(),
+                         hot.tiers[t].capacity_pages,
+                         hot.tiers[t].peak_used_pages);
+        std::fprintf(f, "]},\n");
+        std::fprintf(f, "  \"capacity_ratio\": %.2f, \"digests_match\": %s\n",
+                     capacity_ratio, digests_match ? "true" : "false");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_tiered_kv.json\n");
+    } else {
+        std::fprintf(stderr, "cannot write BENCH_tiered_kv.json\n");
+    }
+
+    const bool pass = capacity_ratio >= min_capacity_ratio && digests_match;
+    if (!pass)
+        std::printf("FAIL: expected >= %.1fx peak resident sequences with "
+                    "matching digests\n",
+                    min_capacity_ratio);
+    return pass;
+}
+
 } // namespace
 
 int
@@ -336,12 +520,14 @@ main(int argc, char** argv)
                     g_backend.c_str());
     }
     if (smoke) {
-        // CI gates: shared-prefix reuse + chunked prefill, hard pass/fail.
-        bench::banner("Serving E2E smoke: prefix-reuse and chunked-prefill "
-                      "gates");
+        // CI gates: prefix reuse + chunked prefill + tiered KV cache,
+        // hard pass/fail.
+        bench::banner("Serving E2E smoke: prefix-reuse, chunked-prefill "
+                      "and tiered-KV gates");
         const bool prefix_ok = sharedPrefixSection(1.5);
         const bool chunk_ok = chunkedPrefillSection(3.0);
-        return prefix_ok && chunk_ok ? 0 : 1;
+        const bool tiered_ok = tieredKvSection(3.0, true);
+        return prefix_ok && chunk_ok && tiered_ok ? 0 : 1;
     }
 
     bench::banner("Serving E2E: continuous batching, 32K context "
@@ -413,5 +599,6 @@ main(int argc, char** argv)
     const bool prefix_ok = sharedPrefixSection(1.5);
     policySection();
     const bool chunk_ok = chunkedPrefillSection(3.0);
-    return prefix_ok && chunk_ok ? 0 : 1;
+    const bool tiered_ok = tieredKvSection(3.0, false);
+    return prefix_ok && chunk_ok && tiered_ok ? 0 : 1;
 }

@@ -99,7 +99,8 @@ PagedHeadCache::removeSequence(int seq)
     auto& s = seqs_.at(static_cast<std::size_t>(seq));
     BITDEC_ASSERT(s.live, "sequence not live");
     for (int p : s.pages)
-        allocator_.release(p);
+        if (p != kNoPage)
+            allocator_.release(p);
     s = Sequence{};
 }
 
@@ -118,6 +119,10 @@ PagedHeadCache::append(int seq, const std::vector<Half>& k,
         if (!page)
             return false; // OOM: caller decides (evict / reject)
         s.pages.push_back(*page);
+    } else if (s.pages.back() == kNoPage) {
+        BITDEC_ASSERT(false, "append through offloaded page of seq ", seq,
+                      " — restorePage first");
+        return false;
     } else if (allocator_.refCount(s.pages.back()) > 1) {
         // Copy-on-write: the partially-filled last page is shared (prefix
         // index or sibling sequences). Copy the filled slots into a fresh
@@ -238,7 +243,75 @@ PagedHeadCache::reclaimablePages(int seq) const
     BITDEC_ASSERT(s.live, "sequence not live");
     int n = 0;
     for (int p : s.pages)
-        n += allocator_.refCount(p) == 1 ? 1 : 0;
+        n += (p != kNoPage && allocator_.refCount(p) == 1) ? 1 : 0;
+    return n;
+}
+
+void
+PagedHeadCache::evictPage(int seq, int idx, Half* k_out, Half* v_out)
+{
+    auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    BITDEC_ASSERT(idx >= 0 && idx < static_cast<int>(s.pages.size()),
+                  "bad logical page index ", idx);
+    const int page = s.pages[static_cast<std::size_t>(idx)];
+    BITDEC_ASSERT(page != kNoPage, "page ", idx, " already offloaded");
+    BITDEC_ASSERT(allocator_.refCount(page) == 1,
+                  "evicting shared page ", page, " (refcount > 1)");
+    const std::size_t n = static_cast<std::size_t>(page_size_) *
+                          static_cast<std::size_t>(head_dim_);
+    const Half* k_src = pageKeyData(page);
+    const Half* v_src = pageValueData(page);
+    for (std::size_t i = 0; i < n; i++) {
+        k_out[i] = k_src[i];
+        v_out[i] = v_src[i];
+    }
+    allocator_.release(page);
+    s.pages[static_cast<std::size_t>(idx)] = kNoPage;
+}
+
+bool
+PagedHeadCache::restorePage(int seq, int idx, const Half* k, const Half* v)
+{
+    auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    BITDEC_ASSERT(idx >= 0 && idx < static_cast<int>(s.pages.size()),
+                  "bad logical page index ", idx);
+    BITDEC_ASSERT(s.pages[static_cast<std::size_t>(idx)] == kNoPage,
+                  "restore into mapped page ", idx);
+    const auto page = allocator_.allocate();
+    if (!page)
+        return false; // hot pool exhausted: caller frees pages and retries
+    const std::size_t n = static_cast<std::size_t>(page_size_) *
+                          static_cast<std::size_t>(head_dim_);
+    Half* k_dst = k_pool_.data() + static_cast<std::size_t>(*page) * n;
+    Half* v_dst = v_pool_.data() + static_cast<std::size_t>(*page) * n;
+    for (std::size_t i = 0; i < n; i++) {
+        k_dst[i] = k[i];
+        v_dst[i] = v[i];
+    }
+    s.pages[static_cast<std::size_t>(idx)] = *page;
+    return true;
+}
+
+bool
+PagedHeadCache::pageResident(int seq, int idx) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    BITDEC_ASSERT(idx >= 0 && idx < static_cast<int>(s.pages.size()),
+                  "bad logical page index ", idx);
+    return s.pages[static_cast<std::size_t>(idx)] != kNoPage;
+}
+
+int
+PagedHeadCache::missingPages(int seq) const
+{
+    const auto& s = seqs_.at(static_cast<std::size_t>(seq));
+    BITDEC_ASSERT(s.live, "sequence not live");
+    int n = 0;
+    for (int p : s.pages)
+        n += p == kNoPage ? 1 : 0;
     return n;
 }
 
@@ -308,8 +381,11 @@ PagedHeadCache::pagesNeededForAppend(int seq, int extra) const
     const auto& s = seqs_.at(static_cast<std::size_t>(seq));
     BITDEC_ASSERT(s.live, "sequence not live");
     int needed = pagesToGrow(s.len, s.len + extra);
-    // Writing into a shared partially-filled page costs one CoW page.
-    if (extra > 0 && s.len % page_size_ != 0 &&
+    // Writing into a shared partially-filled page costs one CoW page. An
+    // offloaded (kNoPage) last page costs nothing here: restorePage must
+    // fill the hole before the append, and that restore is budgeted
+    // separately via missingPages().
+    if (extra > 0 && s.len % page_size_ != 0 && s.pages.back() != kNoPage &&
         allocator_.refCount(s.pages.back()) > 1)
         needed++;
     return needed;

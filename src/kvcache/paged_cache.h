@@ -74,6 +74,15 @@ class PagedHeadCache
 {
   public:
     /**
+     * Page-table entry of a logical page whose payload has been evicted
+     * to a cold tier (see src/kvcache/tiered_cache.h). A sequence with
+     * kNoPage holes stays live — its length and shared pages are intact —
+     * but the holes must be restored (restorePage) before anything reads
+     * or appends through them.
+     */
+    static constexpr int kNoPage = -1;
+
+    /**
      * @param head_dim  per-head hidden size
      * @param page_size tokens per page
      * @param num_pages physical pool size
@@ -148,6 +157,35 @@ class PagedHeadCache
      * another sequence). Preemption victims are chosen by this.
      */
     int reclaimablePages(int seq) const;
+
+    // ------------------------------------------------- tiered offload --
+
+    /**
+     * Evicts logical page @p idx of @p seq to caller-owned storage: copies
+     * the page's K/V payload into @p k_out / @p v_out (each
+     * pageSize() x headDim() halves, row-major by slot), releases the
+     * physical page and leaves a kNoPage hole in the page table. Only
+     * exclusively-owned pages (refcount 1) may be evicted — shared-prefix
+     * pages and CoW-shared partials are pinned hot by construction.
+     */
+    void evictPage(int seq, int idx, Half* k_out, Half* v_out);
+
+    /**
+     * Fills the kNoPage hole at logical page @p idx of @p seq: allocates a
+     * fresh physical page, copies @p k / @p v payloads back in and maps it.
+     * @return false when the hot pool is exhausted (caller retries after
+     *         freeing pages).
+     */
+    bool restorePage(int seq, int idx, const Half* k, const Half* v);
+
+    /** True when logical page @p idx of @p seq is mapped (not a hole). */
+    bool pageResident(int seq, int idx) const;
+
+    /** References held on physical page @p page (sequences + prefix index). */
+    int pageRefCount(int page) const { return allocator_.refCount(page); }
+
+    /** Number of kNoPage holes in a sequence's page table. */
+    int missingPages(int seq) const;
 
     /** Copy-on-write page copies performed so far (stats/tests). */
     long cowCopies() const { return cow_copies_; }

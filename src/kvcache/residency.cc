@@ -1,0 +1,104 @@
+#include "kvcache/residency.h"
+
+#include "common/logging.h"
+
+namespace bitdec::kv {
+
+namespace {
+
+constexpr int kBitsPerByte = 8;
+
+std::size_t
+bytesFor(int bits)
+{
+    return static_cast<std::size_t>((bits + kBitsPerByte - 1) / kBitsPerByte);
+}
+
+} // namespace
+
+void
+ResidencyBitmap::resizeBits(int bits)
+{
+    BITDEC_ASSERT(bits >= 0, "bitmap size must be >= 0");
+    // Clear any tail bits of the old final byte that fall outside the old
+    // size before growing, so stale storage never reads as resident.
+    if (bits > size_bits_) {
+        for (int i = size_bits_; i < bits && i < static_cast<int>(
+                                                    buff_.size()) *
+                                                    kBitsPerByte;
+             i++)
+            buff_[static_cast<std::size_t>(i / kBitsPerByte)] &=
+                static_cast<std::uint8_t>(~(1u << (i % kBitsPerByte)));
+    }
+    buff_.resize(bytesFor(bits), 0);
+    size_bits_ = bits;
+    checkComplete();
+}
+
+void
+ResidencyBitmap::setBit(int i)
+{
+    BITDEC_ASSERT(i >= 0 && i < size_bits_, "bit ", i, " out of range");
+    buff_[static_cast<std::size_t>(i / kBitsPerByte)] |=
+        static_cast<std::uint8_t>(1u << (i % kBitsPerByte));
+    checkComplete();
+}
+
+void
+ResidencyBitmap::clearBit(int i)
+{
+    BITDEC_ASSERT(i >= 0 && i < size_bits_, "bit ", i, " out of range");
+    buff_[static_cast<std::size_t>(i / kBitsPerByte)] &=
+        static_cast<std::uint8_t>(~(1u << (i % kBitsPerByte)));
+    complete_ = false;
+}
+
+bool
+ResidencyBitmap::testBit(int i) const
+{
+    BITDEC_ASSERT(i >= 0 && i < size_bits_, "bit ", i, " out of range");
+    return (buff_[static_cast<std::size_t>(i / kBitsPerByte)] >>
+            (i % kBitsPerByte)) &
+           1u;
+}
+
+bool
+ResidencyBitmap::isAnythingEmptyInRng(int first, int last) const
+{
+    BITDEC_ASSERT(first >= 0 && first <= last && last < size_bits_,
+                  "bad residency range [", first, ", ", last, "] of ",
+                  size_bits_, " bits");
+    for (int i = first; i <= last; i++)
+        if (!testBit(i))
+            return true;
+    return false;
+}
+
+int
+ResidencyBitmap::countSetInRng(int first, int last) const
+{
+    if (size_bits_ == 0)
+        return 0;
+    BITDEC_ASSERT(first >= 0 && first <= last && last < size_bits_,
+                  "bad residency range [", first, ", ", last, "] of ",
+                  size_bits_, " bits");
+    int n = 0;
+    for (int i = first; i <= last; i++)
+        n += testBit(i) ? 1 : 0;
+    return n;
+}
+
+void
+ResidencyBitmap::touch(double now)
+{
+    access_time_ = now;
+    access_count_++;
+}
+
+void
+ResidencyBitmap::checkComplete()
+{
+    complete_ = size_bits_ == 0 || !isAnythingEmptyInRng(0, size_bits_ - 1);
+}
+
+} // namespace bitdec::kv

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-sequence page-residency bitmap for the tiered KV cache.
+ *
+ * One bit per logical KV page of a sequence: set = the page is resident
+ * in the hot pool, clear = the page lives in a cold tier (or nowhere, if
+ * its cold copy was dropped). The shape follows the xrootd file-cache
+ * `CacheFileInfo` exemplar: a packed bit buffer with set/test/resize, a
+ * range query (`isAnythingEmptyInRng`) the engine uses to gate decode on
+ * full residency, and access time/count bookkeeping that the tiered
+ * pool's LRU eviction reads.
+ */
+#ifndef BITDEC_KVCACHE_RESIDENCY_H
+#define BITDEC_KVCACHE_RESIDENCY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bitdec::kv {
+
+/** Packed residency bitmap with access bookkeeping. */
+class ResidencyBitmap
+{
+  public:
+    /**
+     * Grows or shrinks to @p bits bits. Existing bits keep their value;
+     * new bits start clear (a fresh page is not resident until set).
+     */
+    void resizeBits(int bits);
+
+    /** Marks page @p i resident. */
+    void setBit(int i);
+
+    /** Marks page @p i non-resident. */
+    void clearBit(int i);
+
+    /** True when page @p i is resident. */
+    bool testBit(int i) const;
+
+    /**
+     * True when any page in the inclusive range [@p first, @p last] is
+     * non-resident. The engine gates a decode step on
+     * `!isAnythingEmptyInRng(0, lastPage)`: attention traverses the whole
+     * sequence, so one cold page stalls the step.
+     */
+    bool isAnythingEmptyInRng(int first, int last) const;
+
+    /** Resident pages in the inclusive range [@p first, @p last]. */
+    int countSetInRng(int first, int last) const;
+
+    /** Resident pages over the whole bitmap. */
+    int countSet() const { return countSetInRng(0, size_bits_ - 1); }
+
+    /** Bits currently tracked. */
+    int sizeInBits() const { return size_bits_; }
+
+    /** True when every tracked page is resident (or the map is empty). */
+    bool isComplete() const { return complete_; }
+
+    /** Records one access at virtual time @p now. */
+    void touch(double now);
+
+    /** Virtual time of the most recent touch (0 before any). */
+    double accessTime() const { return access_time_; }
+
+    /** Number of touches so far. */
+    int accessCount() const { return access_count_; }
+
+  private:
+    void checkComplete();
+
+    std::vector<std::uint8_t> buff_;
+    int size_bits_ = 0;
+    bool complete_ = true; //!< cached full-residency flag
+    double access_time_ = 0;
+    int access_count_ = 0;
+};
+
+} // namespace bitdec::kv
+
+#endif // BITDEC_KVCACHE_RESIDENCY_H

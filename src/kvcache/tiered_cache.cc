@@ -1,0 +1,339 @@
+#include "kvcache/tiered_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace bitdec::kv {
+
+namespace {
+
+constexpr double kGb = 1e9;
+
+} // namespace
+
+TieredPagePool::TieredPagePool(PagedHeadCache& hot, const TieredConfig& cfg)
+    : hot_(hot),
+      tiers_(cfg.tiers),
+      prefetch_pages_(cfg.prefetch_pages),
+      bytes_per_page_(cfg.bytes_per_page)
+{
+    BITDEC_ASSERT(prefetch_pages_ >= 0, "prefetch lookahead must be >= 0");
+    BITDEC_ASSERT(tiers_.empty() || bytes_per_page_ > 0,
+                  "tiered pool needs bytes_per_page to size its tiers");
+    for (const auto& t : tiers_) {
+        BITDEC_ASSERT(t.capacity_gb > 0 && t.bandwidth_gbps > 0,
+                      "tier '", t.name, "' needs positive capacity/bandwidth");
+        tier_capacity_pages_.push_back(static_cast<int>(
+            t.capacity_gb * kGb / bytes_per_page_));
+        BITDEC_ASSERT(tier_capacity_pages_.back() > 0,
+                      "tier '", t.name, "' holds zero pages");
+        tier_used_pages_.push_back(0);
+    }
+}
+
+void
+TieredPagePool::syncRecord(int seq, Parked& rec)
+{
+    const int pages = static_cast<int>(hot_.pageTable(seq).size());
+    rec.hot_bits.resizeBits(pages);
+    for (int i = 0; i < pages; i++) {
+        if (hot_.pageResident(seq, i))
+            rec.hot_bits.setBit(i);
+        else
+            rec.hot_bits.clearBit(i);
+    }
+}
+
+double
+TieredPagePool::transferCost(int t, int pages) const
+{
+    if (pages <= 0)
+        return 0;
+    const auto& tier = tiers_.at(static_cast<std::size_t>(t));
+    return tier.latency_s +
+           static_cast<double>(pages) * bytes_per_page_ /
+               (tier.bandwidth_gbps * kGb);
+}
+
+bool
+TieredPagePool::dropLruVictim(int seq, const std::vector<int>& protect)
+{
+    int victim = -1;
+    double oldest = std::numeric_limits<double>::infinity();
+    for (const auto& [id, rec] : parked_) {
+        if (id == seq || rec.cold.empty())
+            continue;
+        if (std::find(protect.begin(), protect.end(), id) != protect.end())
+            continue;
+        if (rec.last_access < oldest) {
+            oldest = rec.last_access;
+            victim = id;
+        }
+    }
+    if (victim < 0)
+        return false;
+    auto& rec = parked_.at(victim);
+    for (const auto& [idx, page] : rec.cold) {
+        tier_used_pages_[static_cast<std::size_t>(page.tier)]--;
+        stats_.dropped_pages++;
+    }
+    rec.cold.clear();
+    rec.prefetched_resident.clear();
+    rec.lost = true; // engine recomputes the victim from seeds on resume
+    stats_.lru_drops++;
+    return true;
+}
+
+int
+TieredPagePool::makeColdRoom(int seq, const std::vector<int>& protect)
+{
+    for (;;) {
+        // Fast path: the fastest tier has room.
+        if (tier_used_pages_[0] < tier_capacity_pages_[0])
+            return 0;
+        // Tier 0 full. If tier 1 has room, spill the LRU sequence's
+        // tier-0 pages down a level so the new (hotter) payload lands on
+        // the fast tier; if nothing is spillable, place directly on
+        // tier 1.
+        if (numTiers() > 1 && tier_used_pages_[1] < tier_capacity_pages_[1]) {
+            int victim = -1;
+            double oldest = std::numeric_limits<double>::infinity();
+            for (const auto& [id, rec] : parked_) {
+                bool has_t0 = false;
+                for (const auto& [idx, page] : rec.cold)
+                    has_t0 |= page.tier == 0;
+                if (has_t0 && rec.last_access < oldest) {
+                    oldest = rec.last_access;
+                    victim = id;
+                }
+            }
+            if (victim < 0 || victim == seq)
+                return 1; // own pages are the LRU: store straight to disk
+            auto& rec = parked_.at(victim);
+            for (auto& [idx, page] : rec.cold) {
+                if (page.tier != 0)
+                    continue;
+                page.tier = 1;
+                tier_used_pages_[0]--;
+                tier_used_pages_[1]++;
+                stats_.spilled_pages++;
+                if (tier_used_pages_[0] < tier_capacity_pages_[0] ||
+                    tier_used_pages_[1] >= tier_capacity_pages_[1])
+                    break;
+            }
+            continue; // retry placement with the freed room
+        }
+        // Every tier full: drop a whole parked sequence, or give up.
+        if (!dropLruVictim(seq, protect))
+            return -1;
+    }
+}
+
+int
+TieredPagePool::offloadSequence(int seq, double now,
+                                const std::vector<int>& protect,
+                                double* writeback_s)
+{
+    if (!enabled())
+        return 0;
+    auto& rec = parked_[seq];
+    syncRecord(seq, rec);
+    const int pages = static_cast<int>(hot_.pageTable(seq).size());
+    const std::size_t payload = static_cast<std::size_t>(hot_.pageSize()) *
+                                static_cast<std::size_t>(hot_.headDim());
+    std::vector<int> moved_per_tier(tier_used_pages_.size(), 0);
+    int moved = 0;
+    for (int i = 0; i < pages; i++) {
+        if (!hot_.pageResident(seq, i))
+            continue; // already cold (or lost)
+        const int phys = hot_.pageTable(seq)[static_cast<std::size_t>(i)];
+        if (hot_.pageRefCount(phys) > 1)
+            continue; // shared prefix / CoW partial: pinned hot
+        ColdPage cold;
+        cold.k.resize(payload);
+        cold.v.resize(payload);
+        hot_.evictPage(seq, i, cold.k.data(), cold.v.data());
+        rec.hot_bits.clearBit(i);
+        moved++;
+        const int tier = makeColdRoom(seq, protect);
+        if (tier < 0) {
+            // Nowhere to put the payload: hot page is freed regardless,
+            // the sequence recomputes from seeds on resume.
+            rec.lost = true;
+            stats_.dropped_pages++;
+            continue;
+        }
+        cold.tier = tier;
+        tier_used_pages_[static_cast<std::size_t>(tier)]++;
+        moved_per_tier[static_cast<std::size_t>(tier)]++;
+        rec.cold[i] = std::move(cold);
+        stats_.offloaded_pages++;
+    }
+    if (writeback_s) {
+        for (int t = 0; t < numTiers(); t++)
+            *writeback_s +=
+                transferCost(t, moved_per_tier[static_cast<std::size_t>(t)]);
+    }
+    rec.last_access = now;
+    rec.hot_bits.touch(now);
+    return moved;
+}
+
+int
+TieredPagePool::fetchRange(int seq, int first_tok, int last_tok, double now,
+                           double* latency_s)
+{
+    if (!enabled() || !tracked(seq))
+        return 0;
+    auto& rec = parked_.at(seq);
+    syncRecord(seq, rec);
+    if (rec.lost || rec.cold.empty())
+        return 0;
+    const int pages = static_cast<int>(hot_.pageTable(seq).size());
+    if (pages == 0)
+        return 0;
+    const int ps = hot_.pageSize();
+    const int first_page = std::max(0, first_tok / ps);
+    const int last_page = std::min(pages - 1, last_tok / ps);
+    BITDEC_ASSERT(first_page <= last_page, "empty fetch range");
+    // Demand window first, then up to prefetch_pages_ more cold pages of
+    // the same sequence, nearest to the demand range first (lookahead in
+    // both directions: a resumed prefill's cold pages sit *behind* the
+    // append point, a gated decode's ahead of the last chunk restored).
+    std::vector<int> wanted;
+    for (int i = first_page; i <= last_page; i++)
+        if (rec.cold.count(i))
+            wanted.push_back(i);
+    const int demand = static_cast<int>(wanted.size());
+    for (int dist = 1, budget = prefetch_pages_;
+         budget > 0 && (first_page - dist >= 0 || last_page + dist < pages);
+         dist++) {
+        if (first_page - dist >= 0 && rec.cold.count(first_page - dist)) {
+            wanted.push_back(first_page - dist);
+            budget--;
+        }
+        if (budget > 0 && last_page + dist < pages &&
+            rec.cold.count(last_page + dist)) {
+            wanted.push_back(last_page + dist);
+            budget--;
+        }
+    }
+    std::vector<int> moved_per_tier(tier_used_pages_.size(), 0);
+    int restored = 0;
+    for (std::size_t w = 0; w < wanted.size(); w++) {
+        const int i = wanted[w];
+        const auto it = rec.cold.find(i);
+        if (!hot_.restorePage(seq, i, it->second.k.data(),
+                              it->second.v.data()))
+            break; // hot pool exhausted: caller frees pages and retries
+        rec.hot_bits.setBit(i);
+        tier_used_pages_[static_cast<std::size_t>(it->second.tier)]--;
+        moved_per_tier[static_cast<std::size_t>(it->second.tier)]++;
+        if (static_cast<int>(w) >= demand) {
+            rec.prefetched_resident.insert(i);
+            stats_.prefetched_pages++;
+        } else {
+            stats_.fetched_pages++;
+        }
+        rec.cold.erase(it);
+        restored++;
+    }
+    if (latency_s) {
+        for (int t = 0; t < numTiers(); t++)
+            *latency_s +=
+                transferCost(t, moved_per_tier[static_cast<std::size_t>(t)]);
+    }
+    rec.last_access = now;
+    rec.hot_bits.touch(now);
+    return restored;
+}
+
+void
+TieredPagePool::touchRange(int seq, int first_tok, int last_tok, double now)
+{
+    const auto it = parked_.find(seq);
+    if (it == parked_.end())
+        return;
+    auto& rec = it->second;
+    const int ps = hot_.pageSize();
+    const int first_page = std::max(0, first_tok / ps);
+    const int last_page = last_tok / ps;
+    for (int i = first_page; i <= last_page; i++) {
+        if (rec.prefetched_resident.erase(i))
+            stats_.prefetch_hits++; // first real read of a prefetched page
+    }
+    rec.last_access = now;
+    rec.hot_bits.touch(now);
+}
+
+void
+TieredPagePool::forgetSequence(int seq)
+{
+    const auto it = parked_.find(seq);
+    if (it == parked_.end())
+        return;
+    for (const auto& [idx, page] : it->second.cold)
+        tier_used_pages_[static_cast<std::size_t>(page.tier)]--;
+    parked_.erase(it);
+}
+
+bool
+TieredPagePool::fullyResident(int seq) const
+{
+    const auto it = parked_.find(seq);
+    if (it == parked_.end())
+        return true;
+    return hot_.missingPages(seq) == 0;
+}
+
+bool
+TieredPagePool::isAnythingEmptyInRng(int seq, int first_page,
+                                     int last_page) const
+{
+    const auto it = parked_.find(seq);
+    if (it == parked_.end())
+        return false;
+    const int pages = static_cast<int>(hot_.pageTable(seq).size());
+    first_page = std::max(0, first_page);
+    last_page = std::min(pages - 1, last_page);
+    for (int i = first_page; i <= last_page; i++)
+        if (!hot_.pageResident(seq, i))
+            return true;
+    return false;
+}
+
+int
+TieredPagePool::coldPages(int seq) const
+{
+    const auto it = parked_.find(seq);
+    return it == parked_.end() ? 0 : static_cast<int>(it->second.cold.size());
+}
+
+bool
+TieredPagePool::contentLost(int seq) const
+{
+    const auto it = parked_.find(seq);
+    return it != parked_.end() && it->second.lost;
+}
+
+const std::string&
+TieredPagePool::tierName(int t) const
+{
+    return tiers_.at(static_cast<std::size_t>(t)).name;
+}
+
+int
+TieredPagePool::tierCapacityPages(int t) const
+{
+    return tier_capacity_pages_.at(static_cast<std::size_t>(t));
+}
+
+int
+TieredPagePool::tierUsedPages(int t) const
+{
+    return tier_used_pages_.at(static_cast<std::size_t>(t));
+}
+
+} // namespace bitdec::kv

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tiered KV-cache pool: host/disk offload for cold low-bit pages.
+ *
+ * Layers the bounded hot tier (the PagedHeadCache's PageAllocator pool)
+ * over one or two simulated cold tiers — host RAM and disk — each with a
+ * configurable capacity and virtual-clock transfer cost. What crosses
+ * tiers is the *packed* low-bit payload: a 4-bit page costs 1/4 the bytes
+ * of its FP16 form, so the offload tiers hold 4x the tokens per byte
+ * (the BitDecoding density argument applied to capacity instead of
+ * bandwidth).
+ *
+ * Responsibilities:
+ *  - offloadSequence: evict a parked sequence's exclusively-owned pages
+ *    to the fastest cold tier with room (spilling host -> disk LRU-wise),
+ *    leaving kNoPage holes in the hot page table. Shared-prefix pages and
+ *    CoW partials (refcount > 1) are pinned hot and never torn.
+ *  - fetchRange: demand-restore the pages covering a token range plus a
+ *    lookahead window (prefetch) on sequence resume, charging per-tier
+ *    base latency + bytes/bandwidth on the caller's virtual clock.
+ *  - Residency tracking per sequence via ResidencyBitmap (xrootd
+ *    CacheFileInfo style): the engine gates decode on
+ *    isAnythingEmptyInRng over the sequence's whole page range.
+ *  - LRU whole-sequence drops when every cold tier is full: the victim's
+ *    cold payload is discarded and the sequence marked content-lost; the
+ *    engine recomputes it from the request seeds on resume (digests are
+ *    position-determined, so recompute is byte-identical).
+ */
+#ifndef BITDEC_KVCACHE_TIERED_CACHE_H
+#define BITDEC_KVCACHE_TIERED_CACHE_H
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/half.h"
+#include "kvcache/paged_cache.h"
+#include "kvcache/residency.h"
+
+namespace bitdec::kv {
+
+/** One cold tier: capacity plus a linear transfer-cost model. */
+struct TierSpec
+{
+    std::string name = "host"; //!< reporting label
+    double capacity_gb = 1.0;  //!< packed-byte capacity
+    double bandwidth_gbps = 32.0; //!< GB/s for page payload transfer
+    double latency_s = 10e-6;  //!< per-operation base latency
+};
+
+/** Tiered-pool configuration. An empty tier list disables tiering. */
+struct TieredConfig
+{
+    std::vector<TierSpec> tiers; //!< fastest first (host, then disk)
+    int prefetch_pages = 4;      //!< lookahead pages per demand fetch
+    /**
+     * Packed bytes per page crossing tiers (whole-model, all heads).
+     * Low-bit systems pass fp16_bytes * bits/16 — the 4x density win.
+     */
+    double bytes_per_page = 0;
+};
+
+/** Transfer counters, cumulative over the pool's lifetime. */
+struct TieredStats
+{
+    long offloaded_pages = 0;  //!< hot -> cold evictions
+    long fetched_pages = 0;    //!< demand cold -> hot restores
+    long prefetched_pages = 0; //!< lookahead cold -> hot restores
+    long prefetch_hits = 0;    //!< prefetched pages later actually read
+    long spilled_pages = 0;    //!< tier-0 -> tier-1 spills
+    long dropped_pages = 0;    //!< cold payloads discarded (capacity)
+    long lru_drops = 0;        //!< whole sequences content-dropped
+};
+
+/**
+ * Host/disk offload layer over one PagedHeadCache.
+ *
+ * The pool tracks a record per offloaded ("parked") sequence: a residency
+ * bitmap over its logical pages, the cold payload of each non-resident
+ * page, and LRU access bookkeeping. The engine owns the policy of *when*
+ * to offload (preemption, idle parking) and *when* to fetch (resume);
+ * this class owns placement, capacity accounting and transfer cost.
+ */
+class TieredPagePool
+{
+  public:
+    TieredPagePool(PagedHeadCache& hot, const TieredConfig& cfg);
+
+    /** True when at least one cold tier is configured. */
+    bool enabled() const { return !tiers_.empty(); }
+
+    /**
+     * Offloads every exclusively-owned resident page of @p seq to cold
+     * storage. Pages with refcount > 1 (shared prefixes, CoW partials)
+     * stay hot. When the cold tiers are full, other unprotected parked
+     * sequences are LRU-dropped to make room; as a last resort the
+     * payload is discarded and @p seq marked content-lost.
+     *
+     * @param protect   sequence ids that must not be LRU-dropped (the
+     *                  engine's currently-running set)
+     * @param writeback_s if non-null, accumulates the virtual-clock cost
+     *                  of the write-back transfer
+     * @return pages moved out of the hot pool
+     */
+    int offloadSequence(int seq, double now, const std::vector<int>& protect,
+                        double* writeback_s = nullptr);
+
+    /**
+     * Restores the cold pages covering tokens [@p first_tok, @p last_tok]
+     * of @p seq, plus up to prefetch_pages further cold pages nearest to
+     * the range in either direction (lookahead). Stops early if the hot
+     * pool runs out of free pages — the caller frees hot pages and
+     * retries.
+     *
+     * @param latency_s if non-null, accumulates per-tier base latency +
+     *                  bytes/bandwidth for the pages actually moved
+     * @return pages restored into the hot pool
+     */
+    int fetchRange(int seq, int first_tok, int last_tok, double now,
+                   double* latency_s = nullptr);
+
+    /**
+     * Records a read of tokens [@p first_tok, @p last_tok]: refreshes the
+     * LRU clock and counts first touches of prefetched pages as prefetch
+     * hits (each restored page is counted at most once).
+     */
+    void touchRange(int seq, int first_tok, int last_tok, double now);
+
+    /** Drops all tracking and cold payload of @p seq (finish/abort). */
+    void forgetSequence(int seq);
+
+    /** True when the pool holds state for @p seq. */
+    bool tracked(int seq) const { return parked_.count(seq) > 0; }
+
+    /** True when no page of @p seq is offloaded. */
+    bool fullyResident(int seq) const;
+
+    /**
+     * True when any logical page in [@p first_page, @p last_page] of
+     * @p seq is non-resident (the engine's decode gate).
+     */
+    bool isAnythingEmptyInRng(int seq, int first_page, int last_page) const;
+
+    /** Cold (offloaded) pages currently held for @p seq. */
+    int coldPages(int seq) const;
+
+    /**
+     * True when @p seq's cold payload was discarded under capacity
+     * pressure: fetch is impossible, the engine must recompute the
+     * sequence from scratch (digest-identical by construction).
+     */
+    bool contentLost(int seq) const;
+
+    /** Number of configured cold tiers. */
+    int numTiers() const { return static_cast<int>(tiers_.size()); }
+
+    /** Reporting label of cold tier @p t. */
+    const std::string& tierName(int t) const;
+
+    /** Page capacity of cold tier @p t (packed bytes / bytes_per_page). */
+    int tierCapacityPages(int t) const;
+
+    /** Pages currently held in cold tier @p t. */
+    int tierUsedPages(int t) const;
+
+    /** Cumulative transfer counters. */
+    const TieredStats& stats() const { return stats_; }
+
+  private:
+    struct ColdPage
+    {
+        int tier = 0;
+        std::vector<Half> k, v; //!< page payload, page_size x head_dim
+    };
+
+    struct Parked
+    {
+        ResidencyBitmap hot_bits; //!< set = resident in the hot pool
+        std::unordered_map<int, ColdPage> cold; //!< logical idx -> payload
+        //! pages restored by lookahead, awaiting their first real read
+        std::unordered_set<int> prefetched_resident;
+        double last_access = 0;
+        bool lost = false; //!< cold payload discarded; recompute on resume
+    };
+
+    /** Resizes/refreshes a record's bitmap against the hot page table. */
+    void syncRecord(int seq, Parked& rec);
+
+    /**
+     * Makes room for one more cold page: spill tier-0 -> tier-1, then
+     * LRU-drop unprotected parked sequences. @return destination tier,
+     * or -1 when nothing can be freed (payload must be dropped).
+     */
+    int makeColdRoom(int seq, const std::vector<int>& protect);
+
+    /** Discards all cold payload of the LRU victim; true on success. */
+    bool dropLruVictim(int seq, const std::vector<int>& protect);
+
+    /** Virtual-clock cost of moving @p pages pages to/from tier @p t. */
+    double transferCost(int t, int pages) const;
+
+    PagedHeadCache& hot_;
+    std::vector<TierSpec> tiers_;
+    std::vector<int> tier_capacity_pages_;
+    std::vector<int> tier_used_pages_;
+    int prefetch_pages_;
+    double bytes_per_page_;
+    std::unordered_map<int, Parked> parked_;
+    TieredStats stats_;
+};
+
+} // namespace bitdec::kv
+
+#endif // BITDEC_KVCACHE_TIERED_CACHE_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "backend/registry.h"
 #include "common/logging.h"
@@ -53,6 +54,22 @@ Engine::derivePoolPages(const sim::GpuArch& arch,
     return std::max(1, static_cast<int>(tokens) / cfg.page_size);
 }
 
+kv::TieredConfig
+Engine::resolvedTieredConfig() const
+{
+    kv::TieredConfig t = cfg_.tiered;
+    if (!t.tiers.empty() && t.bytes_per_page <= 0) {
+        // Packed page size: what actually crosses tiers is the low-bit
+        // payload, so a 4-bit page is 4x denser than FP16 and the cold
+        // tiers hold 4x the tokens per byte.
+        double bytes_per_token = model_.kvBytesFp16(1);
+        if (cfg_.system != model::SystemKind::FlashDecodingFp16)
+            bytes_per_token *= static_cast<double>(cfg_.bits) / 16.0;
+        t.bytes_per_page = bytes_per_token * cfg_.page_size;
+    }
+    return t;
+}
+
 Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
                const EngineConfig& cfg)
     : arch_(arch),
@@ -61,6 +78,7 @@ Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
       cache_(cfg.cache_head_dim, cfg.page_size,
              cfg.num_pages > 0 ? cfg.num_pages
                                : derivePoolPages(arch, model, cfg)),
+      pool_(cache_, resolvedTieredConfig()),
       sched_(cfg.sched)
 {
     e2e_.system = cfg_.system;
@@ -116,6 +134,114 @@ Engine::stepLatency(int decode_batch, long decode_len_sum,
     return std::max(t, arch_.launch_overhead_us * 1e-6);
 }
 
+std::vector<int>
+Engine::runningSeqs() const
+{
+    std::vector<int> seqs;
+    for (const Request* r : sched_.running())
+        if (r->seq >= 0)
+            seqs.push_back(r->seq);
+    return seqs;
+}
+
+void
+Engine::dropToRecompute(Request& r)
+{
+    BITDEC_ASSERT(r.seq >= 0, "recompute without a sequence");
+    pending_resume_.erase(r.seq);
+    pool_.forgetSequence(r.seq);
+    cache_.removeSequence(r.seq);
+    r.seq = cache_.addSequence();
+    r.prefilled = 0;
+    r.state = RequestState::Prefill;
+    r.fetch_blocked = false;
+    recompute_resumes_++;
+}
+
+int
+Engine::ensureResident(Request& r, double now, MetricsCollector& mc)
+{
+    r.fetch_blocked = false;
+    if (!pool_.enabled() || r.seq < 0 || !pool_.tracked(r.seq))
+        return 0;
+    if (cache_.missingPages(r.seq) == 0) {
+        // Fully resident already (possibly via earlier prefetches).
+        if (pending_resume_.erase(r.seq))
+            cold_resumes_++;
+        return 0;
+    }
+    if (pool_.contentLost(r.seq)) {
+        // Cold payload was discarded under capacity pressure: recompute
+        // from the request seeds — byte-identical by construction.
+        dropToRecompute(r);
+        return 0;
+    }
+    const int len = cache_.length(r.seq);
+    const int ps = cfg_.page_size;
+    int first_page = 0;
+    int last_page = -1;
+    if (r.state == RequestState::Decode) {
+        // Attention traverses the whole sequence: gate on full residency.
+        last_page = (len - 1) / ps;
+    } else if (len % ps != 0 && !cache_.pageResident(r.seq, len / ps)) {
+        // Prefill appends into the partial last page only; earlier cold
+        // pages ride the prefetch lookahead now and the decode gate later.
+        first_page = last_page = len / ps;
+    }
+    if (last_page < 0 ||
+        !pool_.isAnythingEmptyInRng(r.seq, first_page, last_page))
+        return 0;
+    double lat = 0;
+    pool_.fetchRange(r.seq, first_page * ps,
+                     std::min(len - 1, last_page * ps + ps - 1), now, &lat);
+    if (lat > 0) {
+        r.fetch_ready_s = std::max(r.fetch_ready_s, now + lat);
+        mc.onFetchStall(lat);
+    }
+    int missing = 0;
+    for (int i = first_page; i <= last_page; i++)
+        missing += cache_.pageResident(r.seq, i) ? 0 : 1;
+    if (missing > 0) {
+        // Hot pool ran dry mid-restore: report the shortfall so the
+        // preemption loop frees pages, then the fetch retries.
+        r.fetch_blocked = true;
+        return missing;
+    }
+    if (pending_resume_.erase(r.seq))
+        cold_resumes_++;
+    return 0;
+}
+
+bool
+Engine::evictIdleVictim(double now)
+{
+    // Least-recently-active parked session whose pages would actually
+    // free hot pool (refcount-1, still-resident pages).
+    Request* victim = nullptr;
+    for (Request* r : sched_.idleParked()) {
+        if (r->seq < 0 || cache_.reclaimablePages(r->seq) == 0)
+            continue;
+        if (victim == nullptr || r->last_token_s < victim->last_token_s)
+            victim = r;
+    }
+    if (victim == nullptr)
+        return false;
+    if (pool_.enabled()) {
+        const int moved =
+            pool_.offloadSequence(victim->seq, now, runningSeqs());
+        if (moved > 0)
+            pending_resume_.insert(victim->seq);
+        return moved > 0;
+    }
+    // Untiered fallback: drop the parked pages outright; the session
+    // recomputes its context from seeds on wake (digest-identical).
+    cache_.removeSequence(victim->seq);
+    victim->seq = -1;
+    victim->prefilled = 0;
+    recompute_resumes_++;
+    return true;
+}
+
 ServingMetrics
 Engine::run(std::vector<Request>& requests)
 {
@@ -137,6 +263,13 @@ Engine::run(std::vector<Request>& requests)
                          r.output_tokens,
                          " tokens) can never fit the page pool of ",
                          cache_.totalPages(), " pages");
+        if (r.idle_after_tokens > 0 &&
+            (r.idle_after_tokens >= r.output_tokens || r.idle_wake_s < 0))
+            BITDEC_FATAL("request ", r.id, " parks after ",
+                         r.idle_after_tokens, " of ", r.output_tokens,
+                         " output tokens with wake time ", r.idle_wake_s,
+                         " — idle sessions need tokens left to generate "
+                         "and a non-negative wake time");
     }
 
     std::vector<Request*> order;
@@ -159,18 +292,28 @@ Engine::run(std::vector<Request>& requests)
         while (next_arrival < order.size() &&
                order[next_arrival]->arrival_s <= clock)
             sched_.enqueue(order[next_arrival++]);
+        sched_.wakeIdle(clock);
         sched_.admit(cache_, clock);
         // An empty batch with waiters can mean the prefix index pins so
         // many pages the head does not fit: evict unmapped prefixes and
-        // retry admission before jumping the clock.
+        // retry admission before jumping the clock. Parked idle sessions
+        // can pin the pool the same way (untiered runs keep their pages
+        // hot): evict them one by one until the head admits.
         if (sched_.running().empty() && sched_.waitingCount() > 0 &&
             cache_.releaseUnusedPrefixes() > 0)
             sched_.admit(cache_, clock);
+        while (sched_.running().empty() && sched_.waitingCount() > 0 &&
+               evictIdleVictim(clock))
+            sched_.admit(cache_, clock);
 
         if (sched_.running().empty()) {
-            BITDEC_ASSERT(next_arrival < order.size(),
+            double next_t = std::numeric_limits<double>::infinity();
+            if (next_arrival < order.size())
+                next_t = order[next_arrival]->arrival_s;
+            next_t = std::min(next_t, sched_.nextIdleWake());
+            BITDEC_ASSERT(std::isfinite(next_t),
                           "scheduler stalled with work pending");
-            clock = std::max(clock, order[next_arrival]->arrival_s);
+            clock = std::max(clock, next_t);
             continue;
         }
 
@@ -182,14 +325,26 @@ Engine::run(std::vector<Request>& requests)
         // surviving prefills.
         TickPlan plan;
         for (;;) {
-            plan = sched_.planTick();
+            // Resolve tier residency first: demand-fetch the cold pages
+            // gating each runner (charging transfer latency on its
+            // fetch_ready_s gate); pages a fetch could not restore for
+            // lack of hot-pool room join this step's page demand.
+            int fetch_backlog = 0;
+            for (Request* r : sched_.running())
+                fetch_backlog += ensureResident(*r, clock, mc);
+            plan = sched_.planTick(clock);
             const std::vector<Request*>& run = sched_.running();
-            int pages_needed = 0;
+            int pages_needed = fetch_backlog;
             for (std::size_t i = 0; i < run.size(); i++)
                 pages_needed +=
                     cache_.pagesNeededForAppend(run[i]->seq, plan.tokens[i]);
             if (pages_needed <= cache_.freePages())
                 break;
+            // Free pages, cheapest victims first: parked idle sessions
+            // nobody is waiting on, then a running victim, then the
+            // prefix index.
+            if (evictIdleVictim(clock))
+                continue;
             Request* victim = sched_.running().size() > 1
                                   ? sched_.preemptVictim(cache_)
                                   : nullptr;
@@ -201,15 +356,55 @@ Engine::run(std::vector<Request>& requests)
                 // dropping the index's references un-shares the runner's
                 // partial page, removing a planned CoW copy from the
                 // step's demand.
-                if (cache_.releaseUnusedPrefixes() == 0) {
-                    BITDEC_ASSERT(cache_.numPrefixes() > 0,
-                                  "page pool exhausted with no reclaimable "
-                                  "victim and no evictable prefix");
+                if (cache_.releaseUnusedPrefixes() > 0)
+                    continue;
+                if (cache_.numPrefixes() > 0) {
                     cache_.releaseAllPrefixes();
+                    continue;
                 }
+                // Last resort: a runner blocked on its own resume fetch
+                // while the pool is exhausted — recompute it from seeds
+                // (frees its resident pages, keeps digests intact).
+                Request* blocked = nullptr;
+                for (Request* r : sched_.running())
+                    if (r->fetch_blocked)
+                        blocked = r;
+                BITDEC_ASSERT(blocked != nullptr,
+                              "page pool exhausted with no reclaimable "
+                              "victim and no evictable prefix");
+                dropToRecompute(*blocked);
                 continue;
             }
-            sched_.preempt(victim, cache_);
+            if (pool_.enabled()) {
+                // Preempt -> offload: the victim's sequence survives in
+                // the cold tiers and resumes digest-identical, no
+                // recompute. Write-back is off the critical path (the
+                // victim is leaving the batch), so no clock charge here;
+                // the resume fetch pays the read latency.
+                const int seq = victim->seq;
+                sched_.preempt(victim, cache_, /*keep_pages=*/true);
+                if (pool_.offloadSequence(seq, clock, runningSeqs()) > 0)
+                    pending_resume_.insert(seq);
+            } else {
+                sched_.preempt(victim, cache_);
+            }
+        }
+
+        // Every runner gated on an in-flight tier fetch: nothing can
+        // append, so jump the clock to the earliest fetch-ready time
+        // (or the next arrival/wake) instead of spinning.
+        if (plan.decode_batch == 0 && plan.prefill_tokens == 0) {
+            double next_t = std::numeric_limits<double>::infinity();
+            for (const Request* r : sched_.running())
+                if (r->fetch_ready_s > clock)
+                    next_t = std::min(next_t, r->fetch_ready_s);
+            if (next_arrival < order.size())
+                next_t = std::min(next_t, order[next_arrival]->arrival_s);
+            next_t = std::min(next_t, sched_.nextIdleWake());
+            BITDEC_ASSERT(std::isfinite(next_t),
+                          "batch stalled with nothing to wait for");
+            clock = std::max(clock, next_t);
+            continue;
         }
 
         // Execute the planned appends: budgeted prefill chunks and decode
@@ -233,12 +428,14 @@ Engine::run(std::vector<Request>& requests)
                 if (cfg_.sched.prefix_reuse && r->prefix_id != 0 &&
                     r->prefix_tokens > 0 &&
                     r->prefilled >= r->prefix_tokens &&
-                    cache_.prefixTokens(r->prefix_id) == 0)
+                    cache_.prefixTokens(r->prefix_id) == 0 &&
+                    !pool_.isAnythingEmptyInRng(
+                        r->seq, 0, cache_.pagesFor(r->prefix_tokens) - 1))
                     cache_.publishPrefix(r->prefix_id, r->seq,
                                          r->prefix_tokens);
                 if (r->prefilled == r->prefillTarget())
                     r->state = RequestState::Decode;
-            } else {
+            } else if (plan.tokens[bi] > 0) {
                 const int pos = r->prompt_tokens + r->generated;
                 appendToken(*r, pos);
                 // Fold the previously cached key row into the output: the
@@ -252,6 +449,9 @@ Engine::run(std::vector<Request>& requests)
                 r->generated++;
                 decode_len_sum += pos + 1;
                 decoded.push_back(r);
+                // The decode step read the whole sequence: refresh the
+                // tier LRU clock and credit prefetched pages their hit.
+                pool_.touchRange(r->seq, 0, pos, clock);
             }
         }
 
@@ -310,16 +510,54 @@ Engine::run(std::vector<Request>& requests)
                 r->first_token_s = clock;
             if (r->generated == r->output_tokens) {
                 r->finish_s = clock;
+                pool_.forgetSequence(r->seq);
+                pending_resume_.erase(r->seq);
                 sched_.finish(r, cache_);
                 mc.onFinish(*r);
                 finished++;
             }
         }
+
+        // Park sessions that just hit their idle point: they leave the
+        // batch keeping their sequence; a tiered pool offloads the pages
+        // right away (write-back off the critical path), an untiered one
+        // keeps them hot until pool pressure evicts them.
+        for (Request* r : decoded) {
+            if (r->state != RequestState::Decode ||
+                r->idle_after_tokens <= 0 ||
+                r->generated != r->idle_after_tokens)
+                continue;
+            sched_.parkIdle(r);
+            if (pool_.enabled() &&
+                pool_.offloadSequence(r->seq, clock, runningSeqs()) > 0)
+                pending_resume_.insert(r->seq);
+        }
+
         mc.onStep(step_s, plan.decode_batch, plan.prefill_tokens,
                   cache_.totalPages() - cache_.freePages(),
                   cache_.totalPages());
+        std::vector<int> tier_used;
+        for (int t = 0; t < pool_.numTiers(); t++)
+            tier_used.push_back(pool_.tierUsedPages(t));
+        // A sequence counts as resident when its full prompt context is
+        // held somewhere (hot or cold) — complete and resumable without
+        // recompute. Mid-prefill and content-lost sequences don't count.
+        int resident_seqs = 0;
+        for (const Request& r : requests)
+            if (r.seq >= 0 && !pool_.contentLost(r.seq) &&
+                cache_.length(r.seq) >= r.prompt_tokens)
+                resident_seqs++;
+        mc.onTierTick(step_s, tier_used, resident_seqs);
     }
 
+    std::vector<std::string> tier_names;
+    std::vector<int> tier_caps;
+    for (int t = 0; t < pool_.numTiers(); t++) {
+        tier_names.push_back(pool_.tierName(t));
+        tier_caps.push_back(pool_.tierCapacityPages(t));
+    }
+    mc.setTierConfig(tier_names, tier_caps);
+    mc.setTierStats(pool_.stats(), cold_resumes_, recompute_resumes_);
     return mc.finalize(clock - first_arrival, sched_.preemptionCount(),
                        cache_.cowCopies());
 }

@@ -40,11 +40,13 @@
 #define BITDEC_SERVING_ENGINE_H
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/thread_pool.h"
 #include "gpusim/arch.h"
 #include "kvcache/paged_cache.h"
+#include "kvcache/tiered_cache.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
 #include "serving/metrics.h"
@@ -85,6 +87,20 @@ struct EngineConfig
     std::string backend;
     exec::ThreadPool* pool = nullptr; //!< pool for the per-step attention
                                       //!< fan-out; null = inline
+
+    /**
+     * Cold KV tiers (host RAM / disk) layered under the hot page pool.
+     * Empty tier list (the default) disables tiering: preemption drops
+     * pages (recompute policy) and parked idle sessions hold hot pages
+     * until pool pressure evicts them. With tiers configured, preemption
+     * and idle parking offload packed pages instead, resume demand-
+     * fetches them (plus lookahead prefetch) and decode is gated on full
+     * residency — the clock pays the transfer, the digests never change.
+     * TieredConfig::bytes_per_page == 0 derives the packed page size from
+     * the model and bit width (the 4-bit page crosses tiers 4x denser
+     * than FP16).
+     */
+    kv::TieredConfig tiered;
 };
 
 /** Continuous-batching serving engine. */
@@ -109,6 +125,9 @@ class Engine
     /** Read-only view of the paged KV pool (prefix index, refcounts). */
     const kv::PagedHeadCache& cache() const { return cache_; }
 
+    /** Read-only view of the tiered pool (occupancy, transfer stats). */
+    const kv::TieredPagePool& tieredPool() const { return pool_; }
+
     /**
      * Pool pages a device budget affords: HBM minus weights, activations
      * and allocator overhead, divided by the system's per-page KV bytes
@@ -128,12 +147,43 @@ class Engine
     double stepLatency(int decode_batch, long decode_len_sum,
                        int prefill_tokens) const;
 
+    /** cfg_.tiered with bytes_per_page derived from the model and bit
+     *  width when unset (packed low-bit pages cross tiers). */
+    kv::TieredConfig resolvedTieredConfig() const;
+
+    /**
+     * Demand-fetches the cold pages gating @p r this tick (a decoding
+     * request needs its whole sequence, a prefilling one only the partial
+     * page it appends into), charging transfer latency via
+     * Request::fetch_ready_s. A sequence whose cold payload was dropped
+     * is reset to recompute. @return pages still missing because the hot
+     * pool ran dry (the caller adds them to its preemption demand).
+     */
+    int ensureResident(Request& r, double now, MetricsCollector& mc);
+
+    /** Drops @p r's sequence for a from-scratch, digest-identical
+     *  re-prefill (cold payload lost, or untiered idle eviction). */
+    void dropToRecompute(Request& r);
+
+    /** Offloads (tiered) or drops (untiered) the pages of the
+     *  least-recently-active parked idle session; false when none. */
+    bool evictIdleVictim(double now);
+
+    /** Sequence ids of the running batch (offload protection set). */
+    std::vector<int> runningSeqs() const;
+
     const sim::GpuArch& arch_;
     const model::ModelConfig& model_;
     EngineConfig cfg_;
     model::E2EConfig e2e_;
     kv::PagedHeadCache cache_;
+    kv::TieredPagePool pool_;
     Scheduler sched_;
+    //! Sequences offloaded and awaiting their resume fetch: resolves to
+    //! a cold resume (pages fetched back) or a recompute (payload lost).
+    std::unordered_set<int> pending_resume_;
+    int cold_resumes_ = 0;
+    int recompute_resumes_ = 0;
     //! Resolved EngineConfig::backend; null when per-step attention is off.
     const backend::AttentionBackend* attn_backend_ = nullptr;
 };

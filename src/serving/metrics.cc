@@ -60,6 +60,50 @@ MetricsCollector::onFinish(const Request& r)
     outputs_digest_ ^= r.output_hash;
 }
 
+void
+MetricsCollector::onFetchStall(double stall_s)
+{
+    BITDEC_ASSERT(stall_s >= 0, "negative fetch stall");
+    fetch_stalls_.push_back(stall_s);
+}
+
+void
+MetricsCollector::onTierTick(double step_s, const std::vector<int>& used_pages,
+                             int resident_seqs)
+{
+    peak_resident_seqs_ = std::max(peak_resident_seqs_, resident_seqs);
+    if (used_pages.empty())
+        return;
+    if (tier_used_weighted_.size() < used_pages.size()) {
+        tier_used_weighted_.resize(used_pages.size(), 0);
+        tier_peak_used_.resize(used_pages.size(), 0);
+    }
+    tier_time_sum_ += step_s;
+    for (std::size_t t = 0; t < used_pages.size(); t++) {
+        tier_used_weighted_[t] += step_s * used_pages[t];
+        tier_peak_used_[t] = std::max(tier_peak_used_[t], used_pages[t]);
+    }
+}
+
+void
+MetricsCollector::setTierConfig(const std::vector<std::string>& names,
+                                const std::vector<int>& capacity_pages)
+{
+    BITDEC_ASSERT(names.size() == capacity_pages.size(),
+                  "tier name/capacity mismatch");
+    tier_names_ = names;
+    tier_capacity_pages_ = capacity_pages;
+}
+
+void
+MetricsCollector::setTierStats(const kv::TieredStats& stats, int cold_resumes,
+                               int recompute_resumes)
+{
+    tier_stats_ = stats;
+    cold_resumes_ = cold_resumes;
+    recompute_resumes_ = recompute_resumes;
+}
+
 ServingMetrics
 MetricsCollector::finalize(double makespan_s, int preemptions,
                            long cow_copies) const
@@ -120,6 +164,29 @@ MetricsCollector::finalize(double makespan_s, int preemptions,
         p.mean_s = mean(xs);
         p.p95_s = percentile(xs, 95);
         m.ttft_by_priority.push_back(p);
+    }
+
+    m.tier = tier_stats_;
+    m.cold_resumes = cold_resumes_;
+    m.recompute_resumes = recompute_resumes_;
+    if (cold_resumes_ + recompute_resumes_ > 0)
+        m.tier_hit_rate = static_cast<double>(cold_resumes_) /
+                          (cold_resumes_ + recompute_resumes_);
+    for (double s : fetch_stalls_)
+        m.fetch_stall_total_s += s;
+    m.fetch_stall_mean_s = mean(fetch_stalls_);
+    m.fetch_stall_p99_s = percentile(fetch_stalls_, 99);
+    m.fetch_stall_max_s = percentile(fetch_stalls_, 100);
+    m.peak_resident_seqs = peak_resident_seqs_;
+    for (std::size_t t = 0; t < tier_names_.size(); t++) {
+        TierOccupancy occ;
+        occ.name = tier_names_[t];
+        occ.capacity_pages = tier_capacity_pages_[t];
+        if (t < tier_used_weighted_.size() && tier_time_sum_ > 0)
+            occ.avg_used_pages = tier_used_weighted_[t] / tier_time_sum_;
+        if (t < tier_peak_used_.size())
+            occ.peak_used_pages = tier_peak_used_[t];
+        m.tiers.push_back(occ);
     }
 
     m.outputs_digest = outputs_digest_;

@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "kvcache/tiered_cache.h"
 #include "serving/request.h"
 
 namespace bitdec::serving {
@@ -25,6 +27,15 @@ struct PriorityTtft
     int count = 0;      //!< finished requests in the class
     double mean_s = 0;  //!< mean time to first token
     double p95_s = 0;   //!< p95 time to first token
+};
+
+/** Occupancy summary of one cold KV tier over a run. */
+struct TierOccupancy
+{
+    std::string name;       //!< TierSpec::name
+    int capacity_pages = 0; //!< pages the tier can hold
+    double avg_used_pages = 0;  //!< time-weighted mean pages held
+    int peak_used_pages = 0;    //!< max pages held at any step
 };
 
 /** Summary of one serving run. */
@@ -72,6 +83,36 @@ struct ServingMetrics
     double prefix_hit_rate = 0; //!< hits / (hits + appended prefill)
     long cow_copies = 0;        //!< copy-on-write page copies performed
 
+    // --- tiered KV cache (all zero/empty when tiering is off) ---
+    kv::TieredStats tier; //!< cumulative page-transfer counters
+    int cold_resumes = 0;      //!< resumes completed by fetching cold pages
+    int recompute_resumes = 0; //!< resumes that had to recompute (content
+                               //!< dropped under cold-capacity pressure)
+    /** Fraction of resumes served from the cold tiers instead of
+     *  recomputing: cold / (cold + recompute); 0 when no resumes. */
+    double tier_hit_rate = 0;
+    /**
+     * Fetch-stall distribution: virtual seconds a request was gated on a
+     * cold->hot page transfer before it could append again; one sample
+     * per fetch operation that charged latency.
+     */
+    double fetch_stall_total_s = 0;
+    double fetch_stall_mean_s = 0;
+    double fetch_stall_p99_s = 0;
+    double fetch_stall_max_s = 0;
+    /**
+     * Peak sequences whose full prompt context was held at one time —
+     * anywhere, hot pool or cold tiers, but complete and resumable
+     * without recompute. The capacity headline a tiered pool buys: an
+     * untiered run can only hold as many full contexts as the hot pool
+     * fits, a tiered run is bounded by hot + cold. (Sequences admitted
+     * but still mid-prefill, or whose cold payload was dropped, do not
+     * count.)
+     */
+    int peak_resident_seqs = 0;
+    /** Per-tier occupancy, fastest first; empty when tiering is off. */
+    std::vector<TierOccupancy> tiers;
+
     /** Per-priority TTFT, ascending by priority; one entry per class. */
     std::vector<PriorityTtft> ttft_by_priority;
 
@@ -112,6 +153,28 @@ class MetricsCollector
     void onFinish(const Request& r);
 
     /**
+     * Records one fetch-stall sample: the virtual time a request spent
+     * gated on a cold->hot transfer (one sample per charged fetch).
+     */
+    void onFetchStall(double stall_s);
+
+    /**
+     * Records per-tier occupancy and resident-sequence count for one
+     * step of @p step_s virtual seconds. Call with an empty @p used_pages
+     * when tiering is off — the resident-sequence peak is still tracked.
+     */
+    void onTierTick(double step_s, const std::vector<int>& used_pages,
+                    int resident_seqs);
+
+    /** Declares the cold-tier layout (names + page capacities). */
+    void setTierConfig(const std::vector<std::string>& names,
+                       const std::vector<int>& capacity_pages);
+
+    /** Hands over the pool's cumulative counters and resume outcomes. */
+    void setTierStats(const kv::TieredStats& stats, int cold_resumes,
+                      int recompute_resumes);
+
+    /**
      * Produces the summary.
      * @param makespan_s  first arrival to last completion
      * @param preemptions total preemptions the scheduler performed
@@ -135,6 +198,17 @@ class MetricsCollector
     double decode_batch_weighted_ = 0; //!< time-weighted decode batch
     double page_util_weighted_ = 0;    //!< time-weighted pool utilization
     double peak_page_util_ = 0;
+
+    std::vector<double> fetch_stalls_;
+    std::vector<std::string> tier_names_;
+    std::vector<int> tier_capacity_pages_;
+    std::vector<double> tier_used_weighted_; //!< time-weighted pages held
+    std::vector<int> tier_peak_used_;
+    double tier_time_sum_ = 0;
+    kv::TieredStats tier_stats_;
+    int cold_resumes_ = 0;
+    int recompute_resumes_ = 0;
+    int peak_resident_seqs_ = 0;
 };
 
 } // namespace bitdec::serving

@@ -14,6 +14,8 @@ toString(RequestState state)
         return "DECODE";
       case RequestState::Preempted:
         return "PREEMPTED";
+      case RequestState::Idle:
+        return "IDLE";
       case RequestState::Finished:
         return "FINISHED";
     }

@@ -15,6 +15,7 @@
 #define BITDEC_SERVING_REQUEST_H
 
 #include <cstdint>
+#include <limits>
 
 namespace bitdec::serving {
 
@@ -25,6 +26,8 @@ enum class RequestState
     Prefill,   //!< admitted, prompt tokens entering the KV cache
     Decode,    //!< generating output tokens, one per engine step
     Preempted, //!< pages reclaimed under memory pressure; awaiting resume
+    Idle,      //!< parked session: keeps its sequence (pages typically
+               //!< offloaded to a cold tier) until idle_wake_s
     Finished,  //!< output budget met; sequence freed
 };
 
@@ -50,6 +53,17 @@ struct Request
     int prefix_tokens = 0; //!< shared-prefix length (<= prompt_tokens)
     int priority = 0;      //!< scheduling priority; higher is more urgent
 
+    /**
+     * Idle-session shape: when idle_after_tokens > 0 the request parks
+     * (leaves the batch, state IDLE) once that many output tokens have
+     * been generated, and resumes at virtual time idle_wake_s. A tiered
+     * engine offloads the parked sequence's pages to the cold tiers; an
+     * untiered engine keeps them hot until pool pressure drops them
+     * (recompute on wake). 0 = never parks.
+     */
+    int idle_after_tokens = 0;
+    double idle_wake_s = -1; //!< wake time of a parked session
+
     // --- runtime state, owned by the scheduler/engine ---
     RequestState state = RequestState::Queued;
     int seq = -1;          //!< PagedHeadCache sequence id; -1 when none
@@ -58,6 +72,20 @@ struct Request
     int preemptions = 0;   //!< times this request lost its pages
     long prefix_hit_tokens = 0; //!< prefill tokens skipped via shared
                                 //!< pages, summed over (re-)admissions
+
+    /**
+     * Tier-fetch gate: the request may not append before this virtual
+     * time — the engine sets it to clock + transfer latency when cold
+     * pages are restored for the request (see TieredPagePool::fetchRange),
+     * and Scheduler::planTick plans 0 tokens for a still-gated request.
+     */
+    double fetch_ready_s = -std::numeric_limits<double>::infinity();
+    /**
+     * True while a demand fetch could not complete because the hot pool
+     * had no free pages: the engine counts the missing pages into its
+     * preemption demand and retries the fetch once pages free up.
+     */
+    bool fetch_blocked = false;
 
     double first_token_s = -1; //!< when the first output token appeared
     double last_token_s = -1;  //!< when the most recent output token

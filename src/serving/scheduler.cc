@@ -70,6 +70,28 @@ Scheduler::admit(kv::PagedHeadCache& cache, double now)
         const std::size_t pick = pickCandidate(now);
         Request* r = waiting_[pick];
 
+        // Resume path: the candidate still owns a sequence (preempted
+        // with keep-pages, or a woken idle session). Budget the restore
+        // of its offloaded holes plus its next append chunk; the content
+        // already in the cache (hot or cold) is never re-prefilled.
+        if (r->seq >= 0) {
+            const int cached = cache.length(r->seq);
+            int next = std::max(0, r->prefillTarget() - cached);
+            if (cfg_.prefill_chunk_tokens > 0)
+                next = std::min(next, cfg_.prefill_chunk_tokens);
+            const int need = cache.missingPages(r->seq) +
+                             cache.pagesNeededForAppend(r->seq, next);
+            if (cache.freePages() - cfg_.reserve_pages < need)
+                break; // blocks until the restore fits (no bypass)
+            waiting_.erase(waiting_.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+            r->prefilled = cached;
+            r->state = cached < r->prefillTarget() ? RequestState::Prefill
+                                                   : RequestState::Decode;
+            running_.push_back(r);
+            continue;
+        }
+
         // Prefix admission gate: when the candidate's shared prefix is not
         // yet published but a running request is prefilling it, hold
         // admission — mapping the pages once published is far cheaper than
@@ -127,16 +149,21 @@ Scheduler::admit(kv::PagedHeadCache& cache, double now)
 }
 
 TickPlan
-Scheduler::planTick() const
+Scheduler::planTick(double now) const
 {
     TickPlan plan;
     plan.tokens.assign(running_.size(), 0);
     std::vector<std::size_t> prefills;
     for (std::size_t i = 0; i < running_.size(); i++) {
-        if (running_[i]->state == RequestState::Decode) {
+        const Request* r = running_[i];
+        // Tier-fetch gate: a request whose cold pages are still in
+        // flight appends nothing this tick.
+        if (r->fetch_blocked || r->fetch_ready_s > now)
+            continue;
+        if (r->state == RequestState::Decode) {
             plan.decode_batch++;
             plan.tokens[i] = 1;
-        } else if (running_[i]->prefillTarget() > running_[i]->prefilled) {
+        } else if (r->prefillTarget() > r->prefilled) {
             prefills.push_back(i);
         }
     }
@@ -198,16 +225,21 @@ Scheduler::preemptVictim(const kv::PagedHeadCache& cache)
 }
 
 void
-Scheduler::preempt(Request* r, kv::PagedHeadCache& cache)
+Scheduler::preempt(Request* r, kv::PagedHeadCache& cache, bool keep_pages)
 {
     auto it = std::find(running_.begin(), running_.end(), r);
     BITDEC_ASSERT(it != running_.end(), "preempting a non-running request");
     running_.erase(it);
-    if (r->seq >= 0) {
-        cache.removeSequence(r->seq);
-        r->seq = -1;
+    if (!keep_pages) {
+        // Recompute policy: drop everything; resume re-prefills.
+        if (r->seq >= 0) {
+            cache.removeSequence(r->seq);
+            r->seq = -1;
+        }
+        r->prefilled = 0;
     }
-    r->prefilled = 0;
+    // keep_pages: the sequence survives for the caller to offload; the
+    // resume path in admit() rebuilds prefilled from the cache length.
     r->state = RequestState::Preempted;
     r->preemptions++;
     preemptions_++;
@@ -228,6 +260,44 @@ Scheduler::finish(Request* r, kv::PagedHeadCache& cache)
         r->seq = -1;
     }
     r->state = RequestState::Finished;
+}
+
+void
+Scheduler::parkIdle(Request* r)
+{
+    auto it = std::find(running_.begin(), running_.end(), r);
+    BITDEC_ASSERT(it != running_.end(), "parking a non-running request");
+    BITDEC_ASSERT(r->idle_after_tokens > 0, "request has no idle point");
+    running_.erase(it);
+    r->state = RequestState::Idle;
+    idle_.push_back(r);
+}
+
+int
+Scheduler::wakeIdle(double now)
+{
+    int woken = 0;
+    for (std::size_t i = 0; i < idle_.size();) {
+        Request* r = idle_[i];
+        if (r->idle_wake_s <= now) {
+            idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(i));
+            r->state = RequestState::Queued;
+            waiting_.push_back(r);
+            woken++;
+        } else {
+            i++;
+        }
+    }
+    return woken;
+}
+
+double
+Scheduler::nextIdleWake() const
+{
+    double t = std::numeric_limits<double>::infinity();
+    for (const Request* r : idle_)
+        t = std::min(t, r->idle_wake_s);
+    return t;
 }
 
 } // namespace bitdec::serving

@@ -47,6 +47,7 @@
 #define BITDEC_SERVING_SCHEDULER_H
 
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "kvcache/paged_cache.h"
@@ -126,6 +127,12 @@ class Scheduler
      * map are never re-budgeted). Stops at the first candidate that does
      * not fit (no skipping). Admitted requests get a fresh cache
      * sequence — prefix pages mapped when available — and enter PREFILL.
+     *
+     * A candidate that still owns a sequence (seq >= 0: preempted with
+     * keep-pages, or a woken idle session) resumes instead: no fresh
+     * sequence, and its budget is the pages to restore its offloaded
+     * holes (PagedHeadCache::missingPages) plus its next append chunk. It
+     * re-enters PREFILL when prefill was interrupted, DECODE otherwise.
      * @param now virtual-clock time, used for priority aging.
      */
     void admit(kv::PagedHeadCache& cache, double now = 0);
@@ -141,8 +148,14 @@ class Scheduler
      * stalls for the tick but is never starved, because decoding
      * requests retire and return their budget share. Pure function of
      * the current batch: the engine re-plans after every preemption.
+     *
+     * Tier-fetch gating: a request whose cold-page fetch is still in
+     * flight (Request::fetch_blocked, or fetch_ready_s > @p now) is
+     * planned 0 tokens — it waits for its pages without holding the
+     * batch's budget. The default @p now gates only on fetch_blocked.
      */
-    TickPlan planTick() const;
+    TickPlan
+    planTick(double now = std::numeric_limits<double>::infinity()) const;
 
     /**
      * Picks the preemption victim among running requests: policy order
@@ -156,14 +169,37 @@ class Scheduler
     Request* preemptVictim(const kv::PagedHeadCache& cache);
 
     /**
-     * Preempts @p r: frees its pages, resets its prefill progress (the
-     * recompute policy re-loads prompt + generated tokens on resume) and
-     * puts it at the front of the waiting queue.
+     * Preempts @p r and puts it at the front of the waiting queue. With
+     * @p keep_pages false (the recompute policy) its pages are freed and
+     * prefill progress reset — resume re-loads prompt + generated tokens.
+     * With @p keep_pages true the sequence survives intact: the caller
+     * offloads its pages to a cold tier (TieredPagePool) and admit()
+     * resumes it via the seq >= 0 path, digests untouched.
      */
-    void preempt(Request* r, kv::PagedHeadCache& cache);
+    void preempt(Request* r, kv::PagedHeadCache& cache,
+                 bool keep_pages = false);
 
     /** Retires a finished request and frees its sequence. */
     void finish(Request* r, kv::PagedHeadCache& cache);
+
+    // ------------------------------------------------- idle sessions --
+
+    /**
+     * Parks a running request (state IDLE): it leaves the batch but keeps
+     * its sequence; the engine typically offloads the pages right after.
+     * wakeIdle() re-queues it at Request::idle_wake_s.
+     */
+    void parkIdle(Request* r);
+
+    /** Moves parked requests whose wake time has come back to the
+     *  waiting queue (state QUEUED, sequence kept). @return woken. */
+    int wakeIdle(double now);
+
+    /** Parked idle sessions, in park order. */
+    const std::vector<Request*>& idleParked() const { return idle_; }
+
+    /** Earliest wake time among parked sessions; +inf when none. */
+    double nextIdleWake() const;
 
     /** Running batch in admission order. */
     const std::vector<Request*>& running() const { return running_; }
@@ -171,8 +207,11 @@ class Scheduler
     /** Requests waiting for admission (or re-admission). */
     int waitingCount() const { return static_cast<int>(waiting_.size()); }
 
-    /** True when nothing is running and nothing is waiting. */
-    bool idle() const { return running_.empty() && waiting_.empty(); }
+    /** True when nothing is running, waiting or parked. */
+    bool idle() const
+    {
+        return running_.empty() && waiting_.empty() && idle_.empty();
+    }
 
     /** Total preemptions performed so far. */
     int preemptionCount() const { return preemptions_; }
@@ -187,6 +226,7 @@ class Scheduler
     SchedulerConfig cfg_;
     std::deque<Request*> waiting_;
     std::vector<Request*> running_;
+    std::vector<Request*> idle_;
     int preemptions_ = 0;
 };
 

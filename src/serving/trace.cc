@@ -66,6 +66,29 @@ generateTrace(const TraceConfig& cfg)
         r.priority = i % cfg.num_priority_levels;
         trace.push_back(r);
     }
+
+    // Idle sessions: near-simultaneous early arrivals that prefill a
+    // fixed context, emit one token, park, and wake staggered later. No
+    // RNG draws — the main trace above is byte-identical with the knob
+    // off.
+    for (int i = 0; i < cfg.num_idle_sessions; i++) {
+        BITDEC_ASSERT(cfg.idle_prompt_tokens > 0 &&
+                      cfg.idle_output_tokens > 1,
+                      "idle sessions need a prompt and >= 2 output tokens");
+        Request r;
+        r.id = cfg.num_requests + i;
+        r.arrival_s = i * 1e-3;
+        r.prompt_tokens = cfg.idle_prompt_tokens;
+        r.output_tokens = cfg.idle_output_tokens;
+        r.idle_after_tokens = 1;
+        r.idle_wake_s = cfg.idle_wake_s + i * cfg.idle_wake_stagger_s;
+        trace.push_back(r);
+    }
+    if (cfg.num_idle_sessions > 0)
+        std::stable_sort(trace.begin(), trace.end(),
+                         [](const Request& a, const Request& b) {
+                             return a.arrival_s < b.arrival_s;
+                         });
     return trace;
 }
 

@@ -62,6 +62,21 @@ struct TraceConfig
      */
     int long_prompt_every = 0;
     int long_prompt_tokens = 0; //!< prompt length of each straggler
+
+    /**
+     * Oversubscription knob: appends this many parked idle sessions to
+     * the trace (ids continue after num_requests). Each arrives almost
+     * immediately, prefills idle_prompt_tokens, generates one token,
+     * then parks until its staggered wake time (idle_wake_s + i *
+     * idle_wake_stagger_s) and finishes its remaining idle_output_tokens.
+     * While parked the session's KV pages are pure capacity load — only
+     * a tiered pool can hold many more of them than the hot pool fits.
+     */
+    int num_idle_sessions = 0;
+    int idle_prompt_tokens = 2048; //!< context each idle session holds
+    int idle_output_tokens = 8;    //!< output budget per idle session
+    double idle_wake_s = 30.0;         //!< first wake time
+    double idle_wake_stagger_s = 0.25; //!< wake spacing between sessions
 };
 
 /** Generates a Poisson/lognormal trace; requests come sorted by arrival. */

@@ -1043,5 +1043,170 @@ TEST(Engine, DerivedPoolScalesWithBitWidth)
     EXPECT_LT(bd4_pages, 5 * fp16_pages);
 }
 
+// ------------------------------------------------- tiered offload ----
+
+/** tinyEngineConfig plus one ample host tier (preempt offloads, never
+ *  drops) and the reference attention backend so attn_hash is live. */
+EngineConfig
+tieredTinyConfig(int num_pages)
+{
+    EngineConfig cfg = tinyEngineConfig(num_pages);
+    cfg.backend = "reference";
+    kv::TierSpec host;
+    host.name = "host";
+    host.capacity_gb = 1.0;
+    cfg.tiered.tiers.push_back(host);
+    cfg.tiered.prefetch_pages = 4;
+    return cfg;
+}
+
+TEST(Engine, TieredPreemptOffloadResumePreservesDigests)
+{
+    // Preempt -> offload -> demand-fetch -> resume must read back the
+    // exact bytes the preempted sequence held: both the token stream
+    // (output_hash) and every decode step's attention output (attn_hash)
+    // match a run that never came under pressure.
+    auto pressured = serving::smokeTrace();
+    auto relaxed = serving::smokeTrace();
+    EngineConfig big = tinyEngineConfig(512);
+    big.backend = "reference";
+    Engine small(sim::archA100(), model::llama2_7b(), tieredTinyConfig(28));
+    Engine large(sim::archA100(), model::llama2_7b(), big);
+    const ServingMetrics ms = small.run(pressured);
+    const ServingMetrics ml = large.run(relaxed);
+    ASSERT_GT(ms.preemptions, 0);
+    ASSERT_GT(ms.tier.offloaded_pages, 0); // preemption crossed tiers
+    EXPECT_GT(ms.tier.fetched_pages, 0);
+    EXPECT_GT(ms.cold_resumes, 0);
+    EXPECT_EQ(ms.recompute_resumes, 0); // ample cold tier: nothing lost
+    EXPECT_DOUBLE_EQ(ms.tier_hit_rate, 1.0);
+    EXPECT_GT(ms.fetch_stall_total_s, 0);
+    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
+    for (std::size_t i = 0; i < pressured.size(); i++) {
+        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
+        ASSERT_NE(pressured[i].attn_hash, 0u);
+        EXPECT_EQ(pressured[i].attn_hash, relaxed[i].attn_hash);
+    }
+}
+
+TEST(Engine, TieredPreemptOffloadResumeUnderPriorityPolicy)
+{
+    serving::TraceConfig tc;
+    tc.seed = 23;
+    tc.num_requests = 16;
+    tc.arrival_rate_qps = 60.0;
+    tc.prompt_median = 48;
+    tc.prompt_min = 16;
+    tc.prompt_max = 96;
+    tc.output_median = 12;
+    tc.output_min = 4;
+    tc.output_max = 24;
+    tc.num_priority_levels = 3;
+    auto pressured = serving::generateTrace(tc);
+    auto relaxed = serving::generateTrace(tc);
+    EngineConfig small_cfg = tieredTinyConfig(28);
+    small_cfg.sched.policy = serving::SchedPolicy::Priority;
+    EngineConfig big_cfg = tinyEngineConfig(512);
+    big_cfg.backend = "reference";
+    big_cfg.sched.policy = serving::SchedPolicy::Priority;
+    Engine small(sim::archA100(), model::llama2_7b(), small_cfg);
+    Engine large(sim::archA100(), model::llama2_7b(), big_cfg);
+    const ServingMetrics ms = small.run(pressured);
+    const ServingMetrics ml = large.run(relaxed);
+    ASSERT_GT(ms.preemptions, 0);
+    ASSERT_GT(ms.tier.offloaded_pages, 0);
+    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
+    for (std::size_t i = 0; i < pressured.size(); i++) {
+        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
+        EXPECT_EQ(pressured[i].attn_hash, relaxed[i].attn_hash);
+    }
+}
+
+TEST(Engine, IdleSessionsParkOffloadAndWakeDigestIdentical)
+{
+    // Idle sessions prefill, park, and their pages go cold; wakes fetch
+    // them back. The tiered run and an untiered run (which must recompute
+    // evicted idle sessions from seeds) agree on every token.
+    serving::TraceConfig tc;
+    tc.seed = 5;
+    tc.num_requests = 8;
+    tc.arrival_rate_qps = 50.0;
+    tc.prompt_median = 32;
+    tc.prompt_min = 16;
+    tc.prompt_max = 64;
+    tc.output_median = 8;
+    tc.output_min = 4;
+    tc.output_max = 16;
+    tc.num_idle_sessions = 6;
+    tc.idle_prompt_tokens = 64; // 8 pages each under page_size 8
+    tc.idle_output_tokens = 4;
+    tc.idle_wake_s = 2.0;
+    tc.idle_wake_stagger_s = 0.1;
+    auto tiered_trace = serving::generateTrace(tc);
+    auto plain_trace = serving::generateTrace(tc);
+    ASSERT_EQ(tiered_trace.size(), 14u);
+    // 6 idle sessions hold 48 pages; the pool fits ~half of that on top
+    // of the live traffic, so parked sessions must be evicted.
+    EngineConfig plain_cfg = tinyEngineConfig(40);
+    plain_cfg.backend = "reference";
+    Engine tiered(sim::archA100(), model::llama2_7b(), tieredTinyConfig(40));
+    Engine plain(sim::archA100(), model::llama2_7b(), plain_cfg);
+    const ServingMetrics mt = tiered.run(tiered_trace);
+    const ServingMetrics mp = plain.run(plain_trace);
+    for (const auto& r : tiered_trace)
+        EXPECT_EQ(r.state, RequestState::Finished);
+    ASSERT_GT(mt.tier.offloaded_pages, 0);
+    EXPECT_GT(mt.cold_resumes, 0);
+    // The untiered engine had to recompute what the tiered one fetched.
+    EXPECT_GT(mp.recompute_resumes, 0);
+    EXPECT_EQ(mp.tier.offloaded_pages, 0);
+    EXPECT_EQ(mt.outputs_digest, mp.outputs_digest);
+    for (std::size_t i = 0; i < tiered_trace.size(); i++) {
+        EXPECT_EQ(tiered_trace[i].output_hash, plain_trace[i].output_hash);
+        EXPECT_EQ(tiered_trace[i].attn_hash, plain_trace[i].attn_hash);
+    }
+    // Tier occupancy reporting is wired through the metrics.
+    ASSERT_EQ(mt.tiers.size(), 1u);
+    EXPECT_EQ(mt.tiers[0].name, "host");
+    EXPECT_GT(mt.tiers[0].peak_used_pages, 0);
+    EXPECT_GT(mt.tiers[0].capacity_pages, 0);
+    EXPECT_GE(mt.peak_resident_seqs, mp.peak_resident_seqs);
+}
+
+TEST(Trace, IdleSessionsExtendWithoutDisturbingTheMainTrace)
+{
+    serving::TraceConfig base;
+    base.seed = 9;
+    base.num_requests = 6;
+    serving::TraceConfig with_idle = base;
+    with_idle.num_idle_sessions = 3;
+    with_idle.idle_prompt_tokens = 128;
+    with_idle.idle_output_tokens = 4;
+    with_idle.idle_wake_s = 10.0;
+    const auto plain = serving::generateTrace(base);
+    const auto extended = serving::generateTrace(with_idle);
+    ASSERT_EQ(extended.size(), plain.size() + 3);
+    // The main requests are byte-identical: idle sessions draw no RNG.
+    std::vector<const Request*> main_reqs;
+    int idle_count = 0;
+    for (const auto& r : extended) {
+        if (r.idle_after_tokens > 0) {
+            idle_count++;
+            EXPECT_EQ(r.prompt_tokens, 128);
+            EXPECT_EQ(r.idle_after_tokens, 1);
+            EXPECT_GE(r.idle_wake_s, 10.0);
+        } else {
+            main_reqs.push_back(&r);
+        }
+    }
+    ASSERT_EQ(idle_count, 3);
+    for (std::size_t i = 0; i < plain.size(); i++) {
+        EXPECT_EQ(main_reqs[i]->id, plain[i].id);
+        EXPECT_EQ(main_reqs[i]->prompt_tokens, plain[i].prompt_tokens);
+        EXPECT_EQ(main_reqs[i]->output_tokens, plain[i].output_tokens);
+        EXPECT_DOUBLE_EQ(main_reqs[i]->arrival_s, plain[i].arrival_s);
+    }
+}
+
 } // namespace
 } // namespace bitdec

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Tests for the tiered KV-cache pool: residency bitmaps, host/disk
+ * offload round-trips, shared-page pinning, prefetch lookahead and
+ * tier-capacity accounting (spills, LRU drops) under churn.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kvcache/paged_cache.h"
+#include "kvcache/residency.h"
+#include "kvcache/tiered_cache.h"
+
+namespace bitdec {
+namespace {
+
+using kv::PagedHeadCache;
+using kv::ResidencyBitmap;
+using kv::TieredConfig;
+using kv::TieredPagePool;
+using kv::TierSpec;
+
+std::vector<Half>
+tokenVec(int d, float value)
+{
+    return std::vector<Half>(static_cast<std::size_t>(d), Half(value));
+}
+
+// ------------------------------------------------- residency bitmap ----
+
+TEST(ResidencyBitmap, SetClearTestAndCompleteness)
+{
+    ResidencyBitmap bm;
+    EXPECT_EQ(bm.sizeInBits(), 0);
+    EXPECT_TRUE(bm.isComplete()); // vacuously: nothing tracked
+
+    bm.resizeBits(10);
+    EXPECT_FALSE(bm.isComplete()); // fresh pages start non-resident
+    for (int i = 0; i < 10; i++)
+        EXPECT_FALSE(bm.testBit(i));
+
+    for (int i = 0; i < 10; i++)
+        bm.setBit(i);
+    EXPECT_TRUE(bm.isComplete());
+    EXPECT_EQ(bm.countSet(), 10);
+
+    bm.clearBit(7);
+    EXPECT_FALSE(bm.isComplete());
+    EXPECT_FALSE(bm.testBit(7));
+    EXPECT_TRUE(bm.testBit(6));
+    EXPECT_EQ(bm.countSet(), 9);
+}
+
+TEST(ResidencyBitmap, RangeQueriesAreInclusive)
+{
+    ResidencyBitmap bm;
+    bm.resizeBits(16);
+    for (int i = 4; i <= 11; i++)
+        bm.setBit(i);
+    EXPECT_FALSE(bm.isAnythingEmptyInRng(4, 11));
+    EXPECT_TRUE(bm.isAnythingEmptyInRng(3, 11)); // bit 3 clear
+    EXPECT_TRUE(bm.isAnythingEmptyInRng(4, 12)); // bit 12 clear
+    EXPECT_EQ(bm.countSetInRng(4, 11), 8);
+    EXPECT_EQ(bm.countSetInRng(0, 15), 8);
+    EXPECT_EQ(bm.countSetInRng(5, 5), 1);
+    EXPECT_EQ(bm.countSetInRng(0, 3), 0);
+}
+
+TEST(ResidencyBitmap, RegrowClearsStaleTailBits)
+{
+    // Shrinking leaves the old bits in the byte buffer; growing back must
+    // not resurrect them as "resident".
+    ResidencyBitmap bm;
+    bm.resizeBits(8);
+    for (int i = 0; i < 8; i++)
+        bm.setBit(i);
+    bm.resizeBits(3);
+    EXPECT_EQ(bm.sizeInBits(), 3);
+    EXPECT_TRUE(bm.isComplete());
+    bm.resizeBits(8);
+    EXPECT_EQ(bm.countSet(), 3);
+    for (int i = 3; i < 8; i++)
+        EXPECT_FALSE(bm.testBit(i)) << "stale bit " << i << " resurrected";
+    EXPECT_FALSE(bm.isComplete());
+}
+
+TEST(ResidencyBitmap, TouchBookkeeping)
+{
+    ResidencyBitmap bm;
+    EXPECT_EQ(bm.accessCount(), 0);
+    EXPECT_EQ(bm.accessTime(), 0.0);
+    bm.touch(1.5);
+    bm.touch(4.25);
+    EXPECT_EQ(bm.accessCount(), 2);
+    EXPECT_EQ(bm.accessTime(), 4.25);
+}
+
+// ---------------------------------------------------- tiered pool ------
+
+/** One tier of exactly @p pages pages (1 GB "pages" make the math exact). */
+TieredConfig
+tinyTiers(int t0_pages, int t1_pages = 0, int prefetch = 0)
+{
+    TieredConfig cfg;
+    cfg.bytes_per_page = 1e9; // 1 page == 1 GB: capacity_gb counts pages
+    cfg.prefetch_pages = prefetch;
+    TierSpec host;
+    host.name = "host";
+    host.capacity_gb = t0_pages;
+    cfg.tiers.push_back(host);
+    if (t1_pages > 0) {
+        TierSpec disk;
+        disk.name = "disk";
+        disk.capacity_gb = t1_pages;
+        disk.bandwidth_gbps = 4.0;
+        disk.latency_s = 100e-6;
+        cfg.tiers.push_back(disk);
+    }
+    return cfg;
+}
+
+/** Appends @p tokens tokens with per-position key values to @p seq. */
+void
+fillSeq(PagedHeadCache& cache, int seq, int tokens, float base = 0.0f)
+{
+    for (int t = 0; t < tokens; t++)
+        ASSERT_TRUE(cache.append(seq, tokenVec(cache.headDim(), base + t),
+                                 tokenVec(cache.headDim(), base + t + 0.5f)));
+}
+
+TEST(TieredPool, DisabledWithNoTiers)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, TieredConfig{});
+    EXPECT_FALSE(pool.enabled());
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 4);
+    EXPECT_EQ(pool.offloadSequence(seq, 0.0, {}), 0);
+    EXPECT_FALSE(pool.tracked(seq));
+    EXPECT_TRUE(pool.fullyResident(seq));
+}
+
+TEST(TieredPool, OffloadRestoreRoundTripPreservesPayload)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(8));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 8); // 4 pages, every token distinct
+    const auto before = cache.gatherKeys(seq);
+    ASSERT_EQ(cache.freePages(), 4);
+
+    double writeback = 0;
+    EXPECT_EQ(pool.offloadSequence(seq, 1.0, {}, &writeback), 4);
+    EXPECT_GT(writeback, 0);
+    EXPECT_EQ(cache.freePages(), 8); // hot pages all returned
+    EXPECT_EQ(cache.missingPages(seq), 4);
+    EXPECT_EQ(cache.length(seq), 8); // the sequence itself stays live
+    EXPECT_EQ(pool.coldPages(seq), 4);
+    EXPECT_EQ(pool.tierUsedPages(0), 4);
+    EXPECT_FALSE(pool.fullyResident(seq));
+    EXPECT_TRUE(pool.isAnythingEmptyInRng(seq, 0, 3));
+    EXPECT_EQ(pool.stats().offloaded_pages, 4);
+
+    double latency = 0;
+    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 2.0, &latency), 4);
+    EXPECT_GT(latency, 0);
+    EXPECT_EQ(cache.missingPages(seq), 0);
+    EXPECT_EQ(pool.tierUsedPages(0), 0);
+    EXPECT_TRUE(pool.fullyResident(seq));
+    EXPECT_FALSE(pool.isAnythingEmptyInRng(seq, 0, 3));
+    EXPECT_EQ(pool.stats().fetched_pages, 4);
+
+    // Byte-identical payload after the round trip.
+    const auto after = cache.gatherKeys(seq);
+    ASSERT_EQ(after.dim(0), before.dim(0));
+    for (std::size_t t = 0; t < after.dim(0); t++)
+        for (std::size_t d = 0; d < after.dim(1); d++)
+            EXPECT_EQ(after.at(t, d).bits(), before.at(t, d).bits());
+}
+
+TEST(TieredPool, SharedPrefixPagesPinnedHot)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(8));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 6); // 3 pages
+    ASSERT_TRUE(cache.publishPrefix(0xF00Dull, seq, 4)); // pins pages 0, 1
+
+    // Only the exclusively-owned page 2 may cross tiers.
+    EXPECT_EQ(pool.offloadSequence(seq, 1.0, {}), 1);
+    EXPECT_EQ(cache.missingPages(seq), 1);
+    EXPECT_TRUE(cache.pageResident(seq, 0));
+    EXPECT_TRUE(cache.pageResident(seq, 1));
+    EXPECT_FALSE(cache.pageResident(seq, 2));
+    // The prefix is still mappable by a new consumer.
+    const int consumer = cache.addSequenceWithPrefix(0xF00Dull);
+    EXPECT_EQ(cache.length(consumer), 4);
+}
+
+TEST(TieredPool, CowPartialPagePinnedUntilDivergence)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(8));
+    const int pub = cache.addSequence();
+    fillSeq(cache, pub, 3); // pages [full, partial]
+    ASSERT_TRUE(cache.publishPrefix(0xBEEFull, pub, 3));
+    const int consumer = cache.addSequenceWithPrefix(0xBEEFull);
+
+    // Every consumer page is shared (prefix index + publisher): nothing
+    // to offload, the partial page in particular is never torn.
+    EXPECT_EQ(pool.offloadSequence(consumer, 1.0, {}), 0);
+    EXPECT_EQ(cache.missingPages(consumer), 0);
+
+    // Divergence copies the partial page; the private copy may offload,
+    // the still-shared full page stays hot.
+    ASSERT_TRUE(cache.append(consumer, tokenVec(4, 9.0f), tokenVec(4, 9.5f)));
+    ASSERT_GT(cache.cowCopies(), 0);
+    EXPECT_EQ(pool.offloadSequence(consumer, 2.0, {}), 1);
+    EXPECT_TRUE(cache.pageResident(consumer, 0));
+    EXPECT_FALSE(cache.pageResident(consumer, 1));
+    // The publisher's view of the shared partial page is untouched.
+    EXPECT_EQ(cache.tokenKey(pub, 2)[0].toFloat(), 2.0f);
+}
+
+TEST(TieredPool, PrefetchRestoresNearestColdPagesOnce)
+{
+    PagedHeadCache cache(4, 2, 16);
+    TieredPagePool pool(cache, tinyTiers(8, 0, /*prefetch=*/2));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 16); // 8 pages
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}), 8);
+
+    // Demand = page 0 (tokens 0..1); lookahead fetches the 2 nearest
+    // cold pages beyond the range.
+    EXPECT_EQ(pool.fetchRange(seq, 0, 1, 2.0), 3);
+    EXPECT_TRUE(cache.pageResident(seq, 0));
+    EXPECT_TRUE(cache.pageResident(seq, 1));
+    EXPECT_TRUE(cache.pageResident(seq, 2));
+    EXPECT_FALSE(cache.pageResident(seq, 3));
+    EXPECT_EQ(pool.stats().fetched_pages, 1);
+    EXPECT_EQ(pool.stats().prefetched_pages, 2);
+
+    // First real read of the prefetched pages counts a hit — once.
+    pool.touchRange(seq, 0, 5, 3.0); // pages 0..2
+    EXPECT_EQ(pool.stats().prefetch_hits, 2);
+    pool.touchRange(seq, 0, 5, 4.0);
+    EXPECT_EQ(pool.stats().prefetch_hits, 2);
+
+    // The next demand fetch prefetches past the already-hot window.
+    EXPECT_EQ(pool.fetchRange(seq, 6, 7, 5.0), 3); // page 3 + pages 4, 5...
+    EXPECT_TRUE(cache.pageResident(seq, 3));
+}
+
+TEST(TieredPool, PrefetchLooksBehindAResumedAppendPoint)
+{
+    // A resumed prefill demands only the partial page it appends into;
+    // the cold pages BEHIND it must still be prefetched.
+    PagedHeadCache cache(4, 2, 16);
+    TieredPagePool pool(cache, tinyTiers(8, 0, /*prefetch=*/2));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 12); // 6 pages
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}), 6);
+
+    // Demand the last page only: lookahead has nothing ahead, so it
+    // walks backwards from the range.
+    EXPECT_EQ(pool.fetchRange(seq, 10, 11, 2.0), 3);
+    EXPECT_TRUE(cache.pageResident(seq, 5));
+    EXPECT_TRUE(cache.pageResident(seq, 4));
+    EXPECT_TRUE(cache.pageResident(seq, 3));
+    EXPECT_FALSE(cache.pageResident(seq, 2));
+}
+
+TEST(TieredPool, FetchStopsOnHotOomAndResumesAfterFree)
+{
+    PagedHeadCache cache(4, 2, 4);
+    TieredPagePool pool(cache, tinyTiers(8));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 8); // whole pool
+    const auto before = cache.gatherKeys(seq);
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}), 4);
+
+    // A hog takes 3 of the 4 freed pages: only one restore fits.
+    const int hog = cache.addSequence();
+    fillSeq(cache, hog, 6, 100.0f);
+    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 2.0), 1);
+    EXPECT_EQ(cache.missingPages(seq), 3);
+
+    cache.removeSequence(hog);
+    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 3.0), 3);
+    EXPECT_EQ(cache.missingPages(seq), 0);
+    const auto after = cache.gatherKeys(seq);
+    for (std::size_t t = 0; t < after.dim(0); t++)
+        EXPECT_EQ(after.at(t, 0).bits(), before.at(t, 0).bits());
+}
+
+TEST(TieredPool, SpillsHostToDiskWhenFastTierFills)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(2, 2));
+    EXPECT_EQ(pool.numTiers(), 2);
+    EXPECT_EQ(pool.tierCapacityPages(0), 2);
+    EXPECT_EQ(pool.tierCapacityPages(1), 2);
+
+    const int a = cache.addSequence();
+    fillSeq(cache, a, 4); // 2 pages
+    const int b = cache.addSequence();
+    fillSeq(cache, b, 4, 10.0f);
+
+    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}), 2);
+    EXPECT_EQ(pool.tierUsedPages(0), 2); // host full
+    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}), 2);
+    // The colder sequence's pages spilled down; the hotter landed on host.
+    EXPECT_GT(pool.stats().spilled_pages, 0);
+    EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1), 4);
+    EXPECT_LE(pool.tierUsedPages(0), pool.tierCapacityPages(0));
+    EXPECT_LE(pool.tierUsedPages(1), pool.tierCapacityPages(1));
+    EXPECT_EQ(pool.stats().lru_drops, 0); // capacity sufficed: no drops
+
+    // Both survive the shuffle byte-identically.
+    EXPECT_EQ(pool.fetchRange(b, 0, 3, 3.0), 2);
+    EXPECT_EQ(cache.tokenKey(b, 0)[0].toFloat(), 10.0f);
+    EXPECT_EQ(pool.fetchRange(a, 0, 3, 4.0), 2);
+    EXPECT_EQ(cache.tokenKey(a, 3)[0].toFloat(), 3.0f);
+    EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1), 0);
+}
+
+TEST(TieredPool, LruDropWhenEveryTierIsFull)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(2, 2));
+    const int a = cache.addSequence();
+    fillSeq(cache, a, 4);
+    const int b = cache.addSequence();
+    fillSeq(cache, b, 4, 10.0f);
+    const int c = cache.addSequence();
+    fillSeq(cache, c, 4, 20.0f);
+
+    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}), 2);
+    // Both tiers full: offloading c must drop the LRU victim (a).
+    ASSERT_EQ(pool.offloadSequence(c, 3.0, {}), 2);
+    EXPECT_TRUE(pool.contentLost(a));
+    EXPECT_FALSE(pool.contentLost(b));
+    EXPECT_FALSE(pool.contentLost(c));
+    EXPECT_EQ(pool.stats().lru_drops, 1);
+    EXPECT_EQ(pool.stats().dropped_pages, 2);
+    EXPECT_EQ(pool.coldPages(a), 0);
+    // A lost sequence cannot fetch: the engine recomputes it instead.
+    EXPECT_EQ(pool.fetchRange(a, 0, 3, 4.0), 0);
+    // Accounting stays exact: survivors' pages fill the tiers.
+    EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1),
+              pool.coldPages(b) + pool.coldPages(c));
+    EXPECT_LE(pool.tierUsedPages(0), pool.tierCapacityPages(0));
+    EXPECT_LE(pool.tierUsedPages(1), pool.tierCapacityPages(1));
+}
+
+TEST(TieredPool, ProtectedSequencesAreNeverLruDropped)
+{
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(2, 2));
+    const int a = cache.addSequence();
+    fillSeq(cache, a, 4);
+    const int b = cache.addSequence();
+    fillSeq(cache, b, 4, 10.0f);
+    const int c = cache.addSequence();
+    fillSeq(cache, c, 4, 20.0f);
+
+    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}), 2);
+    // a (the LRU) is protected, so the drop falls on b.
+    ASSERT_EQ(pool.offloadSequence(c, 3.0, {a}), 2);
+    EXPECT_FALSE(pool.contentLost(a));
+    EXPECT_TRUE(pool.contentLost(b));
+}
+
+TEST(TieredPool, CapacityAccountingUnderChurn)
+{
+    PagedHeadCache cache(4, 2, 16);
+    TieredPagePool pool(cache, tinyTiers(3, 3));
+    // Park/resume generations against tiny tiers: used counters must
+    // track cold pages exactly and never exceed capacity.
+    for (int gen = 0; gen < 4; gen++) {
+        std::vector<int> seqs;
+        for (int i = 0; i < 3; i++) {
+            const int s = cache.addSequence();
+            fillSeq(cache, s, 4, static_cast<float>(10 * gen + i));
+            seqs.push_back(s);
+        }
+        double now = gen * 10.0;
+        int cold = 0;
+        for (int s : seqs)
+            cold += pool.offloadSequence(s, now += 1.0, seqs);
+        EXPECT_EQ(cold, 6);
+        EXPECT_LE(pool.tierUsedPages(0), pool.tierCapacityPages(0));
+        EXPECT_LE(pool.tierUsedPages(1), pool.tierCapacityPages(1));
+        int held = 0;
+        for (int s : seqs)
+            held += pool.coldPages(s);
+        EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1), held);
+        for (int s : seqs) {
+            EXPECT_FALSE(pool.contentLost(s)); // capacity fit: no drops
+            EXPECT_EQ(pool.fetchRange(s, 0, 3, now += 1.0), 2);
+            pool.forgetSequence(s);
+            cache.removeSequence(s);
+        }
+        // forget/finish returns every cold page to the tiers.
+        EXPECT_EQ(pool.tierUsedPages(0), 0);
+        EXPECT_EQ(pool.tierUsedPages(1), 0);
+        EXPECT_EQ(cache.freePages(), cache.totalPages());
+    }
+    EXPECT_EQ(pool.stats().offloaded_pages, 24);
+}
+
+} // namespace
+} // namespace bitdec
