@@ -98,6 +98,50 @@ resolveBackendArg(const BackendArgs& a, const std::string& fallback)
         a.backend.empty() ? fallback : a.backend);
 }
 
+/** Parsed fault-injection flags (chaos runs from the command line). */
+struct FaultArgs
+{
+    std::string spec;        //!< --faults=<spec>; empty = no override
+    std::uint64_t seed = 0;  //!< --fault-seed=<n>
+    bool seed_given = false; //!< --fault-seed was present
+};
+
+/**
+ * Scans argv for `--faults=<spec>` and `--fault-seed=<n>`. The spec
+ * grammar is fault::FaultSchedule::parse (comma-separated key=value:
+ * fetch/spike/corrupt/alloc rates, mult, from/until window); callers
+ * hand it to parse() so a bad spec dies with the same message
+ * everywhere. Unrelated arguments are left for the caller.
+ */
+inline FaultArgs
+parseFaultArgs(int argc, char** argv)
+{
+    FaultArgs a;
+    for (int i = 1; i < argc; i++) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--faults=", 9) == 0) {
+            a.spec = arg + 9;
+            if (a.spec.empty())
+                BITDEC_FATAL("--faults= needs a spec, e.g. "
+                             "--faults=fetch=0.02,corrupt=0.01");
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            BITDEC_FATAL("--faults takes its value with '=', e.g. "
+                         "--faults=fetch=0.02,corrupt=0.01");
+        } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+            char* end = nullptr;
+            a.seed = std::strtoull(arg + 13, &end, 0);
+            if (end == arg + 13 || *end != '\0')
+                BITDEC_FATAL("--fault-seed= needs an integer, got '",
+                             arg + 13, "'");
+            a.seed_given = true;
+        } else if (std::strcmp(arg, "--fault-seed") == 0) {
+            BITDEC_FATAL("--fault-seed takes its value with '=', e.g. "
+                         "--fault-seed=1337");
+        }
+    }
+    return a;
+}
+
 } // namespace bitdec::bench
 
 #endif // BITDEC_BENCH_BENCH_BACKEND_UTIL_H

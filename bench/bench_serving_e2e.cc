@@ -32,19 +32,33 @@
  *     req/s, fetch-stall p99, tier hit rate and peak concurrently
  *     resident sequences, and writes BENCH_tiered_kv.json.
  *
- * `--smoke` runs views 3, 5 and 6 as CI gates: shared-prefix reuse must
- * sustain >= 1.5x the baseline req/s with matching digests, chunked
+ *  7. Fault tolerance: the tiered scenario under a deterministic chaos
+ *     storm (fetch failures, latency spikes, page corruption, transient
+ *     allocation failures — every kind at >= 1%) across several fault
+ *     seeds. Checksums, retry-with-backoff and recompute escalation must
+ *     keep every run digest byte-identical to the fault-free run at
+ *     >= 0.8x its throughput; writes BENCH_fault_tolerance.json.
+ *     `--faults=<spec>` overrides the storm, `--fault-seed=<n>` sweeps
+ *     one extra seed.
+ *
+ * `--smoke` runs views 3, 5, 6 and 7 as CI gates: shared-prefix reuse
+ * must sustain >= 1.5x the baseline req/s with matching digests, chunked
  * prefill must cut decode-stall p99 >= 3x vs monolithic at equal
- * throughput (within 10%) with a byte-identical run digest, and the
- * tiered pool must hold >= 3x the peak resident sequences of the
- * untiered baseline at the same hot-pool size, digests identical.
+ * throughput (within 10%) with a byte-identical run digest, the tiered
+ * pool must hold >= 3x the peak resident sequences of the untiered
+ * baseline at the same hot-pool size (digests identical), and the chaos
+ * storm must pass the fault-tolerance gate above.
  */
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_backend_util.h"
 #include "bench_util.h"
+#include "fault/fault.h"
 #include "gpusim/arch.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
@@ -358,12 +372,15 @@ tieredTrace()
 constexpr int kTieredHotPages = 2048;
 
 ServingMetrics
-runTiered(bool tiered)
+runTiered(bool tiered, const fault::FaultSchedule& faults = {},
+          std::uint64_t fault_seed = 0xB17DEC)
 {
     auto trace = generateTrace(tieredTrace());
     SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
     EngineConfig cfg = engineConfig(bd4);
     cfg.num_pages = kTieredHotPages;
+    cfg.faults = faults;
+    cfg.fault_seed = fault_seed;
     if (tiered) {
         kv::TierSpec host;
         host.name = "host";
@@ -498,6 +515,143 @@ tieredKvSection(double min_capacity_ratio, bool smoke)
     return pass;
 }
 
+// --------------------------------------------------- fault tolerance --
+
+/** Default chaos storm for the fault-tolerance gate: every fault kind
+ *  at >= 1%, layered over the whole run (--faults= overrides it). */
+// 20% of corruptions are multi-bit: most rot repairs in place via the
+// page ECC, the rest still exercises the drop-and-recompute escalation.
+constexpr const char* kDefaultStorm =
+    "fetch=0.02,corrupt=0.01,spike=0.02,alloc=0.01,mult=50,multibit=0.2";
+
+/**
+ * Runs the tiered oversubscription scenario fault-free, then under the
+ * chaos storm across several fault seeds, and checks the gate: every
+ * chaos run must finish all requests with a run digest byte-identical
+ * to the fault-free run, at >= @p min_tput_ratio of its throughput.
+ * Writes BENCH_fault_tolerance.json either way.
+ * @return true when the gate passes.
+ */
+bool
+faultToleranceSection(double min_tput_ratio, bool smoke,
+                      const bench::FaultArgs& fa)
+{
+    bench::section("Fault tolerance: chaos storm on the tiered scenario "
+                   "(checksums, retry+backoff, recompute escalation)");
+    const std::string spec = fa.spec.empty() ? kDefaultStorm : fa.spec;
+    const fault::FaultSchedule storm = fault::FaultSchedule::parse(spec);
+    std::printf("storm: %s\n\n", storm.summary().c_str());
+
+    const ServingMetrics clean = runTiered(true);
+    std::vector<std::uint64_t> seeds = {1337, 4242, 9001};
+    if (fa.seed_given)
+        seeds.push_back(fa.seed);
+
+    bench::head("run", {"req/s", "tput-x", "faults", "retries", "repair",
+                        "cksum", "recomp", "digest"});
+    bench::row("fault-free",
+               {clean.sustained_qps, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0});
+
+    struct SeedResult
+    {
+        std::uint64_t seed;
+        ServingMetrics m;
+        double tput_ratio;
+        bool digest_match;
+    };
+    std::vector<SeedResult> results;
+    bool all_match = true, all_finished = true, any_fired = false;
+    double min_ratio = 1.0;
+    for (const std::uint64_t seed : seeds) {
+        const ServingMetrics m = runTiered(true, storm, seed);
+        const double ratio = clean.sustained_qps > 0
+                                 ? m.sustained_qps / clean.sustained_qps
+                                 : 0;
+        const bool match = m.outputs_digest == clean.outputs_digest;
+        char label[32];
+        std::snprintf(label, sizeof(label), "seed %llu",
+                      static_cast<unsigned long long>(seed));
+        bench::row(label,
+                   {m.sustained_qps, ratio,
+                    static_cast<double>(m.faults_injected.total()),
+                    static_cast<double>(m.fetch_retries),
+                    static_cast<double>(m.tier.repaired_pages),
+                    static_cast<double>(m.tier.checksum_failures),
+                    static_cast<double>(m.recompute_recoveries),
+                    match ? 1.0 : 0.0});
+        all_match &= match;
+        all_finished &= m.num_requests == clean.num_requests;
+        any_fired |= m.faults_injected.total() > 0;
+        min_ratio = std::min(min_ratio, ratio);
+        results.push_back({seed, m, ratio, match});
+    }
+
+    std::printf("\n%zu chaos seeds: digests %s the fault-free run, worst "
+                "throughput %.2fx\n",
+                seeds.size(), all_match ? "all match" : "DIFFER from",
+                min_ratio);
+
+    FILE* f = std::fopen("BENCH_fault_tolerance.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n  \"bench\": \"fault_tolerance\",\n");
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f, "  \"storm\": \"%s\",\n", spec.c_str());
+        std::fprintf(f,
+                     "  \"fault_free\": {\"req_per_s\": %.4f, "
+                     "\"requests\": %d},\n",
+                     clean.sustained_qps, clean.num_requests);
+        std::fprintf(f, "  \"seeds\": [\n");
+        for (std::size_t i = 0; i < results.size(); i++) {
+            const SeedResult& r = results[i];
+            std::fprintf(
+                f,
+                "    {\"seed\": %llu, \"req_per_s\": %.4f, "
+                "\"tput_ratio\": %.4f, \"digest_match\": %s,\n"
+                "     \"faults_injected\": %ld, \"fetch_faults\": %ld, "
+                "\"latency_spikes\": %ld, \"corrupted_pages\": %ld, "
+                "\"alloc_failures\": %ld,\n"
+                "     \"repaired_pages\": %ld, \"hedged_fetches\": %ld, "
+                "\"checksum_failures\": %ld, "
+                "\"transfer_failures\": %ld, \"fetch_retries\": %d, "
+                "\"recompute_recoveries\": %d,\n"
+                "     \"shed_requests\": %d, \"deadline_cancels\": %d}%s\n",
+                static_cast<unsigned long long>(r.seed),
+                r.m.sustained_qps, r.tput_ratio,
+                r.digest_match ? "true" : "false",
+                r.m.faults_injected.total(),
+                r.m.faults_injected.fetch_failures,
+                r.m.faults_injected.latency_spikes,
+                r.m.faults_injected.corrupted_pages,
+                r.m.faults_injected.alloc_failures,
+                r.m.tier.repaired_pages, r.m.tier.hedged_fetches,
+                r.m.tier.checksum_failures,
+                r.m.tier.transfer_failures,
+                r.m.fetch_retries, r.m.recompute_recoveries,
+                r.m.shed_requests, r.m.deadline_cancels,
+                i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f,
+                     "  \"min_tput_ratio\": %.4f, \"digests_match\": %s, "
+                     "\"all_finished\": %s\n}\n",
+                     min_ratio, all_match ? "true" : "false",
+                     all_finished ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote BENCH_fault_tolerance.json\n");
+    } else {
+        std::fprintf(stderr, "cannot write BENCH_fault_tolerance.json\n");
+    }
+
+    const bool pass = all_match && all_finished && any_fired &&
+                      min_ratio >= min_tput_ratio;
+    if (!pass)
+        std::printf("FAIL: expected matching digests, every request "
+                    "finished, faults fired and >= %.2fx throughput "
+                    "under the storm\n",
+                    min_tput_ratio);
+    return pass;
+}
+
 } // namespace
 
 int
@@ -510,6 +664,7 @@ main(int argc, char** argv)
     const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
     if (bench::maybeListBackends(ba))
         return 0;
+    const bench::FaultArgs fa = bench::parseFaultArgs(argc, argv);
     if (!ba.backend.empty()) {
         // Resolve up front: an unknown or paged-incapable name dies here
         // with the registry listing, before any multi-minute sweep runs.
@@ -522,12 +677,13 @@ main(int argc, char** argv)
     if (smoke) {
         // CI gates: prefix reuse + chunked prefill + tiered KV cache,
         // hard pass/fail.
-        bench::banner("Serving E2E smoke: prefix-reuse, chunked-prefill "
-                      "and tiered-KV gates");
+        bench::banner("Serving E2E smoke: prefix-reuse, chunked-prefill, "
+                      "tiered-KV and fault-tolerance gates");
         const bool prefix_ok = sharedPrefixSection(1.5);
         const bool chunk_ok = chunkedPrefillSection(3.0);
         const bool tiered_ok = tieredKvSection(3.0, true);
-        return prefix_ok && chunk_ok && tiered_ok ? 0 : 1;
+        const bool fault_ok = faultToleranceSection(0.8, true, fa);
+        return prefix_ok && chunk_ok && tiered_ok && fault_ok ? 0 : 1;
     }
 
     bench::banner("Serving E2E: continuous batching, 32K context "
@@ -600,5 +756,6 @@ main(int argc, char** argv)
     policySection();
     const bool chunk_ok = chunkedPrefillSection(3.0);
     const bool tiered_ok = tieredKvSection(3.0, false);
-    return prefix_ok && chunk_ok && tiered_ok ? 0 : 1;
+    const bool fault_ok = faultToleranceSection(0.8, false, fa);
+    return prefix_ok && chunk_ok && tiered_ok && fault_ok ? 0 : 1;
 }

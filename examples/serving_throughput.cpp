@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench_backend_util.h"
+#include "fault/fault.h"
 #include "gpusim/arch.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
@@ -52,6 +53,8 @@ main(int argc, char** argv)
     // --hot-pool-pages=N sizes the tiered demo's hot pool (default 2048);
     // --tier=host | host,disk | none picks the cold tiers layered under
     // it (default host,disk; none = recompute baseline only).
+    // --faults=<spec> overrides the chaos demo's storm (see
+    // fault::FaultSchedule::parse); --fault-seed=<n> its decision seed.
     int hot_pool_pages = 2048;
     std::string tier_arg = "host,disk";
     for (int i = 1; i < argc; i++) {
@@ -70,6 +73,7 @@ main(int argc, char** argv)
         return 1;
     }
     const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
+    const bench::FaultArgs fa = bench::parseFaultArgs(argc, argv);
     if (bench::maybeListBackends(ba))
         return 0;
     const backend::AttentionBackend& demo_backend =
@@ -249,33 +253,40 @@ main(int argc, char** argv)
     ttc.idle_output_tokens = 8;
     ttc.idle_wake_s = 30.0;
     ttc.idle_wake_stagger_s = 1.0;
-    for (int pass = 0; pass < 2; pass++) {
-        const bool tiered = pass == 1;
-        if (tiered && tier_arg == "none")
-            break;
+    const auto tieredDemoConfig = [&] {
         EngineConfig cfg;
         cfg.page_size = 64;
         cfg.cache_head_dim = 4;
         cfg.num_pages = hot_pool_pages;
         cfg.sched.max_batch = 32;
         cfg.sched.prefill_chunk_tokens = 2048;
-        if (tiered) {
-            kv::TierSpec host;
-            host.name = "host";
-            host.capacity_gb = 8.0;
-            cfg.tiered.tiers.push_back(host);
-            if (tier_arg == "host,disk") {
-                kv::TierSpec disk;
-                disk.name = "disk";
-                disk.capacity_gb = 64.0;
-                disk.bandwidth_gbps = 4.0;
-                disk.latency_s = 100e-6;
-                cfg.tiered.tiers.push_back(disk);
-            }
+        kv::TierSpec host;
+        host.name = "host";
+        host.capacity_gb = 8.0;
+        cfg.tiered.tiers.push_back(host);
+        if (tier_arg == "host,disk") {
+            kv::TierSpec disk;
+            disk.name = "disk";
+            disk.capacity_gb = 64.0;
+            disk.bandwidth_gbps = 4.0;
+            disk.latency_s = 100e-6;
+            cfg.tiered.tiers.push_back(disk);
         }
+        return cfg;
+    };
+    std::uint64_t tiered_digest = 0;
+    for (int pass = 0; pass < 2; pass++) {
+        const bool tiered = pass == 1;
+        if (tiered && tier_arg == "none")
+            break;
+        EngineConfig cfg = tieredDemoConfig();
+        if (!tiered)
+            cfg.tiered.tiers.clear();
         auto trace = generateTrace(ttc);
         Engine eng(a100, model::llama31_8b(), cfg);
         const ServingMetrics r = eng.run(trace);
+        if (tiered)
+            tiered_digest = r.outputs_digest;
         std::printf("  %-22s req/s %.2f, peak resident seqs %d, "
                     "digest %016llx\n",
                     tiered ? "tiered:" : "untiered (recompute):",
@@ -294,6 +305,39 @@ main(int argc, char** argv)
                             t.peak_used_pages, t.capacity_pages);
             std::printf("\n");
         }
+    }
+
+    // Chaos demo: the same tiered scenario under a deterministic fault
+    // storm (--faults / --fault-seed override the defaults). Cold
+    // fetches fail and spike, parked pages rot, hot allocations hiccup —
+    // and the checksum+ECC, hedged-read, retry-with-backoff and
+    // page-rebuild defenses recover every one of them: the output digest
+    // must equal the fault-free tiered run's bit for bit.
+    if (tier_arg != "none") {
+        const std::string storm_spec =
+            fa.spec.empty()
+                ? "fetch=0.02,corrupt=0.01,spike=0.02,alloc=0.01,mult=50,"
+                  "multibit=0.2"
+                : fa.spec;
+        const fault::FaultSchedule storm =
+            fault::FaultSchedule::parse(storm_spec);
+        EngineConfig cfg = tieredDemoConfig();
+        cfg.faults = storm;
+        if (fa.seed_given)
+            cfg.fault_seed = fa.seed;
+        std::printf("\nChaos demo (tiered scenario under a fault storm, "
+                    "seed %llu):\n  storm: %s\n",
+                    static_cast<unsigned long long>(cfg.fault_seed),
+                    storm.summary().c_str());
+        auto trace = generateTrace(ttc);
+        Engine eng(a100, model::llama31_8b(), cfg);
+        const ServingMetrics r = eng.run(trace);
+        std::printf("%s\n", r.report().c_str());
+        std::printf("  digest %s the fault-free tiered run\n",
+                    r.outputs_digest == tiered_digest ? "MATCHES"
+                                                      : "DIFFERS from");
+        if (r.outputs_digest != tiered_digest)
+            return 1;
     }
     return 0;
 }

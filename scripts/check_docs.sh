@@ -7,6 +7,8 @@
 #  2. Every src/*/ module directory must be mentioned in
 #     docs/ARCHITECTURE.md — adding a subsystem without documenting it
 #     fails CI.
+#  3. docs/ROBUSTNESS.md must exist and cover the fault module — the
+#     chaos/recovery contract is load-bearing for the serving stack.
 #
 # Run from the repo root: scripts/check_docs.sh
 set -u
@@ -54,6 +56,15 @@ else
             fail=1
         fi
     done
+fi
+
+robust_doc="docs/ROBUSTNESS.md"
+if [ ! -e "$robust_doc" ]; then
+    echo "ERROR: $robust_doc is missing"
+    fail=1
+elif ! grep -q "src/fault/" "$robust_doc"; then
+    echo "ERROR: $robust_doc does not cover src/fault/"
+    fail=1
 fi
 
 if [ "$fail" -ne 0 ]; then

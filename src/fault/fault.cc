@@ -1,0 +1,225 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bitdec::fault {
+
+namespace {
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char*
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::FetchFailure:
+        return "fetch-failure";
+      case FaultKind::LatencySpike:
+        return "latency-spike";
+      case FaultKind::PageCorruption:
+        return "page-corruption";
+      case FaultKind::HotAllocFailure:
+        return "hot-alloc-failure";
+    }
+    return "unknown";
+}
+
+FaultSchedule&
+FaultSchedule::add(FaultKind kind, double rate, double start_s, double end_s)
+{
+    BITDEC_ASSERT(rate >= 0 && rate <= 1, "fault rate must be in [0, 1], got ",
+                  rate);
+    BITDEC_ASSERT(start_s <= end_s, "fault window ends before it starts");
+    if (rate > 0)
+        windows_.push_back({kind, rate, start_s, end_s});
+    return *this;
+}
+
+double
+FaultSchedule::rateAt(FaultKind kind, double now) const
+{
+    // Overlapping windows of the same kind act as independent failure
+    // sources: survive all of them or fail.
+    double survive = 1.0;
+    for (const FaultWindow& w : windows_) {
+        if (w.kind == kind && now >= w.start_s && now < w.end_s)
+            survive *= 1.0 - w.rate;
+    }
+    return 1.0 - survive;
+}
+
+std::string
+FaultSchedule::summary() const
+{
+    if (windows_.empty())
+        return "none";
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < windows_.size(); i++) {
+        const FaultWindow& w = windows_[i];
+        if (i > 0)
+            oss << " ";
+        oss << toString(w.kind) << "=" << w.rate;
+        if (w.kind == FaultKind::LatencySpike)
+            oss << "x" << spike_mult;
+        if (w.kind == FaultKind::PageCorruption && multibit > 0)
+            oss << "(multibit=" << multibit << ")";
+        if (w.start_s > 0 || std::isfinite(w.end_s)) {
+            oss << "@[" << w.start_s << ",";
+            if (std::isfinite(w.end_s))
+                oss << w.end_s;
+            else
+                oss << "inf";
+            oss << ")";
+        }
+    }
+    return oss.str();
+}
+
+FaultSchedule
+FaultSchedule::parse(const std::string& spec)
+{
+    FaultSchedule s;
+    if (spec.empty())
+        return s;
+    double fetch = 0, spike = 0, corrupt = 0, alloc = 0;
+    double from = 0;
+    double until = std::numeric_limits<double>::infinity();
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size())
+            BITDEC_FATAL("bad fault spec item '", item,
+                         "' (expected key=value, e.g. fetch=0.02)");
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        double num = 0;
+        try {
+            std::size_t used = 0;
+            num = std::stod(val, &used);
+            if (used != val.size())
+                throw std::invalid_argument(val);
+        } catch (const std::exception&) {
+            BITDEC_FATAL("bad fault spec value '", val, "' for key '", key,
+                         "'");
+        }
+        if (key == "fetch")
+            fetch = num;
+        else if (key == "spike")
+            spike = num;
+        else if (key == "corrupt")
+            corrupt = num;
+        else if (key == "alloc")
+            alloc = num;
+        else if (key == "mult")
+            s.spike_mult = num;
+        else if (key == "multibit")
+            s.multibit = num;
+        else if (key == "from")
+            from = num;
+        else if (key == "until")
+            until = num;
+        else
+            BITDEC_FATAL("unknown fault spec key '", key,
+                         "' (use fetch/spike/corrupt/alloc/mult/multibit/"
+                         "from/until)");
+    }
+    for (const double r : {fetch, spike, corrupt, alloc})
+        if (r < 0 || r > 1)
+            BITDEC_FATAL("fault rates must be in [0, 1], got ", r, " in '",
+                         spec, "'");
+    if (s.spike_mult < 1)
+        BITDEC_FATAL("spike mult must be >= 1, got ", s.spike_mult);
+    if (s.multibit < 0 || s.multibit > 1)
+        BITDEC_FATAL("multibit fraction must be in [0, 1], got ", s.multibit);
+    s.add(FaultKind::FetchFailure, fetch, from, until);
+    s.add(FaultKind::LatencySpike, spike, from, until);
+    s.add(FaultKind::PageCorruption, corrupt, from, until);
+    s.add(FaultKind::HotAllocFailure, alloc, from, until);
+    return s;
+}
+
+std::uint64_t
+mixCoords(std::uint64_t seed, FaultKind kind, std::uint64_t a, std::uint64_t b,
+          std::uint64_t c)
+{
+    // Chained splitmix64 finalizers: every coordinate fully avalanches
+    // before the next folds in, so (a=1, b=0) and (a=0, b=1) land far
+    // apart and per-page decisions are independent.
+    std::uint64_t h = mix64(seed ^ 0xFA017EC7ull);
+    h = mix64(h ^ static_cast<std::uint64_t>(kind) * 0x9E3779B97F4A7C15ull);
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    return h;
+}
+
+FaultInjector::FaultInjector(const FaultSchedule& schedule, std::uint64_t seed)
+    : schedule_(schedule), seed_(seed)
+{
+}
+
+bool
+FaultInjector::peek(FaultKind kind, double now, std::uint64_t a,
+                    std::uint64_t b, std::uint64_t c) const
+{
+    const double rate = schedule_.rateAt(kind, now);
+    if (rate <= 0)
+        return false;
+    Rng rng(mixCoords(seed_, kind, a, b, c));
+    return rng.uniform() < rate;
+}
+
+bool
+FaultInjector::roll(FaultKind kind, double now, std::uint64_t a,
+                    std::uint64_t b, std::uint64_t c)
+{
+    if (!peek(kind, now, a, b, c))
+        return false;
+    switch (kind) {
+      case FaultKind::FetchFailure:
+        stats_.fetch_failures++;
+        break;
+      case FaultKind::LatencySpike:
+        stats_.latency_spikes++;
+        break;
+      case FaultKind::PageCorruption:
+        stats_.corrupted_pages++;
+        break;
+      case FaultKind::HotAllocFailure:
+        stats_.alloc_failures++;
+        break;
+    }
+    return true;
+}
+
+double
+backoffDelay(const RetryPolicy& policy, int attempt)
+{
+    BITDEC_ASSERT(attempt >= 1, "backoff attempts are 1-based");
+    double delay = policy.backoff_base_s;
+    for (int i = 1; i < attempt; i++) {
+        delay *= policy.backoff_mult;
+        if (delay >= policy.backoff_max_s)
+            break;
+    }
+    return std::min(delay, policy.backoff_max_s);
+}
+
+} // namespace bitdec::fault

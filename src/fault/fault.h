@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the tiered serving stack.
+ *
+ * A production system serving long-lived sessions from cold storage will
+ * see transfer failures, tail-latency spikes, bit corruption in packed
+ * pages and transient allocation failures — and a low-bit cache makes
+ * corruption catastrophic (one flipped byte poisons 4-8 dequantized
+ * values). This module injects exactly those faults, replayably:
+ *
+ *  - A FaultSchedule declares *when* and *how often* each FaultKind may
+ *    fire: rate windows over the engine's virtual clock. An empty
+ *    schedule injects nothing and costs one branch per hook.
+ *  - A FaultInjector decides *whether* a specific operation fails. Every
+ *    decision is a pure hash of (seed, kind, coordinates): the same seed
+ *    and the same operation coordinates give the same answer regardless
+ *    of call order, so a chaos run is replayable bit-for-bit and two
+ *    engines with the same seed see the same storm.
+ *
+ * The defenses the injector exercises live next to the code under test:
+ * per-page FNV-1a checksums and single-bit ECC repair in TieredPagePool,
+ * retry-with-backoff and
+ * recompute escalation in the engine (see RetryPolicy / backoffDelay),
+ * deadline cancellation and load shedding in the scheduler. The chaos
+ * contract — enforced by tests/test_fault.cc and the
+ * BENCH_fault_tolerance.json smoke gate — is that every injected fault
+ * is detected and recovered with byte-identical output digests.
+ */
+#ifndef BITDEC_FAULT_FAULT_H
+#define BITDEC_FAULT_FAULT_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bitdec::fault {
+
+/** Failure classes the injector can fire. */
+enum class FaultKind
+{
+    FetchFailure,    //!< a cold->hot page transfer fails outright
+    LatencySpike,    //!< a transfer takes spike_mult x its modeled cost
+    PageCorruption,  //!< a bit flips in an offloaded packed page
+    HotAllocFailure, //!< a transient hot-pool allocation failure
+};
+
+/** Number of FaultKind values (hash-domain separation). */
+constexpr int kNumFaultKinds = 4;
+
+/** Returns a printable fault-kind name. */
+const char* toString(FaultKind kind);
+
+/** One injection window: @p kind fires at @p rate in [start_s, end_s). */
+struct FaultWindow
+{
+    FaultKind kind = FaultKind::FetchFailure;
+    double rate = 0;    //!< per-operation probability in [0, 1]
+    double start_s = 0; //!< window start (virtual clock, inclusive)
+    double end_s = std::numeric_limits<double>::infinity(); //!< exclusive
+};
+
+/**
+ * Declarative fault plan: a set of rate windows plus the spike severity.
+ * Windows of the same kind overlap as independent failure sources
+ * (combined rate 1 - prod(1 - r_i)), so layered storms compose.
+ */
+class FaultSchedule
+{
+  public:
+    /** Adds one window; returns *this for chaining. */
+    FaultSchedule&
+    add(FaultKind kind, double rate, double start_s = 0,
+        double end_s = std::numeric_limits<double>::infinity());
+
+    /** Combined rate of @p kind at virtual time @p now. */
+    double rateAt(FaultKind kind, double now) const;
+
+    /** True when no window is declared (injection disabled). */
+    bool empty() const { return windows_.empty(); }
+
+    /** Declared windows, in add order. */
+    const std::vector<FaultWindow>& windows() const { return windows_; }
+
+    /** One-line human summary ("fetch=0.02 spike=0.02x100 ..."). */
+    std::string summary() const;
+
+    /**
+     * Parses a CLI spec: comma-separated key=value pairs with keys
+     * `fetch`, `spike`, `corrupt`, `alloc` (per-operation rates in
+     * [0, 1]), `mult` (spike severity multiplier), `multibit` (fraction
+     * of corruptions that are uncorrectable multi-bit rot) and `from` /
+     * `until` (one window applied to every rate in the spec). Example:
+     * "fetch=0.02,corrupt=0.01,spike=0.02,mult=100,from=0". Unknown
+     * keys and out-of-range values are fatal (never silently ignored).
+     */
+    static FaultSchedule parse(const std::string& spec);
+
+    /** Latency multiplier a LatencySpike applies to a transfer. */
+    double spike_mult = 100.0;
+
+    /**
+     * Fraction of corrupted pages that take a second bit flip at a
+     * different bit position — uncorrectable by the single-bit ECC, so
+     * they exercise the drop-and-recompute path (spec key `multibit`).
+     */
+    double multibit = 0.0;
+
+  private:
+    std::vector<FaultWindow> windows_;
+};
+
+/** Cumulative injection counters, by kind. */
+struct FaultStats
+{
+    long fetch_failures = 0;  //!< FetchFailure faults fired
+    long latency_spikes = 0;  //!< LatencySpike faults fired
+    long corrupted_pages = 0; //!< PageCorruption faults fired
+    long alloc_failures = 0;  //!< HotAllocFailure faults fired
+
+    /** All faults fired, any kind. */
+    long total() const
+    {
+        return fetch_failures + latency_spikes + corrupted_pages +
+               alloc_failures;
+    }
+};
+
+/**
+ * Pure hash-coordinate mix for fault decisions: folds the seed, the
+ * fault kind and up to three operation coordinates (sequence id, page
+ * index, attempt counter, ...) into one 64-bit Rng seed. Exposed so
+ * callers needing deterministic *payload* mutations (which bit to flip)
+ * can derive them from the same coordinate space.
+ */
+std::uint64_t mixCoords(std::uint64_t seed, FaultKind kind, std::uint64_t a,
+                        std::uint64_t b = 0, std::uint64_t c = 0);
+
+/**
+ * Decides fault injection for individual operations.
+ *
+ * roll() is stateless apart from the stats counters: the decision for a
+ * given (kind, now, coordinates) tuple never depends on previous calls.
+ * Callers must therefore put *everything that distinguishes two
+ * attempts of the same operation* into the coordinates — e.g. a global
+ * attempt counter — or a failed operation would fail forever.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultSchedule& schedule, std::uint64_t seed);
+
+    /**
+     * True when the operation identified by (@p a, @p b, @p c) suffers
+     * a @p kind fault at virtual time @p now. Counts fired faults.
+     */
+    bool roll(FaultKind kind, double now, std::uint64_t a,
+              std::uint64_t b = 0, std::uint64_t c = 0);
+
+    /**
+     * roll() without counting: the same deterministic decision, for
+     * secondary questions derived from an already-fired fault (e.g.
+     * whether a hedged re-read suffers the same spike) that are not
+     * themselves new injected faults.
+     */
+    bool peek(FaultKind kind, double now, std::uint64_t a,
+              std::uint64_t b = 0, std::uint64_t c = 0) const;
+
+    /** Latency multiplier a fired LatencySpike applies. */
+    double spikeMultiplier() const { return schedule_.spike_mult; }
+
+    /** Fraction of corruptions that are multi-bit (uncorrectable). */
+    double multibitFraction() const { return schedule_.multibit; }
+
+    /** The injector's decision seed (chaos-run identity). */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Cumulative injection counters. */
+    const FaultStats& stats() const { return stats_; }
+
+  private:
+    FaultSchedule schedule_;
+    std::uint64_t seed_;
+    FaultStats stats_;
+};
+
+/** Engine recovery policy for failed cold-page fetches. */
+struct RetryPolicy
+{
+    /**
+     * Transient-fault retries before a fetch escalates to recompute
+     * (dropToRecompute: digest-identical by seeded content).
+     */
+    int max_fetch_retries = 4;
+    double backoff_base_s = 0.002; //!< delay after the first failure
+    double backoff_mult = 2.0;     //!< delay growth per further failure
+    double backoff_max_s = 0.25;   //!< delay ceiling
+};
+
+/**
+ * Exponential-backoff delay before retry @p attempt (1-based):
+ * base * mult^(attempt-1), capped at backoff_max_s.
+ */
+double backoffDelay(const RetryPolicy& policy, int attempt);
+
+} // namespace bitdec::fault
+
+#endif // BITDEC_FAULT_FAULT_H

@@ -270,7 +270,7 @@ PagedHeadCache::evictPage(int seq, int idx, Half* k_out, Half* v_out)
     s.pages[static_cast<std::size_t>(idx)] = kNoPage;
 }
 
-bool
+CacheStatus
 PagedHeadCache::restorePage(int seq, int idx, const Half* k, const Half* v)
 {
     auto& s = seqs_.at(static_cast<std::size_t>(seq));
@@ -280,8 +280,8 @@ PagedHeadCache::restorePage(int seq, int idx, const Half* k, const Half* v)
     BITDEC_ASSERT(s.pages[static_cast<std::size_t>(idx)] == kNoPage,
                   "restore into mapped page ", idx);
     const auto page = allocator_.allocate();
-    if (!page)
-        return false; // hot pool exhausted: caller frees pages and retries
+    if (!page) // hot pool exhausted: caller frees pages and retries
+        return CacheStatus::HotPoolExhausted;
     const std::size_t n = static_cast<std::size_t>(page_size_) *
                           static_cast<std::size_t>(head_dim_);
     Half* k_dst = k_pool_.data() + static_cast<std::size_t>(*page) * n;
@@ -291,7 +291,7 @@ PagedHeadCache::restorePage(int seq, int idx, const Half* k, const Half* v)
         v_dst[i] = v[i];
     }
     s.pages[static_cast<std::size_t>(idx)] = *page;
-    return true;
+    return CacheStatus::Ok;
 }
 
 bool

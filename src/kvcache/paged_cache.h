@@ -23,6 +23,7 @@
 
 #include "common/half.h"
 #include "common/tensor.h"
+#include "kvcache/status.h"
 
 namespace bitdec::kv {
 
@@ -173,10 +174,10 @@ class PagedHeadCache
     /**
      * Fills the kNoPage hole at logical page @p idx of @p seq: allocates a
      * fresh physical page, copies @p k / @p v payloads back in and maps it.
-     * @return false when the hot pool is exhausted (caller retries after
-     *         freeing pages).
+     * @return Ok, or HotPoolExhausted when no free page is available (the
+     *         caller frees pages and retries).
      */
-    bool restorePage(int seq, int idx, const Half* k, const Half* v);
+    CacheStatus restorePage(int seq, int idx, const Half* k, const Half* v);
 
     /** True when logical page @p idx of @p seq is mapped (not a hole). */
     bool pageResident(int seq, int idx) const;

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status codes for KV-cache offload/fetch operations.
+ *
+ * The tiered path has real failure modes — hot-pool exhaustion, injected
+ * or modeled transfer failures, checksum mismatches, payload dropped
+ * under capacity pressure — and a bare bool collapses them into one bit
+ * the caller cannot act on. Every offload/fetch edge now reports *why*
+ * it stopped, so the engine can pick the right recovery (retry with
+ * backoff, free pages and re-fetch, or recompute from seeds) instead of
+ * guessing.
+ */
+#ifndef BITDEC_KVCACHE_STATUS_H
+#define BITDEC_KVCACHE_STATUS_H
+
+namespace bitdec::kv {
+
+/** Why an offload/fetch operation stopped. */
+enum class CacheStatus
+{
+    Ok,                 //!< completed (possibly a no-op)
+    HotPoolExhausted,   //!< no free hot page; caller frees pages, retries
+    TransientFault,     //!< transfer failed/timed out; retry with backoff
+    CorruptionDetected, //!< checksum mismatch; payload unusable, recompute
+    ContentLost,        //!< cold payload was dropped earlier; recompute
+    NotTracked,         //!< the pool holds no state for the sequence
+    Disabled,           //!< no cold tier configured
+};
+
+/** Returns a printable status name. */
+constexpr const char*
+toString(CacheStatus status)
+{
+    switch (status) {
+      case CacheStatus::Ok:
+        return "ok";
+      case CacheStatus::HotPoolExhausted:
+        return "hot-pool-exhausted";
+      case CacheStatus::TransientFault:
+        return "transient-fault";
+      case CacheStatus::CorruptionDetected:
+        return "corruption-detected";
+      case CacheStatus::ContentLost:
+        return "content-lost";
+      case CacheStatus::NotTracked:
+        return "not-tracked";
+      case CacheStatus::Disabled:
+        return "disabled";
+    }
+    return "unknown";
+}
+
+} // namespace bitdec::kv
+
+#endif // BITDEC_KVCACHE_STATUS_H

@@ -1,9 +1,12 @@
 #include "kvcache/tiered_cache.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace bitdec::kv {
 
@@ -13,12 +16,75 @@ constexpr double kGb = 1e9;
 
 } // namespace
 
+std::uint64_t
+TieredPagePool::pageChecksum(const std::vector<Half>& k,
+                             const std::vector<Half>& v)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const Half& x : k) {
+        h ^= x.bits();
+        h *= 0x100000001B3ull;
+    }
+    for (const Half& x : v) {
+        h ^= x.bits();
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+PageEcc
+TieredPagePool::pageEcc(const std::vector<Half>& k, const std::vector<Half>& v)
+{
+    PageEcc e;
+    std::uint32_t i = 1; // 1-based: a zero index parity means "no half"
+    for (const std::vector<Half>* buf : {&k, &v}) {
+        for (const Half& x : *buf) {
+            const std::uint16_t bits = x.bits();
+            e.column ^= bits;
+            for (int b = 0; b < 16; b++)
+                if (bits & (1u << b))
+                    e.index[static_cast<std::size_t>(b)] ^= i;
+            i++;
+        }
+    }
+    return e;
+}
+
+bool
+TieredPagePool::tryRepairPage(ColdPage& page)
+{
+    const PageEcc cur = pageEcc(page.k, page.v);
+    const std::uint16_t d =
+        static_cast<std::uint16_t>(page.ecc.column ^ cur.column);
+    if (!std::has_single_bit(d))
+        return false; // zero or several flipped bit positions: unlocatable
+    const int b = std::countr_zero(d);
+    const std::uint32_t idx = page.ecc.index[static_cast<std::size_t>(b)] ^
+                              cur.index[static_cast<std::size_t>(b)];
+    const std::size_t total = page.k.size() + page.v.size();
+    if (idx < 1 || idx > total)
+        return false; // inconsistent syndrome: more rot than it can name
+    const std::size_t flat = idx - 1;
+    std::vector<Half>& buf = flat < page.k.size() ? page.k : page.v;
+    Half& x = buf[flat < page.k.size() ? flat : flat - page.k.size()];
+    x = Half::fromBits(static_cast<std::uint16_t>(x.bits() ^ (1u << b)));
+    // The checksum is the final arbiter: a repair that does not re-verify
+    // is discarded like any other corruption.
+    return pageChecksum(page.k, page.v) == page.checksum;
+}
+
 TieredPagePool::TieredPagePool(PagedHeadCache& hot, const TieredConfig& cfg)
     : hot_(hot),
       tiers_(cfg.tiers),
       prefetch_pages_(cfg.prefetch_pages),
-      bytes_per_page_(cfg.bytes_per_page)
+      bytes_per_page_(cfg.bytes_per_page),
+      fetch_timeout_s_(cfg.fetch_timeout_s),
+      hedge_after_mult_(cfg.hedge_after_mult)
 {
+    BITDEC_ASSERT(fetch_timeout_s_ > 0, "fetch timeout must be positive");
+    BITDEC_ASSERT(hedge_after_mult_ >= 1,
+                  "hedge threshold below the modeled cost would hedge "
+                  "every transfer");
     BITDEC_ASSERT(prefetch_pages_ >= 0, "prefetch lookahead must be >= 0");
     BITDEC_ASSERT(tiers_.empty() || bytes_per_page_ > 0,
                   "tiered pool needs bytes_per_page to size its tiers");
@@ -75,15 +141,22 @@ TieredPagePool::dropLruVictim(int seq, const std::vector<int>& protect)
     if (victim < 0)
         return false;
     auto& rec = parked_.at(victim);
-    for (const auto& [idx, page] : rec.cold) {
+    stats_.dropped_pages += static_cast<long>(rec.cold.size());
+    dropColdPayload(rec); // engine recomputes the victim from seeds
+    stats_.lru_drops++;
+    inform("tiered: cold tiers full — LRU-dropped seq ", victim,
+           "'s payload (recompute on resume)");
+    return true;
+}
+
+void
+TieredPagePool::dropColdPayload(Parked& rec)
+{
+    for (const auto& [idx, page] : rec.cold)
         tier_used_pages_[static_cast<std::size_t>(page.tier)]--;
-        stats_.dropped_pages++;
-    }
     rec.cold.clear();
     rec.prefetched_resident.clear();
-    rec.lost = true; // engine recomputes the victim from seeds on resume
-    stats_.lru_drops++;
-    return true;
+    rec.lost = true;
 }
 
 int
@@ -131,20 +204,21 @@ TieredPagePool::makeColdRoom(int seq, const std::vector<int>& protect)
     }
 }
 
-int
+OffloadResult
 TieredPagePool::offloadSequence(int seq, double now,
-                                const std::vector<int>& protect,
-                                double* writeback_s)
+                                const std::vector<int>& protect)
 {
-    if (!enabled())
-        return 0;
+    OffloadResult res;
+    if (!enabled()) {
+        res.status = CacheStatus::Disabled;
+        return res;
+    }
     auto& rec = parked_[seq];
     syncRecord(seq, rec);
     const int pages = static_cast<int>(hot_.pageTable(seq).size());
     const std::size_t payload = static_cast<std::size_t>(hot_.pageSize()) *
                                 static_cast<std::size_t>(hot_.headDim());
     std::vector<int> moved_per_tier(tier_used_pages_.size(), 0);
-    int moved = 0;
     for (int i = 0; i < pages; i++) {
         if (!hot_.pageResident(seq, i))
             continue; // already cold (or lost)
@@ -156,14 +230,57 @@ TieredPagePool::offloadSequence(int seq, double now,
         cold.v.resize(payload);
         hot_.evictPage(seq, i, cold.k.data(), cold.v.data());
         rec.hot_bits.clearBit(i);
-        moved++;
+        // A page leaving the hot pool can no longer satisfy the read its
+        // prefetch anticipated — forget the pending-hit marker, or a
+        // later fetch of the same page would double-count the hit.
+        rec.prefetched_resident.erase(i);
+        res.moved++;
         const int tier = makeColdRoom(seq, protect);
         if (tier < 0) {
             // Nowhere to put the payload: hot page is freed regardless,
             // the sequence recomputes from seeds on resume.
             rec.lost = true;
+            res.dropped++;
             stats_.dropped_pages++;
             continue;
+        }
+        // Integrity stamps, taken over the exact bytes that cross tiers:
+        // the FNV checksum detects rot, the ECC syndrome locates a single
+        // flipped bit for in-place repair. Fault injection mutates the
+        // payload *after* both stamps — the corruption model is "storage
+        // rotted the page", and the resume fetch must catch it.
+        cold.checksum = pageChecksum(cold.k, cold.v);
+        cold.ecc = pageEcc(cold.k, cold.v);
+        if (injector_ != nullptr &&
+            injector_->roll(fault::FaultKind::PageCorruption, now,
+                            static_cast<std::uint64_t>(seq),
+                            static_cast<std::uint64_t>(i))) {
+            Rng flip(fault::mixCoords(injector_->seed() ^ 0xB17F11Bull,
+                                      fault::FaultKind::PageCorruption,
+                                      static_cast<std::uint64_t>(seq),
+                                      static_cast<std::uint64_t>(i)));
+            const auto flipBit = [&](std::uint64_t lane, std::uint32_t b) {
+                std::vector<Half>& buf = lane < payload ? cold.k : cold.v;
+                Half& x = buf[static_cast<std::size_t>(lane % payload)];
+                x = Half::fromBits(
+                    static_cast<std::uint16_t>(x.bits() ^ (1u << b)));
+            };
+            const std::uint64_t lane = flip.uniformInt(2 * payload);
+            const std::uint32_t b1 =
+                static_cast<std::uint32_t>(flip.uniformInt(16));
+            flipBit(lane, b1);
+            if (flip.uniform() < injector_->multibitFraction()) {
+                // Second flip at a guaranteed-different bit position:
+                // the column syndrome then differs in two bits, which
+                // the single-bit decoder refuses — uncorrectable by
+                // construction, exercising the recompute path.
+                const std::uint64_t lane2 = flip.uniformInt(2 * payload);
+                const std::uint32_t b2 =
+                    (b1 + 1 +
+                     static_cast<std::uint32_t>(flip.uniformInt(15))) %
+                    16;
+                flipBit(lane2, b2);
+            }
         }
         cold.tier = tier;
         tier_used_pages_[static_cast<std::size_t>(tier)]++;
@@ -171,29 +288,42 @@ TieredPagePool::offloadSequence(int seq, double now,
         rec.cold[i] = std::move(cold);
         stats_.offloaded_pages++;
     }
-    if (writeback_s) {
-        for (int t = 0; t < numTiers(); t++)
-            *writeback_s +=
-                transferCost(t, moved_per_tier[static_cast<std::size_t>(t)]);
+    for (int t = 0; t < numTiers(); t++)
+        res.writeback_s +=
+            transferCost(t, moved_per_tier[static_cast<std::size_t>(t)]);
+    if (res.dropped > 0) {
+        res.status = CacheStatus::ContentLost;
+        warn("tiered: no cold room for ", res.dropped, " page(s) of seq ",
+             seq, " — payload dropped, sequence recomputes on resume");
     }
     rec.last_access = now;
     rec.hot_bits.touch(now);
-    return moved;
+    return res;
 }
 
-int
-TieredPagePool::fetchRange(int seq, int first_tok, int last_tok, double now,
-                           double* latency_s)
+FetchResult
+TieredPagePool::fetchRange(int seq, int first_tok, int last_tok, double now)
 {
-    if (!enabled() || !tracked(seq))
-        return 0;
+    FetchResult res;
+    if (!enabled()) {
+        res.status = CacheStatus::Disabled;
+        return res;
+    }
+    if (!tracked(seq)) {
+        res.status = CacheStatus::NotTracked;
+        return res;
+    }
     auto& rec = parked_.at(seq);
     syncRecord(seq, rec);
-    if (rec.lost || rec.cold.empty())
-        return 0;
+    if (rec.lost) {
+        res.status = CacheStatus::ContentLost;
+        return res;
+    }
+    if (rec.cold.empty())
+        return res; // fully resident: nothing to move
     const int pages = static_cast<int>(hot_.pageTable(seq).size());
     if (pages == 0)
-        return 0;
+        return res;
     const int ps = hot_.pageSize();
     const int first_page = std::max(0, first_tok / ps);
     const int last_page = std::min(pages - 1, last_tok / ps);
@@ -220,17 +350,111 @@ TieredPagePool::fetchRange(int seq, int first_tok, int last_tok, double now,
             budget--;
         }
     }
+    // Fault-decision coordinate: one counter per fetchRange call, so a
+    // retried fetch re-rolls every per-page fault instead of hitting the
+    // same deterministic failure forever.
+    const std::uint64_t attempt = ++fetch_attempts_;
     std::vector<int> moved_per_tier(tier_used_pages_.size(), 0);
-    int restored = 0;
+    bool saw_corruption = false;
     for (std::size_t w = 0; w < wanted.size(); w++) {
         const int i = wanted[w];
         const auto it = rec.cold.find(i);
-        if (!hot_.restorePage(seq, i, it->second.k.data(),
-                              it->second.v.data()))
-            break; // hot pool exhausted: caller frees pages and retries
+        const int tier = it->second.tier;
+        // A transient per-page fault skips the page but keeps draining
+        // the rest of the batch: one bad page must not abort hundreds of
+        // good transfers, or a long fetch would retry itself to death.
+        if (injector_ != nullptr &&
+            injector_->roll(fault::FaultKind::HotAllocFailure, now, attempt,
+                            static_cast<std::uint64_t>(i))) {
+            // Transient allocator hiccup: distinct from genuine pool
+            // exhaustion — freeing pages won't help, backing off will.
+            stats_.transfer_failures++;
+            inform("tiered: transient hot-pool allocation failure restoring "
+                   "seq ", seq, " page ", i, " (retry with backoff)");
+            res.status = CacheStatus::TransientFault;
+            continue;
+        }
+        if (injector_ != nullptr &&
+            injector_->roll(fault::FaultKind::FetchFailure, now, attempt,
+                            static_cast<std::uint64_t>(i))) {
+            stats_.transfer_failures++;
+            inform("tiered: fetch of seq ", seq, " page ", i, " from ",
+                   tierName(tier), " failed (retry with backoff)");
+            res.status = CacheStatus::TransientFault;
+            continue;
+        }
+        if (injector_ != nullptr &&
+            injector_->roll(fault::FaultKind::LatencySpike, now, attempt,
+                            static_cast<std::uint64_t>(i))) {
+            const double base = transferCost(tier, 1);
+            double spiked = base * injector_->spikeMultiplier();
+            if (std::isfinite(hedge_after_mult_)) {
+                // Hedged read: once the transfer has stalled for
+                // hedge_after_mult x its modeled cost, a duplicate
+                // request goes out and the page completes at whichever
+                // finishes first. The hedge peeks its own spike fate
+                // (not a new injected fault), so storms can defeat it.
+                const bool hedge_spiked = injector_->peek(
+                    fault::FaultKind::LatencySpike, now, attempt,
+                    static_cast<std::uint64_t>(i), /*hedge=*/1);
+                const double hedged =
+                    hedge_after_mult_ * base +
+                    base * (hedge_spiked ? injector_->spikeMultiplier()
+                                         : 1.0);
+                if (hedged < spiked) {
+                    spiked = hedged;
+                    stats_.hedged_fetches++;
+                }
+            }
+            if (spiked > fetch_timeout_s_) {
+                // Abandon rather than absorb a pathological stall: the
+                // backoff delay is bounded, the spike is not.
+                stats_.transfer_failures++;
+                warn("tiered: fetch of seq ", seq, " page ", i, " from ",
+                     tierName(tier), " timed out (", spiked, " s > ",
+                     fetch_timeout_s_, " s)");
+                res.status = CacheStatus::TransientFault;
+                continue;
+            }
+            res.latency_s += spiked - base; // extra over the modeled cost
+        }
+        if (pageChecksum(it->second.k, it->second.v) !=
+            it->second.checksum) {
+            if (tryRepairPage(it->second)) {
+                // Single-bit rot: the syndrome located the flipped bit
+                // and the corrected payload re-verified. Restore as if
+                // nothing happened.
+                stats_.repaired_pages++;
+                inform("tiered: single-bit rot on seq ", seq, " page ", i,
+                       " from ", tierName(tier),
+                       " corrected in place (ECC)");
+            } else {
+                // Multi-bit rot the ECC cannot locate. Only *this* page
+                // is poison — every other page is checksum-verified — so
+                // only this page is dropped, leaving a hole that is
+                // neither hot nor cold. The caller rebuilds exactly that
+                // page from seeds (digest-identical), a chunk-sized
+                // recompute instead of a whole-sequence one.
+                stats_.checksum_failures++;
+                warn("tiered: uncorrectable corruption on seq ", seq,
+                     " page ", i, " from ", tierName(tier),
+                     " — page dropped, caller rebuilds it from seeds");
+                tier_used_pages_[static_cast<std::size_t>(tier)]--;
+                rec.cold.erase(it);
+                saw_corruption = true;
+                continue;
+            }
+        }
+        const CacheStatus rs =
+            hot_.restorePage(seq, i, it->second.k.data(),
+                             it->second.v.data());
+        if (rs != CacheStatus::Ok) {
+            res.status = rs; // hot pool dry: caller frees pages, retries
+            break;
+        }
         rec.hot_bits.setBit(i);
-        tier_used_pages_[static_cast<std::size_t>(it->second.tier)]--;
-        moved_per_tier[static_cast<std::size_t>(it->second.tier)]++;
+        tier_used_pages_[static_cast<std::size_t>(tier)]--;
+        moved_per_tier[static_cast<std::size_t>(tier)]++;
         if (static_cast<int>(w) >= demand) {
             rec.prefetched_resident.insert(i);
             stats_.prefetched_pages++;
@@ -238,16 +462,26 @@ TieredPagePool::fetchRange(int seq, int first_tok, int last_tok, double now,
             stats_.fetched_pages++;
         }
         rec.cold.erase(it);
-        restored++;
+        res.restored++;
     }
-    if (latency_s) {
-        for (int t = 0; t < numTiers(); t++)
-            *latency_s +=
-                transferCost(t, moved_per_tier[static_cast<std::size_t>(t)]);
-    }
+    for (int t = 0; t < numTiers(); t++)
+        res.latency_s +=
+            transferCost(t, moved_per_tier[static_cast<std::size_t>(t)]);
+    // Corruption outranks any transient skip in the same call: the
+    // caller must learn about the holes it has to rebuild, or they
+    // would masquerade as retriable pages and never heal.
+    if (saw_corruption)
+        res.status = CacheStatus::CorruptionDetected;
     rec.last_access = now;
     rec.hot_bits.touch(now);
-    return restored;
+    return res;
+}
+
+bool
+TieredPagePool::coldHas(int seq, int page) const
+{
+    const auto it = parked_.find(seq);
+    return it != parked_.end() && it->second.cold.count(page) > 0;
 }
 
 void

@@ -79,8 +79,10 @@ Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
              cfg.num_pages > 0 ? cfg.num_pages
                                : derivePoolPages(arch, model, cfg)),
       pool_(cache_, resolvedTieredConfig()),
-      sched_(cfg.sched)
+      sched_(cfg.sched),
+      injector_(cfg.faults, cfg.fault_seed)
 {
+    pool_.setFaultInjector(&injector_);
     e2e_.system = cfg_.system;
     e2e_.bits = cfg_.bits;
     e2e_.scenario = attn::Scenario::Serving;
@@ -155,7 +157,33 @@ Engine::dropToRecompute(Request& r)
     r.prefilled = 0;
     r.state = RequestState::Prefill;
     r.fetch_blocked = false;
+    r.fetch_retries = 0;
+    r.fetch_ready_s = -std::numeric_limits<double>::infinity();
     recompute_resumes_++;
+}
+
+void
+Engine::cancelRequest(Request& r, CancelCause cause, double now)
+{
+    sched_.remove(&r);
+    if (r.seq >= 0) {
+        pending_resume_.erase(r.seq);
+        pool_.forgetSequence(r.seq);
+        cache_.removeSequence(r.seq);
+        r.seq = -1;
+    }
+    r.state = RequestState::Canceled;
+    r.cancel_cause = cause;
+    r.finish_s = now;
+    if (cause == CancelCause::Deadline) {
+        deadline_cancels_++;
+        inform("serving: request ", r.id, " canceled — deadline ",
+               r.deadline_s, " s passed at ", now, " s");
+    } else {
+        shed_requests_++;
+        inform("serving: request ", r.id, " shed — queued since ",
+               r.arrival_s, " s, still unadmitted at ", now, " s");
+    }
 }
 
 int
@@ -166,6 +194,7 @@ Engine::ensureResident(Request& r, double now, MetricsCollector& mc)
         return 0;
     if (cache_.missingPages(r.seq) == 0) {
         // Fully resident already (possibly via earlier prefetches).
+        r.fetch_retries = 0;
         if (pending_resume_.erase(r.seq))
             cold_resumes_++;
         return 0;
@@ -176,6 +205,8 @@ Engine::ensureResident(Request& r, double now, MetricsCollector& mc)
         dropToRecompute(r);
         return 0;
     }
+    if (r.fetch_ready_s > now)
+        return 0; // backing off a failed fetch: planTick gates the request
     const int len = cache_.length(r.seq);
     const int ps = cfg_.page_size;
     int first_page = 0;
@@ -191,12 +222,85 @@ Engine::ensureResident(Request& r, double now, MetricsCollector& mc)
     if (last_page < 0 ||
         !pool_.isAnythingEmptyInRng(r.seq, first_page, last_page))
         return 0;
-    double lat = 0;
-    pool_.fetchRange(r.seq, first_page * ps,
-                     std::min(len - 1, last_page * ps + ps - 1), now, &lat);
-    if (lat > 0) {
-        r.fetch_ready_s = std::max(r.fetch_ready_s, now + lat);
-        mc.onFetchStall(lat);
+    const kv::FetchResult fr = pool_.fetchRange(
+        r.seq, first_page * ps, std::min(len - 1, last_page * ps + ps - 1),
+        now);
+    if (fr.latency_s > 0) {
+        r.fetch_ready_s = std::max(r.fetch_ready_s, now + fr.latency_s);
+        mc.onFetchStall(fr.latency_s);
+    }
+    if (fr.status == kv::CacheStatus::ContentLost) {
+        // The whole cold payload was discarded under capacity pressure:
+        // recompute from the request seeds — byte-identical by
+        // construction.
+        dropToRecompute(r);
+        return 0;
+    }
+    // Rebuild rot holes: a page that is neither hot-resident nor cold
+    // lost its payload to uncorrectable corruption. Every surviving page
+    // is checksum-verified good, so only the holes are recomputed — one
+    // chunk-sized re-prefill against the restored prefix, charged on the
+    // virtual clock, instead of dropping the whole sequence. The rebuilt
+    // bytes equal the originals (seed-derived), so digests never move.
+    int rebuilt_tokens = 0;
+    bool rebuild_oom = false;
+    const std::size_t row = static_cast<std::size_t>(cfg_.cache_head_dim);
+    for (int i = first_page; i <= last_page && !rebuild_oom; i++) {
+        if (cache_.pageResident(r.seq, i) || pool_.coldHas(r.seq, i))
+            continue;
+        const int page_tokens = std::min(len - i * ps, ps);
+        std::vector<Half> k(static_cast<std::size_t>(ps) * row);
+        std::vector<Half> v(static_cast<std::size_t>(ps) * row);
+        for (int t = 0; t < page_tokens; t++) {
+            const std::uint64_t seed = contentSeed(r, i * ps + t);
+            for (int d = 0; d < cfg_.cache_head_dim; d++) {
+                k[static_cast<std::size_t>(t) * row +
+                  static_cast<std::size_t>(d)] = seedHalf(seed, d);
+                v[static_cast<std::size_t>(t) * row +
+                  static_cast<std::size_t>(d)] = seedHalf(~seed, d);
+            }
+        }
+        if (cache_.restorePage(r.seq, i, k.data(), v.data()) !=
+            kv::CacheStatus::Ok)
+            rebuild_oom = true; // pool dry: free pages below, retry
+        else
+            rebuilt_tokens += page_tokens;
+    }
+    if (rebuilt_tokens > 0) {
+        recompute_recoveries_++;
+        const double cost =
+            rebuilt_tokens * 2.0 * model_.params / arch_.tcFlops(16);
+        r.fetch_ready_s = std::max(r.fetch_ready_s, now + cost);
+        mc.onFetchStall(cost);
+    }
+    bool cold_left = false;
+    for (int i = first_page; i <= last_page && !cold_left; i++)
+        cold_left = pool_.coldHas(r.seq, i);
+    if (fr.status == kv::CacheStatus::TransientFault ||
+        (fr.status == kv::CacheStatus::CorruptionDetected && cold_left)) {
+        // Failed or timed-out transfer (possibly alongside rebuilt rot
+        // holes — corruption outranks TransientFault in the result):
+        // back off exponentially on the virtual clock, escalate to
+        // recompute once retries run out. The budget counts
+        // *consecutive zero-progress* attempts — a long multi-page
+        // fetch that restores a few pages per attempt is draining the
+        // cold set, not stuck, and must not exhaust it.
+        if (fr.restored > 0 || rebuilt_tokens > 0)
+            r.fetch_retries = 0;
+        r.fetch_retries++;
+        fetch_retries_++;
+        if (r.fetch_retries > cfg_.retry.max_fetch_retries) {
+            warn("serving: request ", r.id, " exhausted ",
+                 cfg_.retry.max_fetch_retries,
+                 " fetch retries — recomputing from seeds");
+            recompute_recoveries_++;
+            dropToRecompute(r);
+            return 0;
+        }
+        r.fetch_ready_s =
+            std::max(r.fetch_ready_s,
+                     now + fault::backoffDelay(cfg_.retry, r.fetch_retries));
+        return 0;
     }
     int missing = 0;
     for (int i = first_page; i <= last_page; i++)
@@ -207,6 +311,7 @@ Engine::ensureResident(Request& r, double now, MetricsCollector& mc)
         r.fetch_blocked = true;
         return missing;
     }
+    r.fetch_retries = 0;
     if (pending_resume_.erase(r.seq))
         cold_resumes_++;
     return 0;
@@ -227,11 +332,11 @@ Engine::evictIdleVictim(double now)
     if (victim == nullptr)
         return false;
     if (pool_.enabled()) {
-        const int moved =
+        const kv::OffloadResult off =
             pool_.offloadSequence(victim->seq, now, runningSeqs());
-        if (moved > 0)
+        if (off.moved > 0)
             pending_resume_.insert(victim->seq);
-        return moved > 0;
+        return off.moved > 0;
     }
     // Untiered fallback: drop the parked pages outright; the session
     // recomputes its context from seeds on wake (digest-identical).
@@ -270,6 +375,9 @@ Engine::run(std::vector<Request>& requests)
                          " output tokens with wake time ", r.idle_wake_s,
                          " — idle sessions need tokens left to generate "
                          "and a non-negative wake time");
+        if (r.deadline_s > 0 && r.deadline_s <= r.arrival_s)
+            BITDEC_FATAL("request ", r.id, " has deadline ", r.deadline_s,
+                         " s at or before its arrival ", r.arrival_s, " s");
     }
 
     std::vector<Request*> order;
@@ -288,11 +396,36 @@ Engine::run(std::vector<Request>& requests)
     int finished = 0;
     double clock = first_arrival;
 
+    // Earliest completion deadline still pending: cancellations are
+    // scheduling events, so idle-clock jumps must not skip past one.
+    const auto nextDeadline = [&requests]() {
+        double t = std::numeric_limits<double>::infinity();
+        for (const Request& r : requests)
+            if (!r.done() && r.deadline_s > 0)
+                t = std::min(t, r.deadline_s);
+        return t;
+    };
+
     while (finished < n) {
         while (next_arrival < order.size() &&
                order[next_arrival]->arrival_s <= clock)
             sched_.enqueue(order[next_arrival++]);
         sched_.wakeIdle(clock);
+        // Graceful degradation first: cancel requests whose deadline has
+        // passed and shed arrivals the admission TTL gave up on, so the
+        // batch and the pool never carry work nobody is waiting for.
+        // (A deadline is validated to lie after its arrival, so every
+        // expired request has already been enqueued.)
+        for (Request* r : order) {
+            if (r->done() || r->deadline_s <= 0 || clock < r->deadline_s)
+                continue;
+            cancelRequest(*r, CancelCause::Deadline, clock);
+            finished++;
+        }
+        for (Request* r : sched_.shedCandidates(clock)) {
+            cancelRequest(*r, CancelCause::Shed, clock);
+            finished++;
+        }
         sched_.admit(cache_, clock);
         // An empty batch with waiters can mean the prefix index pins so
         // many pages the head does not fit: evict unmapped prefixes and
@@ -311,6 +444,8 @@ Engine::run(std::vector<Request>& requests)
             if (next_arrival < order.size())
                 next_t = order[next_arrival]->arrival_s;
             next_t = std::min(next_t, sched_.nextIdleWake());
+            next_t = std::min(next_t, nextDeadline());
+            next_t = std::min(next_t, sched_.nextShedDeadline());
             BITDEC_ASSERT(std::isfinite(next_t),
                           "scheduler stalled with work pending");
             clock = std::max(clock, next_t);
@@ -383,7 +518,8 @@ Engine::run(std::vector<Request>& requests)
                 // the resume fetch pays the read latency.
                 const int seq = victim->seq;
                 sched_.preempt(victim, cache_, /*keep_pages=*/true);
-                if (pool_.offloadSequence(seq, clock, runningSeqs()) > 0)
+                if (pool_.offloadSequence(seq, clock, runningSeqs()).moved >
+                    0)
                     pending_resume_.insert(seq);
             } else {
                 sched_.preempt(victim, cache_);
@@ -401,6 +537,8 @@ Engine::run(std::vector<Request>& requests)
             if (next_arrival < order.size())
                 next_t = std::min(next_t, order[next_arrival]->arrival_s);
             next_t = std::min(next_t, sched_.nextIdleWake());
+            next_t = std::min(next_t, nextDeadline());
+            next_t = std::min(next_t, sched_.nextShedDeadline());
             BITDEC_ASSERT(std::isfinite(next_t),
                           "batch stalled with nothing to wait for");
             clock = std::max(clock, next_t);
@@ -529,7 +667,7 @@ Engine::run(std::vector<Request>& requests)
                 continue;
             sched_.parkIdle(r);
             if (pool_.enabled() &&
-                pool_.offloadSequence(r->seq, clock, runningSeqs()) > 0)
+                pool_.offloadSequence(r->seq, clock, runningSeqs()).moved > 0)
                 pending_resume_.insert(r->seq);
         }
 
@@ -558,6 +696,9 @@ Engine::run(std::vector<Request>& requests)
     }
     mc.setTierConfig(tier_names, tier_caps);
     mc.setTierStats(pool_.stats(), cold_resumes_, recompute_resumes_);
+    mc.setFaultStats(injector_.stats(), fetch_retries_,
+                     recompute_recoveries_, shed_requests_,
+                     deadline_cancels_);
     return mc.finalize(clock - first_arrival, sched_.preemptionCount(),
                        cache_.cowCopies());
 }

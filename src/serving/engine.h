@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "gpusim/arch.h"
 #include "kvcache/paged_cache.h"
 #include "kvcache/tiered_cache.h"
@@ -101,6 +102,23 @@ struct EngineConfig
      * than FP16).
      */
     kv::TieredConfig tiered;
+
+    /**
+     * Fault-injection plan for chaos runs (empty = no injection, the
+     * default). Faults fire on the tiered transfer/offload paths —
+     * fetch failures, latency spikes, page corruption, transient
+     * hot-alloc failures — at the schedule's rates, decided
+     * deterministically from fault_seed, so a chaos run replays
+     * bit-for-bit. The recovery contract: every injected fault is
+     * detected (checksums, status codes) and recovered (retry with
+     * backoff, then recompute from seeds) with the run's outputs_digest
+     * byte-identical to a fault-free run of the same trace.
+     */
+    fault::FaultSchedule faults;
+    std::uint64_t fault_seed = 0xB17DEC; //!< chaos-run identity
+
+    /** Retry/backoff policy for transient cold-fetch failures. */
+    fault::RetryPolicy retry;
 };
 
 /** Continuous-batching serving engine. */
@@ -165,6 +183,14 @@ class Engine
      *  re-prefill (cold payload lost, or untiered idle eviction). */
     void dropToRecompute(Request& r);
 
+    /**
+     * Cleanly cancels @p r (graceful degradation): removes it from the
+     * scheduler, frees its sequence and pages, stamps state CANCELED
+     * with @p cause at time @p now. A canceled request folds nothing
+     * into the run's outputs_digest.
+     */
+    void cancelRequest(Request& r, CancelCause cause, double now);
+
     /** Offloads (tiered) or drops (untiered) the pages of the
      *  least-recently-active parked idle session; false when none. */
     bool evictIdleVictim(double now);
@@ -184,6 +210,13 @@ class Engine
     std::unordered_set<int> pending_resume_;
     int cold_resumes_ = 0;
     int recompute_resumes_ = 0;
+    //! Fault decisions for the tiered transfer paths (armed into pool_;
+    //! an empty schedule decides "no fault" in one branch).
+    fault::FaultInjector injector_;
+    int fetch_retries_ = 0;        //!< transient-fault retries taken
+    int recompute_recoveries_ = 0; //!< fault-driven recompute escalations
+    int shed_requests_ = 0;        //!< admission-TTL cancellations
+    int deadline_cancels_ = 0;     //!< deadline cancellations
     //! Resolved EngineConfig::backend; null when per-step attention is off.
     const backend::AttentionBackend* attn_backend_ = nullptr;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -104,6 +105,18 @@ MetricsCollector::setTierStats(const kv::TieredStats& stats, int cold_resumes,
     recompute_resumes_ = recompute_resumes;
 }
 
+void
+MetricsCollector::setFaultStats(const fault::FaultStats& injected,
+                                int fetch_retries, int recompute_recoveries,
+                                int shed_requests, int deadline_cancels)
+{
+    fault_stats_ = injected;
+    fetch_retries_ = fetch_retries;
+    recompute_recoveries_ = recompute_recoveries;
+    shed_requests_ = shed_requests;
+    deadline_cancels_ = deadline_cancels;
+}
+
 ServingMetrics
 MetricsCollector::finalize(double makespan_s, int preemptions,
                            long cow_copies) const
@@ -189,8 +202,52 @@ MetricsCollector::finalize(double makespan_s, int preemptions,
         m.tiers.push_back(occ);
     }
 
+    m.faults_injected = fault_stats_;
+    m.fetch_retries = fetch_retries_;
+    m.recompute_recoveries = recompute_recoveries_;
+    m.shed_requests = shed_requests_;
+    m.deadline_cancels = deadline_cancels_;
+
     m.outputs_digest = outputs_digest_;
     return m;
+}
+
+std::string
+ServingMetrics::report() const
+{
+    std::ostringstream oss;
+    oss << "serving:   " << num_requests << " finished, makespan "
+        << makespan_s << " s, " << sustained_qps << " req/s, "
+        << sustained_tokens_per_s << " tok/s\n";
+    oss << "latency:   ttft mean " << ttft_mean_s << " s (p95 " << ttft_p95_s
+        << "), tpot " << tpot_mean_s << " s, decode-stall p99 "
+        << decode_stall_p99_s << " s\n";
+    oss << "pool:      util avg " << avg_page_utilization << " / peak "
+        << peak_page_utilization << ", preemptions " << preemptions
+        << ", cow " << cow_copies << "\n";
+    if (!tiers.empty()) {
+        oss << "tiered:    offloaded " << tier.offloaded_pages << ", fetched "
+            << tier.fetched_pages << ", prefetched " << tier.prefetched_pages
+            << " (hits " << tier.prefetch_hits << "), spilled "
+            << tier.spilled_pages << ", dropped " << tier.dropped_pages
+            << ", resumes " << cold_resumes << " cold / "
+            << recompute_resumes << " recompute\n";
+    }
+    oss << "faults:    injected " << faults_injected.total() << " (fetch "
+        << faults_injected.fetch_failures << ", spike "
+        << faults_injected.latency_spikes << ", corrupt "
+        << faults_injected.corrupted_pages << ", alloc "
+        << faults_injected.alloc_failures << ")\n";
+    oss << "recovery:  repaired pages " << tier.repaired_pages
+        << ", hedged fetches " << tier.hedged_fetches
+        << ", checksum failures " << tier.checksum_failures
+        << ", transfer failures " << tier.transfer_failures << ", retries "
+        << fetch_retries << ", recompute recoveries " << recompute_recoveries
+        << "\n";
+    oss << "degraded:  shed " << shed_requests << ", deadline cancels "
+        << deadline_cancels << "\n";
+    oss << "digest:    outputs 0x" << std::hex << outputs_digest << std::dec;
+    return oss.str();
 }
 
 } // namespace bitdec::serving

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "kvcache/tiered_cache.h"
 #include "serving/request.h"
 
@@ -113,11 +114,30 @@ struct ServingMetrics
     /** Per-tier occupancy, fastest first; empty when tiering is off. */
     std::vector<TierOccupancy> tiers;
 
+    // --- fault injection & recovery (all zero when faults are off) ---
+    fault::FaultStats faults_injected; //!< faults fired, by kind
+    int fetch_retries = 0;       //!< transient-fault fetch retries taken
+    /** Fault-driven recompute escalations: corruption detections plus
+     *  retry exhaustions that fell back to dropToRecompute. A subset of
+     *  recompute_resumes (which also counts capacity-pressure drops). */
+    int recompute_recoveries = 0;
+    int shed_requests = 0;   //!< requests canceled by the admission TTL
+    int deadline_cancels = 0; //!< requests canceled past their deadline
+
     /** Per-priority TTFT, ascending by priority; one entry per class. */
     std::vector<PriorityTtft> ttft_by_priority;
 
     /** Commutative fold of every request's output hash (determinism). */
     std::uint64_t outputs_digest = 0;
+
+    /**
+     * Human-readable multi-line summary: throughput, latency, pool and
+     * tier counters, and the fault/recovery block (faults injected by
+     * kind, checksum/transfer failures, retries, recompute recoveries,
+     * shed and deadline cancellations). One call site for operators and
+     * the chaos demos — the bench JSON carries the same fields.
+     */
+    std::string report() const;
 };
 
 /**
@@ -175,6 +195,15 @@ class MetricsCollector
                       int recompute_resumes);
 
     /**
+     * Hands over the run's fault-injection and recovery counters: the
+     * injector's fired-fault stats plus the engine's retry, recovery and
+     * graceful-degradation tallies.
+     */
+    void setFaultStats(const fault::FaultStats& injected, int fetch_retries,
+                       int recompute_recoveries, int shed_requests,
+                       int deadline_cancels);
+
+    /**
      * Produces the summary.
      * @param makespan_s  first arrival to last completion
      * @param preemptions total preemptions the scheduler performed
@@ -209,6 +238,11 @@ class MetricsCollector
     int cold_resumes_ = 0;
     int recompute_resumes_ = 0;
     int peak_resident_seqs_ = 0;
+    fault::FaultStats fault_stats_;
+    int fetch_retries_ = 0;
+    int recompute_recoveries_ = 0;
+    int shed_requests_ = 0;
+    int deadline_cancels_ = 0;
 };
 
 } // namespace bitdec::serving

@@ -18,6 +18,22 @@ toString(RequestState state)
         return "IDLE";
       case RequestState::Finished:
         return "FINISHED";
+      case RequestState::Canceled:
+        return "CANCELED";
+    }
+    return "unknown";
+}
+
+const char*
+toString(CancelCause cause)
+{
+    switch (cause) {
+      case CancelCause::None:
+        return "none";
+      case CancelCause::Deadline:
+        return "deadline";
+      case CancelCause::Shed:
+        return "shed";
     }
     return "unknown";
 }

@@ -29,10 +29,23 @@ enum class RequestState
     Idle,      //!< parked session: keeps its sequence (pages typically
                //!< offloaded to a cold tier) until idle_wake_s
     Finished,  //!< output budget met; sequence freed
+    Canceled,  //!< deadline expired or load-shed; sequence freed, no
+               //!< further engine work (graceful degradation)
 };
 
 /** Returns a printable state name. */
 const char* toString(RequestState state);
+
+/** Why a request was canceled (graceful-degradation bookkeeping). */
+enum class CancelCause
+{
+    None,     //!< not canceled
+    Deadline, //!< Request::deadline_s passed before the output completed
+    Shed,     //!< admission TTL expired under load (never admitted)
+};
+
+/** Returns a printable cancel-cause name. */
+const char* toString(CancelCause cause);
 
 /** One inference request flowing through the engine. */
 struct Request
@@ -64,6 +77,15 @@ struct Request
     int idle_after_tokens = 0;
     double idle_wake_s = -1; //!< wake time of a parked session
 
+    /**
+     * Completion deadline (absolute virtual time). A request not
+     * FINISHED when the clock passes this is cleanly canceled — removed
+     * from the scheduler, pages freed, state CANCELED — at the engine's
+     * next scheduling point. <= 0 (the default) means no deadline.
+     * Canceled requests do not fold into the run's outputs_digest.
+     */
+    double deadline_s = -1;
+
     // --- runtime state, owned by the scheduler/engine ---
     RequestState state = RequestState::Queued;
     int seq = -1;          //!< PagedHeadCache sequence id; -1 when none
@@ -86,6 +108,16 @@ struct Request
      * preemption demand and retries the fetch once pages free up.
      */
     bool fetch_blocked = false;
+    /**
+     * Consecutive transient-fault fetch failures (injected transfer
+     * failure, timeout or alloc fault). Each failure backs the request
+     * off exponentially via fetch_ready_s; the engine resets the counter
+     * on a successful fetch and escalates to recompute when it exceeds
+     * RetryPolicy::max_fetch_retries.
+     */
+    int fetch_retries = 0;
+    //! Why the request was canceled; None while live or finished.
+    CancelCause cancel_cause = CancelCause::None;
 
     double first_token_s = -1; //!< when the first output token appeared
     double last_token_s = -1;  //!< when the most recent output token
@@ -106,7 +138,11 @@ struct Request
     int cachedTokens() const;
 
     /** True once the request needs no further engine work. */
-    bool done() const { return state == RequestState::Finished; }
+    bool done() const
+    {
+        return state == RequestState::Finished ||
+               state == RequestState::Canceled;
+    }
 
     /** End-to-end latency; only valid when done(). */
     double latency() const { return finish_s - arrival_s; }

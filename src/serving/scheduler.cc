@@ -1,6 +1,7 @@
 #include "serving/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -26,6 +27,8 @@ Scheduler::Scheduler(const SchedulerConfig& cfg) : cfg_(cfg)
                   "prefill_chunk_tokens must be >= 0 (0 = monolithic)");
     BITDEC_ASSERT(cfg.reserve_pages >= 0, "reserve_pages must be >= 0");
     BITDEC_ASSERT(cfg.aging_rate >= 0, "aging_rate must be >= 0");
+    BITDEC_ASSERT(cfg.shed_after_s > 0,
+                  "shed_after_s must be positive (inf disables shedding)");
 }
 
 void
@@ -260,6 +263,55 @@ Scheduler::finish(Request* r, kv::PagedHeadCache& cache)
         r->seq = -1;
     }
     r->state = RequestState::Finished;
+}
+
+bool
+Scheduler::remove(Request* r)
+{
+    const auto wit = std::find(waiting_.begin(), waiting_.end(), r);
+    if (wit != waiting_.end()) {
+        waiting_.erase(wit);
+        return true;
+    }
+    const auto rit = std::find(running_.begin(), running_.end(), r);
+    if (rit != running_.end()) {
+        running_.erase(rit);
+        return true;
+    }
+    const auto iit = std::find(idle_.begin(), idle_.end(), r);
+    if (iit != idle_.end()) {
+        idle_.erase(iit);
+        return true;
+    }
+    return false;
+}
+
+std::vector<Request*>
+Scheduler::shedCandidates(double now) const
+{
+    std::vector<Request*> shed;
+    if (!std::isfinite(cfg_.shed_after_s))
+        return shed;
+    for (Request* r : waiting_) {
+        // Only never-admitted arrivals are sheddable: a preempted or
+        // idle-parked request has work in flight worth keeping.
+        if (r->seq < 0 && r->generated == 0 && r->preemptions == 0 &&
+            now - r->arrival_s > cfg_.shed_after_s)
+            shed.push_back(r);
+    }
+    return shed;
+}
+
+double
+Scheduler::nextShedDeadline() const
+{
+    double t = std::numeric_limits<double>::infinity();
+    if (!std::isfinite(cfg_.shed_after_s))
+        return t;
+    for (const Request* r : waiting_)
+        if (r->seq < 0 && r->generated == 0 && r->preemptions == 0)
+            t = std::min(t, r->arrival_s + cfg_.shed_after_s);
+    return t;
 }
 
 void

@@ -95,6 +95,18 @@ struct SchedulerConfig
     /** Map published shared-prefix pages on admission (off = always
      *  cold-prefill; token content is unaffected, only page sharing). */
     bool prefix_reuse = true;
+
+    /**
+     * Admission TTL (seconds of queue wait) for load shedding: a request
+     * still waiting for its *first* admission after this long is shed —
+     * canceled instead of served — so that when fault pressure or
+     * oversubscription keeps the pool starved, the queue degrades by
+     * dropping the tail instead of growing every request's latency
+     * without bound. Requests that were already admitted (preempted or
+     * idle-parked resumes) are never shed: their work is not thrown
+     * away. Infinite (the default) disables shedding.
+     */
+    double shed_after_s = std::numeric_limits<double>::infinity();
 };
 
 /**
@@ -181,6 +193,31 @@ class Scheduler
 
     /** Retires a finished request and frees its sequence. */
     void finish(Request* r, kv::PagedHeadCache& cache);
+
+    /**
+     * Removes @p r from whichever container holds it (waiting queue,
+     * running batch or idle set) without touching its sequence — the
+     * engine's cancellation path frees pages itself. @return true when
+     * the request was found (false: it was not scheduled at all).
+     */
+    bool remove(Request* r);
+
+    /**
+     * Requests eligible for load shedding at time @p now: waiting,
+     * never admitted (no sequence, no progress) and queued longer than
+     * SchedulerConfig::shed_after_s. The engine cancels them; this
+     * method only identifies them (and returns empty when shedding is
+     * disabled).
+     */
+    std::vector<Request*> shedCandidates(double now) const;
+
+    /**
+     * Earliest virtual time at which a currently waiting, never-admitted
+     * request crosses the shed TTL; +inf when shedding is disabled or
+     * nothing qualifies. Engines include this in their idle-clock jumps
+     * so a shed event is processed at its exact time.
+     */
+    double nextShedDeadline() const;
 
     // ------------------------------------------------- idle sessions --
 

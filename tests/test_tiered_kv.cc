@@ -136,7 +136,7 @@ TEST(TieredPool, DisabledWithNoTiers)
     EXPECT_FALSE(pool.enabled());
     const int seq = cache.addSequence();
     fillSeq(cache, seq, 4);
-    EXPECT_EQ(pool.offloadSequence(seq, 0.0, {}), 0);
+    EXPECT_EQ(pool.offloadSequence(seq, 0.0, {}).moved, 0);
     EXPECT_FALSE(pool.tracked(seq));
     EXPECT_TRUE(pool.fullyResident(seq));
 }
@@ -150,9 +150,11 @@ TEST(TieredPool, OffloadRestoreRoundTripPreservesPayload)
     const auto before = cache.gatherKeys(seq);
     ASSERT_EQ(cache.freePages(), 4);
 
-    double writeback = 0;
-    EXPECT_EQ(pool.offloadSequence(seq, 1.0, {}, &writeback), 4);
-    EXPECT_GT(writeback, 0);
+    const kv::OffloadResult off = pool.offloadSequence(seq, 1.0, {});
+    EXPECT_EQ(off.moved, 4);
+    EXPECT_EQ(off.dropped, 0);
+    EXPECT_GT(off.writeback_s, 0);
+    EXPECT_EQ(off.status, kv::CacheStatus::Ok);
     EXPECT_EQ(cache.freePages(), 8); // hot pages all returned
     EXPECT_EQ(cache.missingPages(seq), 4);
     EXPECT_EQ(cache.length(seq), 8); // the sequence itself stays live
@@ -162,9 +164,10 @@ TEST(TieredPool, OffloadRestoreRoundTripPreservesPayload)
     EXPECT_TRUE(pool.isAnythingEmptyInRng(seq, 0, 3));
     EXPECT_EQ(pool.stats().offloaded_pages, 4);
 
-    double latency = 0;
-    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 2.0, &latency), 4);
-    EXPECT_GT(latency, 0);
+    const kv::FetchResult fr = pool.fetchRange(seq, 0, 7, 2.0);
+    EXPECT_EQ(fr.restored, 4);
+    EXPECT_GT(fr.latency_s, 0);
+    EXPECT_EQ(fr.status, kv::CacheStatus::Ok);
     EXPECT_EQ(cache.missingPages(seq), 0);
     EXPECT_EQ(pool.tierUsedPages(0), 0);
     EXPECT_TRUE(pool.fullyResident(seq));
@@ -188,7 +191,7 @@ TEST(TieredPool, SharedPrefixPagesPinnedHot)
     ASSERT_TRUE(cache.publishPrefix(0xF00Dull, seq, 4)); // pins pages 0, 1
 
     // Only the exclusively-owned page 2 may cross tiers.
-    EXPECT_EQ(pool.offloadSequence(seq, 1.0, {}), 1);
+    EXPECT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 1);
     EXPECT_EQ(cache.missingPages(seq), 1);
     EXPECT_TRUE(cache.pageResident(seq, 0));
     EXPECT_TRUE(cache.pageResident(seq, 1));
@@ -209,14 +212,14 @@ TEST(TieredPool, CowPartialPagePinnedUntilDivergence)
 
     // Every consumer page is shared (prefix index + publisher): nothing
     // to offload, the partial page in particular is never torn.
-    EXPECT_EQ(pool.offloadSequence(consumer, 1.0, {}), 0);
+    EXPECT_EQ(pool.offloadSequence(consumer, 1.0, {}).moved, 0);
     EXPECT_EQ(cache.missingPages(consumer), 0);
 
     // Divergence copies the partial page; the private copy may offload,
     // the still-shared full page stays hot.
     ASSERT_TRUE(cache.append(consumer, tokenVec(4, 9.0f), tokenVec(4, 9.5f)));
     ASSERT_GT(cache.cowCopies(), 0);
-    EXPECT_EQ(pool.offloadSequence(consumer, 2.0, {}), 1);
+    EXPECT_EQ(pool.offloadSequence(consumer, 2.0, {}).moved, 1);
     EXPECT_TRUE(cache.pageResident(consumer, 0));
     EXPECT_FALSE(cache.pageResident(consumer, 1));
     // The publisher's view of the shared partial page is untouched.
@@ -229,11 +232,11 @@ TEST(TieredPool, PrefetchRestoresNearestColdPagesOnce)
     TieredPagePool pool(cache, tinyTiers(8, 0, /*prefetch=*/2));
     const int seq = cache.addSequence();
     fillSeq(cache, seq, 16); // 8 pages
-    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}), 8);
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 8);
 
     // Demand = page 0 (tokens 0..1); lookahead fetches the 2 nearest
     // cold pages beyond the range.
-    EXPECT_EQ(pool.fetchRange(seq, 0, 1, 2.0), 3);
+    EXPECT_EQ(pool.fetchRange(seq, 0, 1, 2.0).restored, 3);
     EXPECT_TRUE(cache.pageResident(seq, 0));
     EXPECT_TRUE(cache.pageResident(seq, 1));
     EXPECT_TRUE(cache.pageResident(seq, 2));
@@ -248,7 +251,7 @@ TEST(TieredPool, PrefetchRestoresNearestColdPagesOnce)
     EXPECT_EQ(pool.stats().prefetch_hits, 2);
 
     // The next demand fetch prefetches past the already-hot window.
-    EXPECT_EQ(pool.fetchRange(seq, 6, 7, 5.0), 3); // page 3 + pages 4, 5...
+    EXPECT_EQ(pool.fetchRange(seq, 6, 7, 5.0).restored, 3); // page 3 + pages 4, 5...
     EXPECT_TRUE(cache.pageResident(seq, 3));
 }
 
@@ -260,11 +263,11 @@ TEST(TieredPool, PrefetchLooksBehindAResumedAppendPoint)
     TieredPagePool pool(cache, tinyTiers(8, 0, /*prefetch=*/2));
     const int seq = cache.addSequence();
     fillSeq(cache, seq, 12); // 6 pages
-    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}), 6);
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 6);
 
     // Demand the last page only: lookahead has nothing ahead, so it
     // walks backwards from the range.
-    EXPECT_EQ(pool.fetchRange(seq, 10, 11, 2.0), 3);
+    EXPECT_EQ(pool.fetchRange(seq, 10, 11, 2.0).restored, 3);
     EXPECT_TRUE(cache.pageResident(seq, 5));
     EXPECT_TRUE(cache.pageResident(seq, 4));
     EXPECT_TRUE(cache.pageResident(seq, 3));
@@ -278,16 +281,16 @@ TEST(TieredPool, FetchStopsOnHotOomAndResumesAfterFree)
     const int seq = cache.addSequence();
     fillSeq(cache, seq, 8); // whole pool
     const auto before = cache.gatherKeys(seq);
-    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}), 4);
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 4);
 
     // A hog takes 3 of the 4 freed pages: only one restore fits.
     const int hog = cache.addSequence();
     fillSeq(cache, hog, 6, 100.0f);
-    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 2.0), 1);
+    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 2.0).restored, 1);
     EXPECT_EQ(cache.missingPages(seq), 3);
 
     cache.removeSequence(hog);
-    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 3.0), 3);
+    EXPECT_EQ(pool.fetchRange(seq, 0, 7, 3.0).restored, 3);
     EXPECT_EQ(cache.missingPages(seq), 0);
     const auto after = cache.gatherKeys(seq);
     for (std::size_t t = 0; t < after.dim(0); t++)
@@ -307,9 +310,9 @@ TEST(TieredPool, SpillsHostToDiskWhenFastTierFills)
     const int b = cache.addSequence();
     fillSeq(cache, b, 4, 10.0f);
 
-    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}).moved, 2);
     EXPECT_EQ(pool.tierUsedPages(0), 2); // host full
-    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}).moved, 2);
     // The colder sequence's pages spilled down; the hotter landed on host.
     EXPECT_GT(pool.stats().spilled_pages, 0);
     EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1), 4);
@@ -318,9 +321,9 @@ TEST(TieredPool, SpillsHostToDiskWhenFastTierFills)
     EXPECT_EQ(pool.stats().lru_drops, 0); // capacity sufficed: no drops
 
     // Both survive the shuffle byte-identically.
-    EXPECT_EQ(pool.fetchRange(b, 0, 3, 3.0), 2);
+    EXPECT_EQ(pool.fetchRange(b, 0, 3, 3.0).restored, 2);
     EXPECT_EQ(cache.tokenKey(b, 0)[0].toFloat(), 10.0f);
-    EXPECT_EQ(pool.fetchRange(a, 0, 3, 4.0), 2);
+    EXPECT_EQ(pool.fetchRange(a, 0, 3, 4.0).restored, 2);
     EXPECT_EQ(cache.tokenKey(a, 3)[0].toFloat(), 3.0f);
     EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1), 0);
 }
@@ -336,18 +339,21 @@ TEST(TieredPool, LruDropWhenEveryTierIsFull)
     const int c = cache.addSequence();
     fillSeq(cache, c, 4, 20.0f);
 
-    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}), 2);
-    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}).moved, 2);
+    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}).moved, 2);
     // Both tiers full: offloading c must drop the LRU victim (a).
-    ASSERT_EQ(pool.offloadSequence(c, 3.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(c, 3.0, {}).moved, 2);
     EXPECT_TRUE(pool.contentLost(a));
     EXPECT_FALSE(pool.contentLost(b));
     EXPECT_FALSE(pool.contentLost(c));
     EXPECT_EQ(pool.stats().lru_drops, 1);
     EXPECT_EQ(pool.stats().dropped_pages, 2);
     EXPECT_EQ(pool.coldPages(a), 0);
-    // A lost sequence cannot fetch: the engine recomputes it instead.
-    EXPECT_EQ(pool.fetchRange(a, 0, 3, 4.0), 0);
+    // A lost sequence cannot fetch: the engine recomputes it instead,
+    // told so by the ContentLost status (not a silent zero).
+    const kv::FetchResult lost = pool.fetchRange(a, 0, 3, 4.0);
+    EXPECT_EQ(lost.restored, 0);
+    EXPECT_EQ(lost.status, kv::CacheStatus::ContentLost);
     // Accounting stays exact: survivors' pages fill the tiers.
     EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1),
               pool.coldPages(b) + pool.coldPages(c));
@@ -366,10 +372,10 @@ TEST(TieredPool, ProtectedSequencesAreNeverLruDropped)
     const int c = cache.addSequence();
     fillSeq(cache, c, 4, 20.0f);
 
-    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}), 2);
-    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}), 2);
+    ASSERT_EQ(pool.offloadSequence(a, 1.0, {}).moved, 2);
+    ASSERT_EQ(pool.offloadSequence(b, 2.0, {}).moved, 2);
     // a (the LRU) is protected, so the drop falls on b.
-    ASSERT_EQ(pool.offloadSequence(c, 3.0, {a}), 2);
+    ASSERT_EQ(pool.offloadSequence(c, 3.0, {a}).moved, 2);
     EXPECT_FALSE(pool.contentLost(a));
     EXPECT_TRUE(pool.contentLost(b));
 }
@@ -390,7 +396,7 @@ TEST(TieredPool, CapacityAccountingUnderChurn)
         double now = gen * 10.0;
         int cold = 0;
         for (int s : seqs)
-            cold += pool.offloadSequence(s, now += 1.0, seqs);
+            cold += pool.offloadSequence(s, now += 1.0, seqs).moved;
         EXPECT_EQ(cold, 6);
         EXPECT_LE(pool.tierUsedPages(0), pool.tierCapacityPages(0));
         EXPECT_LE(pool.tierUsedPages(1), pool.tierCapacityPages(1));
@@ -400,7 +406,7 @@ TEST(TieredPool, CapacityAccountingUnderChurn)
         EXPECT_EQ(pool.tierUsedPages(0) + pool.tierUsedPages(1), held);
         for (int s : seqs) {
             EXPECT_FALSE(pool.contentLost(s)); // capacity fit: no drops
-            EXPECT_EQ(pool.fetchRange(s, 0, 3, now += 1.0), 2);
+            EXPECT_EQ(pool.fetchRange(s, 0, 3, now += 1.0).restored, 2);
             pool.forgetSequence(s);
             cache.removeSequence(s);
         }
@@ -410,6 +416,96 @@ TEST(TieredPool, CapacityAccountingUnderChurn)
         EXPECT_EQ(cache.freePages(), cache.totalPages());
     }
     EXPECT_EQ(pool.stats().offloaded_pages, 24);
+}
+
+TEST(TieredPool, FetchAfterSequenceGrewSinceOffload)
+{
+    // The record's residency view is sized at offload time; a sequence
+    // that appended more (hot) pages since must still fetch its cold
+    // prefix cleanly and end fully resident.
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(8));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 8); // 4 pages
+    const auto before = cache.gatherKeys(seq);
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 4);
+
+    // Grow while cold: two more tokens land on a fresh hot page 4.
+    ASSERT_TRUE(cache.append(seq, tokenVec(4, 50.0f), tokenVec(4, 50.5f)));
+    ASSERT_TRUE(cache.append(seq, tokenVec(4, 51.0f), tokenVec(4, 51.5f)));
+    EXPECT_EQ(cache.length(seq), 10);
+    EXPECT_TRUE(cache.pageResident(seq, 4));
+    EXPECT_FALSE(pool.fullyResident(seq));
+
+    // Fetch over the grown range: only the 4 cold pages move.
+    const kv::FetchResult fr = pool.fetchRange(seq, 0, 9, 2.0);
+    EXPECT_EQ(fr.restored, 4);
+    EXPECT_EQ(fr.status, kv::CacheStatus::Ok);
+    EXPECT_TRUE(pool.fullyResident(seq));
+    EXPECT_EQ(pool.tierUsedPages(0), 0);
+    // Old payload byte-identical, the growth untouched.
+    const auto after = cache.gatherKeys(seq);
+    for (std::size_t t = 0; t < before.dim(0); t++)
+        EXPECT_EQ(after.at(t, 0).bits(), before.at(t, 0).bits());
+    EXPECT_EQ(cache.tokenKey(seq, 9)[0].toFloat(), 51.0f);
+}
+
+TEST(TieredPool, OffloadDuringPrefetchWindowForgetsPendingHits)
+{
+    // Offloading a page whose prefetch was never read must retire its
+    // pending-hit marker: the page's next restore is a demand fetch and
+    // a later read of it is NOT a prefetch hit.
+    PagedHeadCache cache(4, 2, 16);
+    TieredPagePool pool(cache, tinyTiers(8, 0, /*prefetch=*/2));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 16); // 8 pages
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 8);
+
+    // Demand page 0; pages 1, 2 ride along as unread prefetches.
+    ASSERT_EQ(pool.fetchRange(seq, 0, 1, 2.0).restored, 3);
+    EXPECT_EQ(pool.stats().prefetched_pages, 2);
+    EXPECT_EQ(pool.stats().prefetch_hits, 0);
+
+    // Offload inside the prefetch window (before any read).
+    ASSERT_EQ(pool.offloadSequence(seq, 3.0, {}).moved, 3);
+
+    // Restore pages 0..2 as *demand* this time (pages 3, 4 prefetch).
+    ASSERT_EQ(pool.fetchRange(seq, 0, 5, 4.0).restored, 5);
+    // Reading 0..2 scores no hit: their prefetch never served a read.
+    pool.touchRange(seq, 0, 5, 5.0);
+    EXPECT_EQ(pool.stats().prefetch_hits, 0);
+    // The live prefetched pages 3, 4 still score exactly once.
+    pool.touchRange(seq, 6, 9, 6.0);
+    EXPECT_EQ(pool.stats().prefetch_hits, 2);
+}
+
+TEST(TieredPool, DoubleOffloadOfColdSequenceIsNoop)
+{
+    // Re-offloading an already-cold sequence (the engine can race an
+    // idle-eviction sweep against a preemption) must move nothing,
+    // charge nothing and corrupt nothing.
+    PagedHeadCache cache(4, 2, 8);
+    TieredPagePool pool(cache, tinyTiers(8));
+    const int seq = cache.addSequence();
+    fillSeq(cache, seq, 8); // 4 pages
+    const auto before = cache.gatherKeys(seq);
+    ASSERT_EQ(pool.offloadSequence(seq, 1.0, {}).moved, 4);
+    ASSERT_EQ(pool.tierUsedPages(0), 4);
+
+    const kv::OffloadResult again = pool.offloadSequence(seq, 2.0, {});
+    EXPECT_EQ(again.moved, 0);
+    EXPECT_EQ(again.dropped, 0);
+    EXPECT_EQ(again.writeback_s, 0);
+    EXPECT_EQ(again.status, kv::CacheStatus::Ok);
+    EXPECT_EQ(pool.tierUsedPages(0), 4); // no double accounting
+    EXPECT_EQ(pool.stats().offloaded_pages, 4);
+    EXPECT_FALSE(pool.contentLost(seq));
+
+    // The round trip still restores byte-identical payload.
+    ASSERT_EQ(pool.fetchRange(seq, 0, 7, 3.0).restored, 4);
+    const auto after = cache.gatherKeys(seq);
+    for (std::size_t t = 0; t < after.dim(0); t++)
+        EXPECT_EQ(after.at(t, 0).bits(), before.at(t, 0).bits());
 }
 
 } // namespace
