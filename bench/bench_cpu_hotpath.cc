@@ -28,8 +28,8 @@
 
 #include "backend/harness.h"
 #include "backend/registry.h"
-#include "bench_backend_util.h"
 #include "bench_util.h"
+#include "serving/options.h"
 #include "core/bitdecoding.h"
 #include "core/packing_kernel.h"
 #include "exec/thread_pool.h"
@@ -154,15 +154,13 @@ main(int argc, char** argv)
 {
     using namespace bitdec;
 
-    bool smoke = false;
-    for (int i = 1; i < argc; i++)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-    const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
-    if (bench::maybeListBackends(ba))
+    const serving::ServingOptions opts =
+        serving::ServingOptions::parse(argc, argv);
+    if (opts.maybeListBackends())
         return 0;
+    const bool smoke = opts.smoke;
     const backend::AttentionBackend& be =
-        bench::resolveBackendArg(ba, "fused-packed");
+        opts.resolveBackend("fused-packed");
 
     bench::banner(std::string("CPU hot path: '") + be.name() +
                   "' backend vs legacy kernel" + (smoke ? " [smoke]" : ""));

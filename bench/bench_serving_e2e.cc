@@ -41,13 +41,25 @@
  *     `--faults=<spec>` overrides the storm, `--fault-seed=<n>` sweeps
  *     one extra seed.
  *
- * `--smoke` runs views 3, 5, 6 and 7 as CI gates: shared-prefix reuse
+ *  8. Sharded cluster: 4 engine replicas behind the sticky prefix-aware
+ *     router vs one engine absorbing the same 4x offered load (32
+ *     requests at 0.8 req/s, eight 8K-prefix families). The cluster must
+ *     sustain >= 2x the single engine's req/s with a byte-identical run
+ *     digest (placement never changes token content); reports per-shard
+ *     request counts and prefix hit rates and writes BENCH_cluster.json.
+ *
+ * Every run drives the engine exclusively through the narrow
+ * ServingClient seam (submit/drain), never the Engine directly, so the
+ * same code path covers one replica and a Cluster.
+ *
+ * `--smoke` runs views 3, 5, 6, 7 and 8 as CI gates: shared-prefix reuse
  * must sustain >= 1.5x the baseline req/s with matching digests, chunked
  * prefill must cut decode-stall p99 >= 3x vs monolithic at equal
  * throughput (within 10%) with a byte-identical run digest, the tiered
  * pool must hold >= 3x the peak resident sequences of the untiered
- * baseline at the same hot-pool size (digests identical), and the chaos
- * storm must pass the fault-tolerance gate above.
+ * baseline at the same hot-pool size (digests identical), the chaos
+ * storm must pass the fault-tolerance gate above, and the 4-shard
+ * cluster must pass the >= 2x throughput + digest gate.
  */
 #include <algorithm>
 #include <cstdint>
@@ -56,13 +68,16 @@
 #include <string>
 #include <vector>
 
-#include "bench_backend_util.h"
+#include "backend/registry.h"
 #include "bench_util.h"
+#include "cluster/cluster.h"
 #include "fault/fault.h"
 #include "gpusim/arch.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
+#include "serving/client.h"
 #include "serving/engine.h"
+#include "serving/options.h"
 #include "serving/trace.h"
 
 using namespace bitdec;
@@ -128,12 +143,21 @@ engineConfig(const SystemUnderTest& sut)
     return cfg;
 }
 
+/** Submits a whole trace through the narrow seam and runs it. */
+ServingMetrics
+runOnClient(ServingClient& client, const std::vector<Request>& trace)
+{
+    for (const Request& r : trace)
+        client.submit(r);
+    return client.drain();
+}
+
 ServingMetrics
 runOnce(const SystemUnderTest& sut, double rate_qps)
 {
-    auto trace = generateTrace(traceAt(rate_qps));
-    Engine engine(sim::archA100(), model::llama31_8b(), engineConfig(sut));
-    return engine.run(trace);
+    auto client = makeServingClient(sim::archA100(), model::llama31_8b(),
+                                    engineConfig(sut));
+    return runOnClient(*client, generateTrace(traceAt(rate_qps)));
 }
 
 // ------------------------------------------------ shared-prefix reuse --
@@ -165,14 +189,13 @@ runSharedPrefix(bool reuse, int num_priority_levels = 1,
 {
     TraceConfig tc = sharedPrefixTrace();
     tc.num_priority_levels = num_priority_levels;
-    auto trace = generateTrace(tc);
     SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
     EngineConfig cfg = engineConfig(bd4);
     cfg.sched.prefix_reuse = reuse;
     cfg.sched.policy = policy;
     cfg.sched.max_batch = max_batch;
-    Engine engine(sim::archA100(), model::llama31_8b(), cfg);
-    return engine.run(trace);
+    auto client = makeServingClient(sim::archA100(), model::llama31_8b(), cfg);
+    return runOnClient(*client, generateTrace(tc));
 }
 
 /**
@@ -271,12 +294,11 @@ longPromptTrace()
 ServingMetrics
 runLongPrompt(int prefill_chunk_tokens)
 {
-    auto trace = generateTrace(longPromptTrace());
     SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
     EngineConfig cfg = engineConfig(bd4);
     cfg.sched.prefill_chunk_tokens = prefill_chunk_tokens;
-    Engine engine(sim::archA100(), model::llama31_8b(), cfg);
-    return engine.run(trace);
+    auto client = makeServingClient(sim::archA100(), model::llama31_8b(), cfg);
+    return runOnClient(*client, generateTrace(longPromptTrace()));
 }
 
 /**
@@ -397,8 +419,8 @@ runTiered(bool tiered, const fault::FaultSchedule& faults = {},
         // bytes_per_page = 0: derived from the model and bit width, so
         // the 4-bit pages cross tiers packed (4x denser than FP16).
     }
-    Engine engine(sim::archA100(), model::llama31_8b(), cfg);
-    return engine.run(trace);
+    auto client = makeServingClient(sim::archA100(), model::llama31_8b(), cfg);
+    return runOnClient(*client, trace);
 }
 
 /**
@@ -466,38 +488,9 @@ tieredKvSection(double min_capacity_ratio, bool smoke)
         std::fprintf(f, "  \"hot_pages\": %d, \"idle_sessions\": 24, "
                         "\"idle_context\": 32768,\n",
                      kTieredHotPages);
-        std::fprintf(f,
-                     "  \"untiered\": {\"req_per_s\": %.4f, "
-                     "\"peak_resident_seqs\": %d, "
-                     "\"recompute_resumes\": %d, \"preemptions\": %d},\n",
-                     cold.sustained_qps, cold.peak_resident_seqs,
-                     cold.recompute_resumes, cold.preemptions);
-        std::fprintf(
-            f,
-            "  \"tiered\": {\"req_per_s\": %.4f, "
-            "\"peak_resident_seqs\": %d,\n"
-            "    \"fetch_stall_p99_s\": %.6f, \"fetch_stall_mean_s\": %.6f, "
-            "\"tier_hit_rate\": %.4f,\n"
-            "    \"cold_resumes\": %d, \"recompute_resumes\": %d,\n"
-            "    \"offloaded_pages\": %ld, \"fetched_pages\": %ld, "
-            "\"prefetched_pages\": %ld,\n"
-            "    \"prefetch_hits\": %ld, \"spilled_pages\": %ld, "
-            "\"dropped_pages\": %ld,\n"
-            "    \"tiers\": [",
-            hot.sustained_qps, hot.peak_resident_seqs, hot.fetch_stall_p99_s,
-            hot.fetch_stall_mean_s, hot.tier_hit_rate, hot.cold_resumes,
-            hot.recompute_resumes, hot.tier.offloaded_pages,
-            hot.tier.fetched_pages, hot.tier.prefetched_pages,
-            hot.tier.prefetch_hits, hot.tier.spilled_pages,
-            hot.tier.dropped_pages);
-        for (std::size_t t = 0; t < hot.tiers.size(); t++)
-            std::fprintf(f,
-                         "%s{\"name\": \"%s\", \"capacity_pages\": %d, "
-                         "\"peak_used_pages\": %d}",
-                         t > 0 ? ", " : "", hot.tiers[t].name.c_str(),
-                         hot.tiers[t].capacity_pages,
-                         hot.tiers[t].peak_used_pages);
-        std::fprintf(f, "]},\n");
+        std::fprintf(f, "  \"untiered\": %s,\n",
+                     cold.toJson("  ").c_str());
+        std::fprintf(f, "  \"tiered\": %s,\n", hot.toJson("  ").c_str());
         std::fprintf(f, "  \"capacity_ratio\": %.2f, \"digests_match\": %s\n",
                      capacity_ratio, digests_match ? "true" : "false");
         std::fprintf(f, "}\n");
@@ -534,18 +527,19 @@ constexpr const char* kDefaultStorm =
  */
 bool
 faultToleranceSection(double min_tput_ratio, bool smoke,
-                      const bench::FaultArgs& fa)
+                      const ServingOptions& opts)
 {
     bench::section("Fault tolerance: chaos storm on the tiered scenario "
                    "(checksums, retry+backoff, recompute escalation)");
-    const std::string spec = fa.spec.empty() ? kDefaultStorm : fa.spec;
+    const std::string spec =
+        opts.fault_spec.empty() ? kDefaultStorm : opts.fault_spec;
     const fault::FaultSchedule storm = fault::FaultSchedule::parse(spec);
     std::printf("storm: %s\n\n", storm.summary().c_str());
 
     const ServingMetrics clean = runTiered(true);
     std::vector<std::uint64_t> seeds = {1337, 4242, 9001};
-    if (fa.seed_given)
-        seeds.push_back(fa.seed);
+    if (opts.fault_seed_given)
+        seeds.push_back(opts.fault_seed);
 
     bench::head("run", {"req/s", "tput-x", "faults", "retries", "repair",
                         "cksum", "recomp", "digest"});
@@ -596,39 +590,19 @@ faultToleranceSection(double min_tput_ratio, bool smoke,
         std::fprintf(f, "{\n  \"bench\": \"fault_tolerance\",\n");
         std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
         std::fprintf(f, "  \"storm\": \"%s\",\n", spec.c_str());
-        std::fprintf(f,
-                     "  \"fault_free\": {\"req_per_s\": %.4f, "
-                     "\"requests\": %d},\n",
-                     clean.sustained_qps, clean.num_requests);
+        std::fprintf(f, "  \"fault_free\": %s,\n",
+                     clean.toJson("  ").c_str());
         std::fprintf(f, "  \"seeds\": [\n");
         for (std::size_t i = 0; i < results.size(); i++) {
             const SeedResult& r = results[i];
-            std::fprintf(
-                f,
-                "    {\"seed\": %llu, \"req_per_s\": %.4f, "
-                "\"tput_ratio\": %.4f, \"digest_match\": %s,\n"
-                "     \"faults_injected\": %ld, \"fetch_faults\": %ld, "
-                "\"latency_spikes\": %ld, \"corrupted_pages\": %ld, "
-                "\"alloc_failures\": %ld,\n"
-                "     \"repaired_pages\": %ld, \"hedged_fetches\": %ld, "
-                "\"checksum_failures\": %ld, "
-                "\"transfer_failures\": %ld, \"fetch_retries\": %d, "
-                "\"recompute_recoveries\": %d,\n"
-                "     \"shed_requests\": %d, \"deadline_cancels\": %d}%s\n",
-                static_cast<unsigned long long>(r.seed),
-                r.m.sustained_qps, r.tput_ratio,
-                r.digest_match ? "true" : "false",
-                r.m.faults_injected.total(),
-                r.m.faults_injected.fetch_failures,
-                r.m.faults_injected.latency_spikes,
-                r.m.faults_injected.corrupted_pages,
-                r.m.faults_injected.alloc_failures,
-                r.m.tier.repaired_pages, r.m.tier.hedged_fetches,
-                r.m.tier.checksum_failures,
-                r.m.tier.transfer_failures,
-                r.m.fetch_retries, r.m.recompute_recoveries,
-                r.m.shed_requests, r.m.deadline_cancels,
-                i + 1 < results.size() ? "," : "");
+            std::fprintf(f,
+                         "    {\"seed\": %llu, \"tput_ratio\": %.4f, "
+                         "\"digest_match\": %s,\n"
+                         "     \"metrics\": %s}%s\n",
+                         static_cast<unsigned long long>(r.seed),
+                         r.tput_ratio, r.digest_match ? "true" : "false",
+                         r.m.toJson("     ").c_str(),
+                         i + 1 < results.size() ? "," : "");
         }
         std::fprintf(f, "  ],\n");
         std::fprintf(f,
@@ -652,38 +626,189 @@ faultToleranceSection(double min_tput_ratio, bool smoke,
     return pass;
 }
 
+// --------------------------------------------------- sharded cluster --
+
+constexpr int kClusterShards = 4;
+constexpr int kClusterRequests = 32;       //!< 4x the base 24-ish load
+constexpr double kClusterRateQps = 0.80;   //!< 4x the 0.20 base rate
+constexpr int kPrefixFamilies = 8;
+constexpr int kFamilyPrefixTokens = 8192;  //!< shared head per family
+
+/**
+ * 4x the base offered load — 32 requests of ~32K context at 0.8 req/s —
+ * grouped round-robin into eight prefix families of 8K shared tokens,
+ * the workload the sticky router is built for: families stay on their
+ * home shard (prefix pages map instead of re-prefilling) while the
+ * round-robin family order spreads load across all shards.
+ */
+std::vector<Request>
+clusterTrace()
+{
+    TraceConfig tc = traceAt(kClusterRateQps);
+    tc.num_requests = kClusterRequests;
+    auto trace = generateTrace(tc);
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        trace[i].prefix_id = 0xC1005EED0000ull + (i % kPrefixFamilies);
+        trace[i].prefix_tokens = kFamilyPrefixTokens;
+    }
+    return trace;
+}
+
+/**
+ * Runs the 4x-load trace on one engine and on a 4-shard cluster behind
+ * the same ServingClient seam and checks the gate: the cluster must
+ * sustain >= @p min_qps_ratio x the single engine's req/s with a
+ * byte-identical run digest. Writes BENCH_cluster.json either way.
+ * @return true when the gate passes.
+ */
+bool
+clusterSection(double min_qps_ratio, bool smoke)
+{
+    bench::section("Sharded cluster: 4 replicas + sticky prefix router "
+                   "vs 1 engine at the same 4x offered load "
+                   "(BitDecoding-4, 8 prefix families)");
+    const auto trace = clusterTrace();
+    SystemUnderTest bd4{"BitDecoding-4", model::SystemKind::BitDecoding, 4};
+    const EngineConfig cfg = engineConfig(bd4);
+
+    auto single = makeServingClient(sim::archA100(), model::llama31_8b(),
+                                    cfg, 1);
+    const ServingMetrics one = runOnClient(*single, trace);
+
+    auto clustered = makeServingClient(sim::archA100(), model::llama31_8b(),
+                                       cfg, kClusterShards);
+    const ServingMetrics four = runOnClient(*clustered, trace);
+    const auto* cl =
+        dynamic_cast<const cluster::Cluster*>(clustered.get());
+
+    bench::head("topology", {"req/s", "ttft-p50", "ttft-p99", "p99-lat",
+                             "tok/s", "hit-rate", "preempt"});
+    const auto report = [](const char* label, const ServingMetrics& m) {
+        bench::row(label, {m.sustained_qps, m.ttft_p50_s, m.ttft_p99_s,
+                           m.latency_p99_s, m.sustained_tokens_per_s,
+                           m.prefix_hit_rate,
+                           static_cast<double>(m.preemptions)});
+    };
+    report("1 engine (4x load)", one);
+    report("4-shard cluster", four);
+
+    if (cl != nullptr) {
+        const cluster::ClusterMetrics& cm = cl->clusterMetrics();
+        bench::head("shard", {"requests", "req/s", "hit-rate", "pool-util",
+                              "preempt"});
+        for (std::size_t s = 0; s < cm.per_shard.size(); s++) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "shard %zu", s);
+            bench::row(label,
+                       {static_cast<double>(
+                            cm.router.per_shard_requests[s]),
+                        cm.per_shard[s].sustained_qps,
+                        cm.per_shard[s].prefix_hit_rate,
+                        cm.per_shard[s].avg_page_utilization,
+                        static_cast<double>(cm.per_shard[s].preemptions)});
+        }
+        std::printf("\nrouter: %ld routed = %ld sticky + %ld cold + %ld "
+                    "least-loaded, %ld rebalances\n",
+                    cm.router.routed, cm.router.sticky_hits,
+                    cm.router.cold_placements, cm.router.least_loaded,
+                    cm.router.rebalances);
+    }
+
+    const double qps_ratio =
+        one.sustained_qps > 0 ? four.sustained_qps / one.sustained_qps : 0;
+    const bool digests_match = one.outputs_digest == four.outputs_digest;
+    std::printf("\n%d shards sustain %.2fx the single engine's req/s; "
+                "digests %s (%016llx vs %016llx)\n",
+                kClusterShards, qps_ratio,
+                digests_match ? "match" : "DIFFER",
+                static_cast<unsigned long long>(one.outputs_digest),
+                static_cast<unsigned long long>(four.outputs_digest));
+
+    FILE* f = std::fopen("BENCH_cluster.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n  \"bench\": \"cluster\",\n");
+        std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+        std::fprintf(f,
+                     "  \"shards\": %d, \"requests\": %d, "
+                     "\"rate_qps\": %.2f, \"prefix_families\": %d, "
+                     "\"prefix_tokens\": %d,\n",
+                     kClusterShards, kClusterRequests, kClusterRateQps,
+                     kPrefixFamilies, kFamilyPrefixTokens);
+        std::fprintf(f, "  \"single\": %s,\n", one.toJson("  ").c_str());
+        std::fprintf(f, "  \"cluster\": %s,\n", four.toJson("  ").c_str());
+        if (cl != nullptr) {
+            const cluster::ClusterMetrics& cm = cl->clusterMetrics();
+            std::fprintf(f, "  \"per_shard\": [\n");
+            for (std::size_t s = 0; s < cm.per_shard.size(); s++)
+                std::fprintf(
+                    f,
+                    "    {\"shard\": %zu, \"requests\": %ld, "
+                    "\"req_per_s\": %.4f, \"prefix_hit_rate\": %.4f, "
+                    "\"avg_page_utilization\": %.4f, "
+                    "\"preemptions\": %d}%s\n",
+                    s, cm.router.per_shard_requests[s],
+                    cm.per_shard[s].sustained_qps,
+                    cm.per_shard[s].prefix_hit_rate,
+                    cm.per_shard[s].avg_page_utilization,
+                    cm.per_shard[s].preemptions,
+                    s + 1 < cm.per_shard.size() ? "," : "");
+            std::fprintf(f, "  ],\n");
+            std::fprintf(f,
+                         "  \"router\": {\"routed\": %ld, "
+                         "\"sticky_hits\": %ld, \"cold_placements\": %ld, "
+                         "\"least_loaded\": %ld, \"rebalances\": %ld},\n",
+                         cm.router.routed, cm.router.sticky_hits,
+                         cm.router.cold_placements, cm.router.least_loaded,
+                         cm.router.rebalances);
+        }
+        std::fprintf(f, "  \"qps_ratio\": %.2f, \"digests_match\": %s\n",
+                     qps_ratio, digests_match ? "true" : "false");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_cluster.json\n");
+    } else {
+        std::fprintf(stderr, "cannot write BENCH_cluster.json\n");
+    }
+
+    const bool pass = qps_ratio >= min_qps_ratio && digests_match;
+    if (!pass)
+        std::printf("FAIL: expected >= %.1fx req/s over the single engine "
+                    "with matching digests\n",
+                    min_qps_ratio);
+    return pass;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    bool smoke = false;
-    for (int i = 1; i < argc; i++)
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-    const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
-    if (bench::maybeListBackends(ba))
+    const ServingOptions opts = ServingOptions::parse(argc, argv);
+    if (opts.maybeListBackends())
         return 0;
-    const bench::FaultArgs fa = bench::parseFaultArgs(argc, argv);
-    if (!ba.backend.empty()) {
+    const bool smoke = opts.smoke;
+    if (!opts.backend.empty()) {
         // Resolve up front: an unknown or paged-incapable name dies here
         // with the registry listing, before any multi-minute sweep runs.
         backend::requireServingCapable(
-            backend::BackendRegistry::instance().resolve(ba.backend));
-        g_backend = ba.backend;
+            backend::BackendRegistry::instance().resolve(opts.backend));
+        g_backend = opts.backend;
         std::printf("per-step functional attention backend: %s\n",
                     g_backend.c_str());
     }
     if (smoke) {
-        // CI gates: prefix reuse + chunked prefill + tiered KV cache,
-        // hard pass/fail.
+        // CI gates: prefix reuse + chunked prefill + tiered KV cache +
+        // chaos storm + sharded cluster, hard pass/fail.
         bench::banner("Serving E2E smoke: prefix-reuse, chunked-prefill, "
-                      "tiered-KV and fault-tolerance gates");
+                      "tiered-KV, fault-tolerance and cluster gates");
         const bool prefix_ok = sharedPrefixSection(1.5);
         const bool chunk_ok = chunkedPrefillSection(3.0);
         const bool tiered_ok = tieredKvSection(3.0, true);
-        const bool fault_ok = faultToleranceSection(0.8, true, fa);
-        return prefix_ok && chunk_ok && tiered_ok && fault_ok ? 0 : 1;
+        const bool fault_ok = faultToleranceSection(0.8, true, opts);
+        const bool cluster_ok = clusterSection(2.0, true);
+        return prefix_ok && chunk_ok && tiered_ok && fault_ok && cluster_ok
+                   ? 0
+                   : 1;
     }
 
     bench::banner("Serving E2E: continuous batching, 32K context "
@@ -699,11 +824,13 @@ main(int argc, char** argv)
     bench::head("system", {"pages", "ttft-p50", "ttft-p99", "tpot-ms",
                            "p99-lat", "tok/s", "preempt"});
     for (const auto& sut : kSystems) {
-        Engine probe(sim::archA100(), model::llama31_8b(),
-                     engineConfig(sut));
-        const ServingMetrics m = runOnce(sut, base_rate);
+        auto client = makeServingClient(sim::archA100(), model::llama31_8b(),
+                                        engineConfig(sut));
+        const int pool_pages = client->stats().total_pool_pages;
+        const ServingMetrics m =
+            runOnClient(*client, generateTrace(traceAt(base_rate)));
         bench::row(sut.label,
-                   {static_cast<double>(probe.numPages()), m.ttft_p50_s,
+                   {static_cast<double>(pool_pages), m.ttft_p50_s,
                     m.ttft_p99_s, m.tpot_mean_s * 1e3, m.latency_p99_s,
                     m.sustained_tokens_per_s,
                     static_cast<double>(m.preemptions)});
@@ -756,6 +883,9 @@ main(int argc, char** argv)
     policySection();
     const bool chunk_ok = chunkedPrefillSection(3.0);
     const bool tiered_ok = tieredKvSection(3.0, false);
-    const bool fault_ok = faultToleranceSection(0.8, false, fa);
-    return prefix_ok && chunk_ok && tiered_ok && fault_ok ? 0 : 1;
+    const bool fault_ok = faultToleranceSection(0.8, false, opts);
+    const bool cluster_ok = clusterSection(2.0, false);
+    return prefix_ok && chunk_ok && tiered_ok && fault_ok && cluster_ok
+               ? 0
+               : 1;
 }

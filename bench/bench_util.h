@@ -2,7 +2,7 @@
  * @file
  * Shared output helpers for the figure/table reproduction benches. The
  * `--backend` / `--list-backends` CLI handling lives in
- * bench_backend_util.h so these stay dependency-free.
+ * src/serving/options.h (ServingOptions) so these stay dependency-free.
  */
 #ifndef BITDEC_BENCH_BENCH_UTIL_H
 #define BITDEC_BENCH_BENCH_UTIL_H

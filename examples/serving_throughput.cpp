@@ -7,16 +7,18 @@
  * Fig. 13 upgraded from a single max-batch probe to latency under load.
  */
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
-#include "bench_backend_util.h"
+#include "backend/registry.h"
+#include "cluster/cluster.h"
 #include "fault/fault.h"
 #include "gpusim/arch.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
+#include "serving/client.h"
 #include "serving/engine.h"
+#include "serving/options.h"
 #include "serving/trace.h"
 
 using namespace bitdec;
@@ -42,11 +44,21 @@ exampleTrace()
     return tc;
 }
 
+/** Submits a whole trace through the narrow seam and runs it. */
+ServingMetrics
+runOnClient(ServingClient& client, const std::vector<Request>& trace)
+{
+    for (const Request& r : trace)
+        client.submit(r);
+    return client.drain();
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
+    // One shared CLI surface (src/serving/options.h):
     // --list-backends prints the registry's capability matrix;
     // --backend=<name> picks the per-step functional attention backend
     // of the preemption demo below (default fused-paged).
@@ -55,29 +67,14 @@ main(int argc, char** argv)
     // it (default host,disk; none = recompute baseline only).
     // --faults=<spec> overrides the chaos demo's storm (see
     // fault::FaultSchedule::parse); --fault-seed=<n> its decision seed.
-    int hot_pool_pages = 2048;
-    std::string tier_arg = "host,disk";
-    for (int i = 1; i < argc; i++) {
-        if (std::strncmp(argv[i], "--hot-pool-pages=", 17) == 0)
-            hot_pool_pages = std::atoi(argv[i] + 17);
-        else if (std::strncmp(argv[i], "--tier=", 7) == 0)
-            tier_arg = argv[i] + 7;
-    }
-    if (hot_pool_pages <= 0) {
-        std::fprintf(stderr, "--hot-pool-pages must be positive\n");
-        return 1;
-    }
-    if (tier_arg != "host" && tier_arg != "host,disk" && tier_arg != "none") {
-        std::fprintf(stderr,
-                     "--tier must be 'host', 'host,disk' or 'none'\n");
-        return 1;
-    }
-    const bench::BackendArgs ba = bench::parseBackendArgs(argc, argv);
-    const bench::FaultArgs fa = bench::parseFaultArgs(argc, argv);
-    if (bench::maybeListBackends(ba))
+    // --shards=N sizes the sharded-cluster demo (default 4).
+    const ServingOptions opts = ServingOptions::parse(argc, argv);
+    if (opts.maybeListBackends())
         return 0;
+    const int hot_pool_pages = opts.hot_pool_pages;
+    const std::string& tier_arg = opts.tier;
     const backend::AttentionBackend& demo_backend =
-        bench::resolveBackendArg(ba, "fused-paged");
+        opts.resolveBackend("fused-paged");
     // Die before the multi-system sweep, not at the demo's engine.
     backend::requireServingCapable(demo_backend);
 
@@ -112,11 +109,12 @@ main(int argc, char** argv)
             cfg.sched.max_batch = 64;
             cfg.sched.prefill_chunk_tokens = 2048;
 
-            auto trace = generateTrace(exampleTrace());
-            Engine engine(a100, *m, cfg);
-            const ServingMetrics r = engine.run(trace);
+            auto client = makeServingClient(a100, *m, cfg);
+            const int pool_pages = client->stats().total_pool_pages;
+            const ServingMetrics r =
+                runOnClient(*client, generateTrace(exampleTrace()));
             std::printf("  %-18s %8d %10.2f %10.2f %10.2f %10.1f %9d\n",
-                        s.name, engine.numPages(), r.ttft_p50_s, r.ttft_p99_s,
+                        s.name, pool_pages, r.ttft_p50_s, r.ttft_p99_s,
                         r.latency_p99_s, r.sustained_tokens_per_s,
                         r.preemptions);
         }
@@ -137,12 +135,12 @@ main(int argc, char** argv)
     tiny.sched.max_batch = 8;
     tiny.sched.prefill_chunk_tokens = 16;
     tiny.backend = demo_backend.name();
-    auto smoke = smokeTrace();
-    Engine engine(a100, model::llama2_7b(), tiny);
-    const ServingMetrics m = engine.run(smoke);
+    const auto smoke = smokeTrace();
+    auto smoke_client = makeServingClient(a100, model::llama2_7b(), tiny);
+    const ServingMetrics m = runOnClient(*smoke_client, smoke);
     std::uint64_t attn_digest = 0;
     for (const Request& r : smoke)
-        attn_digest ^= r.attn_hash;
+        attn_digest ^= smoke_client->poll(r.id)->attn_hash;
     std::printf("  %d/%zu finished, %d preemptions, peak pool use %.0f%%, "
                 "digest %016llx, attn digest %016llx\n\n",
                 m.num_requests, smoke.size(), m.preemptions,
@@ -176,9 +174,8 @@ main(int argc, char** argv)
         cfg.sched.prefill_chunk_tokens = 2048;
         cfg.sched.policy = SchedPolicy::Priority;
         cfg.sched.prefix_reuse = reuse;
-        auto trace = generateTrace(ptc);
-        Engine eng(a100, model::llama31_8b(), cfg);
-        const ServingMetrics r = eng.run(trace);
+        auto client = makeServingClient(a100, model::llama31_8b(), cfg);
+        const ServingMetrics r = runOnClient(*client, generateTrace(ptc));
         std::printf("  %-26s req/s %.2f, prefix hit-rate %.0f%%, saved "
                     "%ld prefill tokens, digest %016llx\n",
                     reuse ? "prefix reuse on:" : "prefix reuse off:",
@@ -214,9 +211,8 @@ main(int argc, char** argv)
         cfg.page_size = 64;
         cfg.cache_head_dim = 4;
         cfg.sched.prefill_chunk_tokens = budget;
-        auto trace = generateTrace(ltc);
-        Engine eng(a100, model::llama31_8b(), cfg);
-        const ServingMetrics r = eng.run(trace);
+        auto client = makeServingClient(a100, model::llama31_8b(), cfg);
+        const ServingMetrics r = runOnClient(*client, generateTrace(ltc));
         char label[40];
         if (budget == 0)
             std::snprintf(label, sizeof(label), "monolithic");
@@ -282,9 +278,8 @@ main(int argc, char** argv)
         EngineConfig cfg = tieredDemoConfig();
         if (!tiered)
             cfg.tiered.tiers.clear();
-        auto trace = generateTrace(ttc);
-        Engine eng(a100, model::llama31_8b(), cfg);
-        const ServingMetrics r = eng.run(trace);
+        auto client = makeServingClient(a100, model::llama31_8b(), cfg);
+        const ServingMetrics r = runOnClient(*client, generateTrace(ttc));
         if (tiered)
             tiered_digest = r.outputs_digest;
         std::printf("  %-22s req/s %.2f, peak resident seqs %d, "
@@ -314,29 +309,89 @@ main(int argc, char** argv)
     // page-rebuild defenses recover every one of them: the output digest
     // must equal the fault-free tiered run's bit for bit.
     if (tier_arg != "none") {
-        const std::string storm_spec =
-            fa.spec.empty()
-                ? "fetch=0.02,corrupt=0.01,spike=0.02,alloc=0.01,mult=50,"
-                  "multibit=0.2"
-                : fa.spec;
-        const fault::FaultSchedule storm =
-            fault::FaultSchedule::parse(storm_spec);
+        const fault::FaultSchedule storm = opts.faultsOr(
+            "fetch=0.02,corrupt=0.01,spike=0.02,alloc=0.01,mult=50,"
+            "multibit=0.2");
         EngineConfig cfg = tieredDemoConfig();
         cfg.faults = storm;
-        if (fa.seed_given)
-            cfg.fault_seed = fa.seed;
+        if (opts.fault_seed_given)
+            cfg.fault_seed = opts.fault_seed;
         std::printf("\nChaos demo (tiered scenario under a fault storm, "
                     "seed %llu):\n  storm: %s\n",
                     static_cast<unsigned long long>(cfg.fault_seed),
                     storm.summary().c_str());
-        auto trace = generateTrace(ttc);
-        Engine eng(a100, model::llama31_8b(), cfg);
-        const ServingMetrics r = eng.run(trace);
+        auto client = makeServingClient(a100, model::llama31_8b(), cfg);
+        const ServingMetrics r = runOnClient(*client, generateTrace(ttc));
         std::printf("%s\n", r.report().c_str());
         std::printf("  digest %s the fault-free tiered run\n",
                     r.outputs_digest == tiered_digest ? "MATCHES"
                                                       : "DIFFERS from");
         if (r.outputs_digest != tiered_digest)
+            return 1;
+    }
+
+    // Sharded-cluster demo: the same ServingClient driver code, N full
+    // engine replicas behind the sticky prefix-aware router. Requests
+    // fall into four prefix families; each family sticks to its home
+    // shard (prefix pages map instead of re-prefilling) and the run
+    // digest must match the single-engine run bit for bit — placement
+    // never changes token content.
+    const int demo_shards = opts.shards > 1 ? opts.shards : 4;
+    std::printf("\nSharded-cluster demo (%d shards, sticky prefix router, "
+                "BitDecoding-4):\n",
+                demo_shards);
+    TraceConfig ctc;
+    ctc.seed = 42;
+    ctc.num_requests = 16;
+    ctc.arrival_rate_qps = 1.0;
+    ctc.prompt_median = 8192;
+    ctc.prompt_min = 6144;
+    ctc.prompt_max = 12288;
+    ctc.output_median = 128;
+    ctc.output_min = 64;
+    ctc.output_max = 256;
+    auto ctrace = generateTrace(ctc);
+    for (std::size_t i = 0; i < ctrace.size(); i++) {
+        ctrace[i].prefix_id = 0xFA417ull + (i % 4); // four prefix families
+        ctrace[i].prefix_tokens = 4096;
+    }
+    EngineConfig ccfg;
+    ccfg.page_size = 64;
+    ccfg.cache_head_dim = 4;
+    ccfg.sched.prefill_chunk_tokens = 2048;
+    std::uint64_t single_digest = 0;
+    for (const int shards : {1, demo_shards}) {
+        auto client =
+            makeServingClient(a100, model::llama31_8b(), ccfg, shards);
+        const ServingMetrics r = runOnClient(*client, ctrace);
+        char label[40];
+        std::snprintf(label, sizeof(label), "%d shard%s:", shards,
+                      shards == 1 ? "" : "s");
+        std::printf("  %-12s req/s %.2f, ttft-p99 %.2f s, hit-rate %.0f%%, "
+                    "digest %016llx\n",
+                    label, r.sustained_qps, r.ttft_p99_s,
+                    100.0 * r.prefix_hit_rate,
+                    static_cast<unsigned long long>(r.outputs_digest));
+        if (shards == 1) {
+            single_digest = r.outputs_digest;
+            continue;
+        }
+        const auto* cl =
+            dynamic_cast<const cluster::Cluster*>(client.get());
+        if (cl != nullptr) {
+            const cluster::ClusterMetrics& cm = cl->clusterMetrics();
+            std::printf("    router: %ld sticky, %ld cold, %ld "
+                        "least-loaded, %ld rebalances; per-shard reqs:",
+                        cm.router.sticky_hits, cm.router.cold_placements,
+                        cm.router.least_loaded, cm.router.rebalances);
+            for (const long n : cm.router.per_shard_requests)
+                std::printf(" %ld", n);
+            std::printf("\n");
+        }
+        std::printf("  digest %s the single-engine run\n",
+                    r.outputs_digest == single_digest ? "MATCHES"
+                                                      : "DIFFERS from");
+        if (r.outputs_digest != single_digest)
             return 1;
     }
     return 0;

@@ -9,6 +9,8 @@
 #     fails CI.
 #  3. docs/ROBUSTNESS.md must exist and cover the fault module — the
 #     chaos/recovery contract is load-bearing for the serving stack.
+#  4. docs/CLUSTER.md must exist and cover the cluster module — the
+#     sharding/invariance contract backs the cluster CI gate.
 #
 # Run from the repo root: scripts/check_docs.sh
 set -u
@@ -64,6 +66,15 @@ if [ ! -e "$robust_doc" ]; then
     fail=1
 elif ! grep -q "src/fault/" "$robust_doc"; then
     echo "ERROR: $robust_doc does not cover src/fault/"
+    fail=1
+fi
+
+cluster_doc="docs/CLUSTER.md"
+if [ ! -e "$cluster_doc" ]; then
+    echo "ERROR: $cluster_doc is missing"
+    fail=1
+elif ! grep -q "src/cluster/" "$cluster_doc"; then
+    echo "ERROR: $cluster_doc does not cover src/cluster/"
     fail=1
 fi
 

@@ -1,0 +1,119 @@
+#include "serving/client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bitdec::serving {
+
+namespace {
+
+/** Fresh runtime state: a submit carries only the workload fields. */
+Request
+sanitized(const Request& r)
+{
+    Request c;
+    c.id = r.id;
+    c.arrival_s = r.arrival_s;
+    c.prompt_tokens = r.prompt_tokens;
+    c.output_tokens = r.output_tokens;
+    c.prefix_id = r.prefix_id;
+    c.prefix_tokens = r.prefix_tokens;
+    c.priority = r.priority;
+    c.idle_after_tokens = r.idle_after_tokens;
+    c.idle_wake_s = r.idle_wake_s;
+    c.deadline_s = r.deadline_s;
+    return c;
+}
+
+} // namespace
+
+EngineClient::EngineClient(const sim::GpuArch& arch,
+                           const model::ModelConfig& model,
+                           const EngineConfig& cfg)
+    : engine_(arch, model, cfg)
+{
+}
+
+int
+EngineClient::submit(const Request& r)
+{
+    BITDEC_ASSERT(index_.find(r.id) == index_.end(),
+                  "duplicate request id ", r.id, " submitted");
+    store_.push_back(sanitized(r));
+    index_[r.id] = store_.size() - 1;
+    pending_.push_back(store_.size() - 1);
+    return r.id;
+}
+
+const Request*
+EngineClient::poll(int id) const
+{
+    const auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &store_[it->second];
+}
+
+bool
+EngineClient::cancel(int id)
+{
+    const auto it = index_.find(id);
+    if (it == index_.end())
+        return false;
+    Request& r = store_[it->second];
+    if (r.state != RequestState::Queued ||
+        r.cancel_cause != CancelCause::None)
+        return false; // already ran (or already canceled)
+    r.state = RequestState::Canceled;
+    r.cancel_cause = CancelCause::Client;
+    canceled_++;
+    return true;
+}
+
+ServingMetrics
+EngineClient::drain()
+{
+    // Client-canceled requests never reach the engine; a drain with
+    // nothing left to run is a no-op (the engine requires a non-empty
+    // trace).
+    std::vector<Request> batch;
+    for (const std::size_t slot : pending_) {
+        if (store_[slot].state == RequestState::Canceled)
+            continue;
+        batch.push_back(store_[slot]);
+    }
+    pending_.clear();
+    if (batch.empty())
+        return ServingMetrics{};
+
+    // The engine sorts nothing itself: traces arrive by arrival time.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival_s < b.arrival_s;
+                     });
+    const ServingMetrics m = engine_.run(batch);
+    for (const Request& done : batch) {
+        store_[index_.at(done.id)] = done;
+        if (done.state == RequestState::Finished)
+            finished_++;
+        else if (done.state == RequestState::Canceled)
+            canceled_++; // shed or deadline: the engine's cancellation
+    }
+    return m;
+}
+
+ClientStats
+EngineClient::stats() const
+{
+    ClientStats s;
+    s.submitted = static_cast<int>(store_.size());
+    for (const std::size_t slot : pending_)
+        if (store_[slot].state == RequestState::Queued)
+            s.pending++;
+    s.finished = finished_;
+    s.canceled = canceled_;
+    s.shards = 1;
+    s.total_pool_pages = engine_.numPages();
+    return s;
+}
+
+} // namespace bitdec::serving

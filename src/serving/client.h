@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Narrow serving-client API: the only seam benches, examples and tests
+ * use to drive a serving run.
+ *
+ * A ServingClient accepts requests (submit), exposes their state
+ * (poll), supports pre-run cancellation (cancel), runs everything
+ * submitted since the last drain to completion on the virtual clock
+ * (drain) and reports queue/pool counters (stats). It deliberately
+ * exposes none of the engine's internals — no scheduler, no cache, no
+ * clock — so the same driver code runs against one Engine or a sharded
+ * Cluster (src/cluster/) unchanged, and shard-count invariance of the
+ * run digests is testable the same way thread-count invariance is.
+ *
+ * Execution model: the engine's clock is virtual, so a drain is a batch
+ * simulation, not a live server — submit enqueues a copy of the
+ * request, drain runs the whole submitted set to completion and returns
+ * the run's ServingMetrics, and poll reads back the final per-request
+ * state (timestamps, hashes, cancel cause). Submissions compose across
+ * drains: each drain covers the requests submitted since the previous
+ * one.
+ */
+#ifndef BITDEC_SERVING_CLIENT_H
+#define BITDEC_SERVING_CLIENT_H
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "model/model_config.h"
+#include "serving/engine.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+
+namespace bitdec::serving {
+
+/** Aggregate queue/pool counters a ServingClient reports. */
+struct ClientStats
+{
+    int submitted = 0; //!< requests accepted since construction
+    int pending = 0;   //!< submitted but not yet drained (nor canceled)
+    int finished = 0;  //!< requests that completed across all drains
+    int canceled = 0;  //!< client cancels plus engine-side cancellations
+    int shards = 1;    //!< engine replicas behind this client
+    int total_pool_pages = 0; //!< hot KV pages across every shard
+};
+
+/**
+ * The serving seam. Both the single-engine client (EngineClient) and
+ * the sharded Cluster implement exactly this surface.
+ */
+class ServingClient
+{
+  public:
+    virtual ~ServingClient() = default;
+
+    /**
+     * Accepts a request for the next drain. Only the workload fields
+     * are read (id, arrival, lengths, prefix, priority, idle shape,
+     * deadline); runtime fields are reset internally. Request ids must
+     * be unique across the client's lifetime. @return the request id.
+     */
+    virtual int submit(const Request& r) = 0;
+
+    /**
+     * Read-only view of a submitted request — before its drain the
+     * pending copy, afterwards the final state (timestamps, hashes,
+     * cancel cause). Null for an unknown id. The pointer stays valid
+     * until the client is destroyed.
+     */
+    virtual const Request* poll(int id) const = 0;
+
+    /**
+     * Cancels a pending request before its drain runs: it is marked
+     * CANCELED with CancelCause::Client, excluded from the drain and
+     * from the run's outputs_digest. @return false when the id is
+     * unknown or the request already ran.
+     */
+    virtual bool cancel(int id) = 0;
+
+    /**
+     * Runs every pending request to completion on the virtual clock and
+     * returns the run's metrics. Draining with nothing pending returns
+     * empty metrics. Results are read back via poll().
+     */
+    virtual ServingMetrics drain() = 0;
+
+    /** Aggregate counters; callable at any point. */
+    virtual ClientStats stats() const = 0;
+};
+
+/** ServingClient over one Engine replica. */
+class EngineClient final : public ServingClient
+{
+  public:
+    EngineClient(const sim::GpuArch& arch, const model::ModelConfig& model,
+                 const EngineConfig& cfg);
+
+    int submit(const Request& r) override;
+    const Request* poll(int id) const override;
+    bool cancel(int id) override;
+    ServingMetrics drain() override;
+    ClientStats stats() const override;
+
+  private:
+    Engine engine_;
+    //! All requests ever submitted; deque keeps poll() pointers stable.
+    std::deque<Request> store_;
+    std::unordered_map<int, std::size_t> index_; //!< id -> store_ slot
+    std::vector<std::size_t> pending_;           //!< slots awaiting drain
+    int finished_ = 0;
+    int canceled_ = 0;
+};
+
+/**
+ * Factory for the common driver pattern: one shard returns a plain
+ * EngineClient, more returns a Cluster (src/cluster/) of @p shards full
+ * Engine replicas, each configured with @p cfg, fronted by the default
+ * sticky prefix-aware router.
+ */
+std::unique_ptr<ServingClient>
+makeServingClient(const sim::GpuArch& arch, const model::ModelConfig& model,
+                  const EngineConfig& cfg, int shards = 1);
+
+} // namespace bitdec::serving
+
+#endif // BITDEC_SERVING_CLIENT_H

@@ -34,6 +34,82 @@ hashKeyRow(const std::vector<Half>& row)
 
 } // namespace
 
+void
+EngineConfig::validate() const
+{
+    if (page_size < 1)
+        BITDEC_FATAL("EngineConfig.page_size must be >= 1, got ",
+                     page_size);
+    if (num_pages < 0)
+        BITDEC_FATAL("EngineConfig.num_pages must be >= 0 (0 derives "
+                     "from device HBM), got ",
+                     num_pages);
+    if (cache_head_dim < 1)
+        BITDEC_FATAL("EngineConfig.cache_head_dim must be >= 1, got ",
+                     cache_head_dim);
+    if (max_clock_s <= 0)
+        BITDEC_FATAL("EngineConfig.max_clock_s must be > 0, got ",
+                     max_clock_s);
+    if (system == model::SystemKind::FlashDecodingFp16) {
+        if (bits != 16)
+            BITDEC_FATAL("EngineConfig.bits must be 16 for ",
+                         model::toString(system), ", got ", bits,
+                         " (set system to a low-bit kind or bits to 16)");
+    } else if (bits != 2 && bits != 4 && bits != 8) {
+        BITDEC_FATAL("EngineConfig.bits must be 2, 4 or 8 for ",
+                     model::toString(system), ", got ", bits);
+    }
+    if (sched.max_batch < 1)
+        BITDEC_FATAL("SchedulerConfig.max_batch must be >= 1, got ",
+                     sched.max_batch);
+    if (sched.reserve_pages < 0)
+        BITDEC_FATAL("SchedulerConfig.reserve_pages must be >= 0, got ",
+                     sched.reserve_pages);
+    if (sched.prefill_chunk_tokens < 0)
+        BITDEC_FATAL("SchedulerConfig.prefill_chunk_tokens must be >= 0 "
+                     "(0 = monolithic prefill), got ",
+                     sched.prefill_chunk_tokens);
+    if (sched.aging_rate < 0)
+        BITDEC_FATAL("SchedulerConfig.aging_rate must be >= 0, got ",
+                     sched.aging_rate);
+    if (sched.shed_after_s <= 0)
+        BITDEC_FATAL("SchedulerConfig.shed_after_s must be > 0 "
+                     "(infinity disables shedding), got ",
+                     sched.shed_after_s);
+    if (tiered.prefetch_pages < 0)
+        BITDEC_FATAL("TieredConfig.prefetch_pages must be >= 0, got ",
+                     tiered.prefetch_pages);
+    if (tiered.fetch_timeout_s <= 0)
+        BITDEC_FATAL("TieredConfig.fetch_timeout_s must be > 0 "
+                     "(infinity disables the timeout), got ",
+                     tiered.fetch_timeout_s);
+    for (const kv::TierSpec& t : tiered.tiers) {
+        if (t.capacity_gb <= 0 || t.bandwidth_gbps <= 0 || t.latency_s < 0)
+            BITDEC_FATAL("TierSpec '", t.name,
+                         "' needs capacity_gb > 0, bandwidth_gbps > 0 "
+                         "and latency_s >= 0 (got ",
+                         t.capacity_gb, " GB, ", t.bandwidth_gbps,
+                         " GB/s, ", t.latency_s, " s)");
+    }
+    // Faults fire only on the tiered transfer/offload paths: a storm
+    // with no tiers underneath would silently never inject anything —
+    // the contradictory combo this check turns into a loud error.
+    if (!faults.empty() && tiered.tiers.empty())
+        BITDEC_FATAL("EngineConfig.faults is set but TieredConfig.tiers "
+                     "is empty: faults fire on tiered transfer paths, so "
+                     "this storm would never inject (add a tier or clear "
+                     "the schedule)");
+    if (retry.max_fetch_retries < 0)
+        BITDEC_FATAL("RetryPolicy.max_fetch_retries must be >= 0, got ",
+                     retry.max_fetch_retries);
+    if (retry.backoff_base_s < 0 || retry.backoff_mult < 1 ||
+        retry.backoff_max_s < 0)
+        BITDEC_FATAL("RetryPolicy backoff needs base >= 0, mult >= 1, "
+                     "max >= 0 (got ",
+                     retry.backoff_base_s, ", ", retry.backoff_mult, ", ",
+                     retry.backoff_max_s, ")");
+}
+
 int
 Engine::derivePoolPages(const sim::GpuArch& arch,
                         const model::ModelConfig& model,
@@ -70,11 +146,24 @@ Engine::resolvedTieredConfig() const
     return t;
 }
 
+namespace {
+
+/** Validation gate for the ctor's initializer list: runs before any
+ *  member (cache, pool, scheduler) consumes a field. */
+const EngineConfig&
+validated(const EngineConfig& cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
 Engine::Engine(const sim::GpuArch& arch, const model::ModelConfig& model,
                const EngineConfig& cfg)
     : arch_(arch),
       model_(model),
-      cfg_(cfg),
+      cfg_(validated(cfg)),
       cache_(cfg.cache_head_dim, cfg.page_size,
              cfg.num_pages > 0 ? cfg.num_pages
                                : derivePoolPages(arch, model, cfg)),

@@ -119,6 +119,15 @@ struct EngineConfig
 
     /** Retry/backoff policy for transient cold-fetch failures. */
     fault::RetryPolicy retry;
+
+    /**
+     * Fails fast on out-of-range or contradictory fields, naming each
+     * offender (matching the backend registry's fail-fast style: never
+     * a silent clamp or fallback). Engine construction calls this once,
+     * so every bad configuration dies at the same place with the same
+     * message regardless of which bench, example or test built it.
+     */
+    void validate() const;
 };
 
 /** Continuous-batching serving engine. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/logging.h"
@@ -210,6 +211,92 @@ MetricsCollector::finalize(double makespan_s, int preemptions,
 
     m.outputs_digest = outputs_digest_;
     return m;
+}
+
+std::string
+ServingMetrics::toJson(const std::string& indent) const
+{
+    std::ostringstream oss;
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(outputs_digest));
+    const std::string in = indent + "  ";
+    oss << "{\n";
+    oss << in << "\"num_requests\": " << num_requests
+        << ", \"preemptions\": " << preemptions << ", \"makespan_s\": "
+        << makespan_s << ",\n";
+    oss << in << "\"sustained_qps\": " << sustained_qps
+        << ", \"sustained_tokens_per_s\": " << sustained_tokens_per_s
+        << ",\n";
+    oss << in << "\"ttft_mean_s\": " << ttft_mean_s << ", \"ttft_p50_s\": "
+        << ttft_p50_s << ", \"ttft_p95_s\": " << ttft_p95_s
+        << ", \"ttft_p99_s\": " << ttft_p99_s << ",\n";
+    oss << in << "\"tpot_mean_s\": " << tpot_mean_s << ",\n";
+    oss << in << "\"decode_stall_mean_s\": " << decode_stall_mean_s
+        << ", \"decode_stall_p50_s\": " << decode_stall_p50_s
+        << ", \"decode_stall_p99_s\": " << decode_stall_p99_s
+        << ", \"decode_stall_max_s\": " << decode_stall_max_s << ",\n";
+    oss << in << "\"latency_mean_s\": " << latency_mean_s
+        << ", \"latency_p50_s\": " << latency_p50_s
+        << ", \"latency_p95_s\": " << latency_p95_s
+        << ", \"latency_p99_s\": " << latency_p99_s << ",\n";
+    oss << in << "\"avg_decode_batch\": " << avg_decode_batch
+        << ", \"avg_page_utilization\": " << avg_page_utilization
+        << ", \"peak_page_utilization\": " << peak_page_utilization
+        << ",\n";
+    oss << in << "\"prefill_tokens\": " << prefill_tokens
+        << ", \"prefix_hit_tokens\": " << prefix_hit_tokens
+        << ", \"prefix_hit_rate\": " << prefix_hit_rate
+        << ", \"cow_copies\": " << cow_copies << ",\n";
+    oss << in << "\"tier\": {\"offloaded_pages\": " << tier.offloaded_pages
+        << ", \"fetched_pages\": " << tier.fetched_pages
+        << ", \"prefetched_pages\": " << tier.prefetched_pages
+        << ", \"prefetch_hits\": " << tier.prefetch_hits
+        << ", \"spilled_pages\": " << tier.spilled_pages
+        << ", \"dropped_pages\": " << tier.dropped_pages
+        << ", \"lru_drops\": " << tier.lru_drops
+        << ", \"transfer_failures\": " << tier.transfer_failures
+        << ", \"checksum_failures\": " << tier.checksum_failures
+        << ", \"repaired_pages\": " << tier.repaired_pages
+        << ", \"hedged_fetches\": " << tier.hedged_fetches << "},\n";
+    oss << in << "\"cold_resumes\": " << cold_resumes
+        << ", \"recompute_resumes\": " << recompute_resumes
+        << ", \"tier_hit_rate\": " << tier_hit_rate
+        << ", \"peak_resident_seqs\": " << peak_resident_seqs << ",\n";
+    oss << in << "\"fetch_stall_total_s\": " << fetch_stall_total_s
+        << ", \"fetch_stall_mean_s\": " << fetch_stall_mean_s
+        << ", \"fetch_stall_p99_s\": " << fetch_stall_p99_s
+        << ", \"fetch_stall_max_s\": " << fetch_stall_max_s << ",\n";
+    oss << in << "\"tiers\": [";
+    for (std::size_t t = 0; t < tiers.size(); t++)
+        oss << (t > 0 ? ", " : "") << "{\"name\": \"" << tiers[t].name
+            << "\", \"capacity_pages\": " << tiers[t].capacity_pages
+            << ", \"avg_used_pages\": " << tiers[t].avg_used_pages
+            << ", \"peak_used_pages\": " << tiers[t].peak_used_pages
+            << "}";
+    oss << "],\n";
+    oss << in << "\"faults_injected\": {\"total\": "
+        << faults_injected.total()
+        << ", \"fetch_failures\": " << faults_injected.fetch_failures
+        << ", \"latency_spikes\": " << faults_injected.latency_spikes
+        << ", \"corrupted_pages\": " << faults_injected.corrupted_pages
+        << ", \"alloc_failures\": " << faults_injected.alloc_failures
+        << "},\n";
+    oss << in << "\"fetch_retries\": " << fetch_retries
+        << ", \"recompute_recoveries\": " << recompute_recoveries
+        << ", \"shed_requests\": " << shed_requests
+        << ", \"deadline_cancels\": " << deadline_cancels << ",\n";
+    oss << in << "\"ttft_by_priority\": [";
+    for (std::size_t p = 0; p < ttft_by_priority.size(); p++)
+        oss << (p > 0 ? ", " : "") << "{\"priority\": "
+            << ttft_by_priority[p].priority
+            << ", \"count\": " << ttft_by_priority[p].count
+            << ", \"mean_s\": " << ttft_by_priority[p].mean_s
+            << ", \"p95_s\": " << ttft_by_priority[p].p95_s << "}";
+    oss << "],\n";
+    oss << in << "\"outputs_digest\": \"" << hex << "\"\n";
+    oss << indent << "}";
+    return oss.str();
 }
 
 std::string

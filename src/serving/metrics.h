@@ -138,6 +138,17 @@ struct ServingMetrics
      * the chaos demos — the bench JSON carries the same fields.
      */
     std::string report() const;
+
+    /**
+     * Stable machine-readable JSON object (one line-broken object, no
+     * trailing newline): every metric above under its snake_case field
+     * name, digests as 16-hex-digit strings, tier and fault blocks
+     * included even when zero. All BENCH_*.json records embed this
+     * instead of hand-formatting, so the tiered, fault and cluster
+     * benches emit identical key names and a dashboard parses every
+     * record with one schema. @p indent prefixes each line (nesting).
+     */
+    std::string toJson(const std::string& indent = "  ") const;
 };
 
 /**

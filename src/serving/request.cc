@@ -34,6 +34,8 @@ toString(CancelCause cause)
         return "deadline";
       case CancelCause::Shed:
         return "shed";
+      case CancelCause::Client:
+        return "client";
     }
     return "unknown";
 }

@@ -42,6 +42,7 @@ enum class CancelCause
     None,     //!< not canceled
     Deadline, //!< Request::deadline_s passed before the output completed
     Shed,     //!< admission TTL expired under load (never admitted)
+    Client,   //!< canceled through ServingClient::cancel before its run
 };
 
 /** Returns a printable cancel-cause name. */

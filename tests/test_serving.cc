@@ -13,6 +13,7 @@
 #include "gpusim/arch.h"
 #include "kvcache/paged_cache.h"
 #include "model/model_config.h"
+#include "serving/client.h"
 #include "serving/engine.h"
 #include "serving/metrics.h"
 #include "serving/request.h"
@@ -27,6 +28,38 @@ using serving::EngineConfig;
 using serving::Request;
 using serving::RequestState;
 using serving::ServingMetrics;
+
+/**
+ * One serving run through the narrow ServingClient seam — how every
+ * end-to-end test drives the engine (white-box tests that inspect
+ * engine.cache() still construct an Engine directly). Results are read
+ * back per request via result(id).
+ */
+struct ClientRun
+{
+    std::unique_ptr<serving::ServingClient> client;
+    ServingMetrics metrics;
+
+    const Request& result(int id) const
+    {
+        const Request* r = client->poll(id);
+        EXPECT_NE(r, nullptr);
+        return *r;
+    }
+};
+
+ClientRun
+runClient(const EngineConfig& cfg, const std::vector<Request>& trace,
+          int shards = 1)
+{
+    ClientRun run;
+    run.client = serving::makeServingClient(sim::archA100(),
+                                            model::llama2_7b(), cfg, shards);
+    for (const Request& r : trace)
+        run.client->submit(r);
+    run.metrics = run.client->drain();
+    return run;
+}
 
 std::vector<Half>
 tokenVec(int d, float value)
@@ -583,12 +616,13 @@ tinyEngineConfig(int num_pages)
 
 TEST(Engine, SmokeTraceCompletesEveryRequest)
 {
-    auto trace = serving::smokeTrace();
-    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(512));
-    const ServingMetrics m = engine.run(trace);
+    const auto trace = serving::smokeTrace();
+    const ClientRun run = runClient(tinyEngineConfig(512), trace);
+    const ServingMetrics& m = run.metrics;
     EXPECT_EQ(m.num_requests, 8);
     EXPECT_EQ(m.preemptions, 0); // ample pool: no pressure
-    for (const auto& r : trace) {
+    for (const auto& q : trace) {
+        const Request& r = run.result(q.id);
         EXPECT_EQ(r.state, RequestState::Finished);
         EXPECT_EQ(r.generated, r.output_tokens);
         EXPECT_GE(r.first_token_s, r.arrival_s);
@@ -604,31 +638,28 @@ TEST(Engine, SurvivesPageExhaustionWithZeroDrops)
     // 28 pages x 8 tokens = 224 tokens; the smoke trace needs 596 token
     // slots across overlapping requests, so the pool is exhausted
     // repeatedly and the scheduler must preempt to make progress.
-    auto trace = serving::smokeTrace();
-    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
-    const ServingMetrics m = engine.run(trace);
+    const auto trace = serving::smokeTrace();
+    const ClientRun run = runClient(tinyEngineConfig(28), trace);
+    const ServingMetrics& m = run.metrics;
     EXPECT_EQ(m.num_requests, 8); // zero dropped requests
     EXPECT_GT(m.preemptions, 0);
-    for (const auto& r : trace)
-        EXPECT_EQ(r.state, RequestState::Finished);
+    for (const auto& q : trace)
+        EXPECT_EQ(run.result(q.id).state, RequestState::Finished);
     EXPECT_GT(m.peak_page_utilization, 0.9);
 }
 
 TEST(Engine, DeterministicAcrossRuns)
 {
-    auto trace_a = serving::smokeTrace();
-    auto trace_b = serving::smokeTrace();
-    Engine ea(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
-    Engine eb(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
-    const ServingMetrics ma = ea.run(trace_a);
-    const ServingMetrics mb = eb.run(trace_b);
-    EXPECT_EQ(ma.outputs_digest, mb.outputs_digest);
-    EXPECT_EQ(ma.preemptions, mb.preemptions);
-    EXPECT_DOUBLE_EQ(ma.makespan_s, mb.makespan_s);
-    EXPECT_DOUBLE_EQ(ma.ttft_p99_s, mb.ttft_p99_s);
-    for (std::size_t i = 0; i < trace_a.size(); i++) {
-        EXPECT_EQ(trace_a[i].output_hash, trace_b[i].output_hash);
-        EXPECT_EQ(trace_a[i].preemptions, trace_b[i].preemptions);
+    const auto trace = serving::smokeTrace();
+    const ClientRun a = runClient(tinyEngineConfig(28), trace);
+    const ClientRun b = runClient(tinyEngineConfig(28), trace);
+    EXPECT_EQ(a.metrics.outputs_digest, b.metrics.outputs_digest);
+    EXPECT_EQ(a.metrics.preemptions, b.metrics.preemptions);
+    EXPECT_DOUBLE_EQ(a.metrics.makespan_s, b.metrics.makespan_s);
+    EXPECT_DOUBLE_EQ(a.metrics.ttft_p99_s, b.metrics.ttft_p99_s);
+    for (const auto& q : trace) {
+        EXPECT_EQ(a.result(q.id).output_hash, b.result(q.id).output_hash);
+        EXPECT_EQ(a.result(q.id).preemptions, b.result(q.id).preemptions);
     }
 }
 
@@ -637,17 +668,15 @@ TEST(Engine, PreemptionPreservesOutputs)
     // The same trace through a pressured pool (preempting) and a large
     // pool (never preempting) must produce identical token streams:
     // recompute restored the exact cache content every decode step read.
-    auto pressured = serving::smokeTrace();
-    auto relaxed = serving::smokeTrace();
-    Engine small(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
-    Engine large(sim::archA100(), model::llama2_7b(), tinyEngineConfig(512));
-    const ServingMetrics ms = small.run(pressured);
-    const ServingMetrics ml = large.run(relaxed);
-    ASSERT_GT(ms.preemptions, 0);
-    ASSERT_EQ(ml.preemptions, 0);
-    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
-    for (std::size_t i = 0; i < pressured.size(); i++)
-        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
+    const auto trace = serving::smokeTrace();
+    const ClientRun small = runClient(tinyEngineConfig(28), trace);
+    const ClientRun large = runClient(tinyEngineConfig(512), trace);
+    ASSERT_GT(small.metrics.preemptions, 0);
+    ASSERT_EQ(large.metrics.preemptions, 0);
+    EXPECT_EQ(small.metrics.outputs_digest, large.metrics.outputs_digest);
+    for (const auto& q : trace)
+        EXPECT_EQ(small.result(q.id).output_hash,
+                  large.result(q.id).output_hash);
 }
 
 TEST(Engine, GeneratedTraceUnderPressure)
@@ -662,12 +691,11 @@ TEST(Engine, GeneratedTraceUnderPressure)
     tc.output_median = 16;
     tc.output_min = 4;
     tc.output_max = 32;
-    auto trace = serving::generateTrace(tc);
-    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(32));
-    const ServingMetrics m = engine.run(trace);
-    EXPECT_EQ(m.num_requests, 24);
-    for (const auto& r : trace)
-        EXPECT_EQ(r.generated, r.output_tokens);
+    const auto trace = serving::generateTrace(tc);
+    const ClientRun run = runClient(tinyEngineConfig(32), trace);
+    EXPECT_EQ(run.metrics.num_requests, 24);
+    for (const auto& q : trace)
+        EXPECT_EQ(run.result(q.id).generated, q.output_tokens);
 }
 
 /** Four requests sharing a 20-token prefix (not page-aligned: page_size 8,
@@ -785,12 +813,11 @@ TEST(Engine, PerPriorityTtftIsReported)
     tc.output_min = 4;
     tc.output_max = 16;
     tc.num_priority_levels = 3;
-    auto trace = serving::generateTrace(tc);
+    const auto trace = serving::generateTrace(tc);
     EngineConfig cfg = tinyEngineConfig(256);
     cfg.sched.policy = serving::SchedPolicy::Priority;
     cfg.sched.max_batch = 2; // force a queue so priorities matter
-    Engine engine(sim::archA100(), model::llama2_7b(), cfg);
-    const ServingMetrics m = engine.run(trace);
+    const ServingMetrics m = runClient(cfg, trace).metrics;
     ASSERT_EQ(m.ttft_by_priority.size(), 3u);
     int total = 0;
     for (std::size_t i = 0; i < 3; i++) {
@@ -912,26 +939,23 @@ TEST(Engine, ChunkedMatchesMonolithicDigestUnderPreemption)
     // The same trace through chunked prefill on a pressured pool and
     // monolithic prefill on pressured and relaxed pools: scheduling
     // changes completely, token content must not.
-    auto chunked_trace = serving::smokeTrace();
-    auto mono_trace = serving::smokeTrace();
-    auto relaxed_trace = serving::smokeTrace();
+    const auto trace = serving::smokeTrace();
     EngineConfig mono_cfg = tinyEngineConfig(28);
     mono_cfg.sched.prefill_chunk_tokens = 0;
     EngineConfig relaxed_cfg = tinyEngineConfig(512);
     relaxed_cfg.sched.prefill_chunk_tokens = 0;
-    Engine chunked(sim::archA100(), model::llama2_7b(), tinyEngineConfig(28));
-    Engine mono(sim::archA100(), model::llama2_7b(), mono_cfg);
-    Engine relaxed(sim::archA100(), model::llama2_7b(), relaxed_cfg);
-    const ServingMetrics m_chunked = chunked.run(chunked_trace);
-    const ServingMetrics m_mono = mono.run(mono_trace);
-    const ServingMetrics m_relaxed = relaxed.run(relaxed_trace);
-    ASSERT_GT(m_chunked.preemptions, 0);
-    ASSERT_EQ(m_relaxed.preemptions, 0);
-    EXPECT_EQ(m_chunked.outputs_digest, m_mono.outputs_digest);
-    EXPECT_EQ(m_chunked.outputs_digest, m_relaxed.outputs_digest);
-    for (std::size_t i = 0; i < chunked_trace.size(); i++) {
-        EXPECT_EQ(chunked_trace[i].output_hash, mono_trace[i].output_hash);
-        EXPECT_EQ(chunked_trace[i].output_hash, relaxed_trace[i].output_hash);
+    const ClientRun chunked = runClient(tinyEngineConfig(28), trace);
+    const ClientRun mono = runClient(mono_cfg, trace);
+    const ClientRun relaxed = runClient(relaxed_cfg, trace);
+    ASSERT_GT(chunked.metrics.preemptions, 0);
+    ASSERT_EQ(relaxed.metrics.preemptions, 0);
+    EXPECT_EQ(chunked.metrics.outputs_digest, mono.metrics.outputs_digest);
+    EXPECT_EQ(chunked.metrics.outputs_digest, relaxed.metrics.outputs_digest);
+    for (const auto& q : trace) {
+        EXPECT_EQ(chunked.result(q.id).output_hash,
+                  mono.result(q.id).output_hash);
+        EXPECT_EQ(chunked.result(q.id).output_hash,
+                  relaxed.result(q.id).output_hash);
     }
 }
 
@@ -980,21 +1004,18 @@ TEST(Engine, PrefixPublishesMidPrefillOnNonChunkAlignedBoundary)
     EngineConfig cfg = tinyEngineConfig(512);
     // 20 % 16 != 0: the boundary never coincides with a chunk boundary.
     ASSERT_EQ(cfg.sched.prefill_chunk_tokens, 16);
-    Engine engine(sim::archA100(), model::llama2_7b(), cfg);
-    const ServingMetrics m = engine.run(trace);
-    EXPECT_EQ(m.prefix_hit_tokens, 3 * 20);
+    const ClientRun run = runClient(cfg, trace);
+    EXPECT_EQ(run.metrics.prefix_hit_tokens, 3 * 20);
     for (int i = 1; i < 4; i++)
-        EXPECT_LT(trace[static_cast<std::size_t>(i)].finish_s,
-                  trace[0].first_token_s)
+        EXPECT_LT(run.result(i).finish_s, run.result(0).first_token_s)
             << "follower " << i << " should finish while the publisher "
             << "is still prefilling";
 }
 
 TEST(Engine, DecodeStallMetricsReported)
 {
-    auto trace = serving::smokeTrace();
-    Engine engine(sim::archA100(), model::llama2_7b(), tinyEngineConfig(512));
-    const ServingMetrics m = engine.run(trace);
+    const ServingMetrics m =
+        runClient(tinyEngineConfig(512), serving::smokeTrace()).metrics;
     EXPECT_GT(m.decode_stall_p50_s, 0);
     EXPECT_GE(m.decode_stall_p99_s, m.decode_stall_p50_s);
     EXPECT_GE(m.decode_stall_max_s, m.decode_stall_p99_s);
@@ -1066,14 +1087,12 @@ TEST(Engine, TieredPreemptOffloadResumePreservesDigests)
     // exact bytes the preempted sequence held: both the token stream
     // (output_hash) and every decode step's attention output (attn_hash)
     // match a run that never came under pressure.
-    auto pressured = serving::smokeTrace();
-    auto relaxed = serving::smokeTrace();
+    const auto trace = serving::smokeTrace();
     EngineConfig big = tinyEngineConfig(512);
     big.backend = "reference";
-    Engine small(sim::archA100(), model::llama2_7b(), tieredTinyConfig(28));
-    Engine large(sim::archA100(), model::llama2_7b(), big);
-    const ServingMetrics ms = small.run(pressured);
-    const ServingMetrics ml = large.run(relaxed);
+    const ClientRun small = runClient(tieredTinyConfig(28), trace);
+    const ClientRun large = runClient(big, trace);
+    const ServingMetrics& ms = small.metrics;
     ASSERT_GT(ms.preemptions, 0);
     ASSERT_GT(ms.tier.offloaded_pages, 0); // preemption crossed tiers
     EXPECT_GT(ms.tier.fetched_pages, 0);
@@ -1081,11 +1100,12 @@ TEST(Engine, TieredPreemptOffloadResumePreservesDigests)
     EXPECT_EQ(ms.recompute_resumes, 0); // ample cold tier: nothing lost
     EXPECT_DOUBLE_EQ(ms.tier_hit_rate, 1.0);
     EXPECT_GT(ms.fetch_stall_total_s, 0);
-    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
-    for (std::size_t i = 0; i < pressured.size(); i++) {
-        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
-        ASSERT_NE(pressured[i].attn_hash, 0u);
-        EXPECT_EQ(pressured[i].attn_hash, relaxed[i].attn_hash);
+    EXPECT_EQ(ms.outputs_digest, large.metrics.outputs_digest);
+    for (const auto& q : trace) {
+        EXPECT_EQ(small.result(q.id).output_hash,
+                  large.result(q.id).output_hash);
+        ASSERT_NE(small.result(q.id).attn_hash, 0u);
+        EXPECT_EQ(small.result(q.id).attn_hash, large.result(q.id).attn_hash);
     }
 }
 
@@ -1102,23 +1122,21 @@ TEST(Engine, TieredPreemptOffloadResumeUnderPriorityPolicy)
     tc.output_min = 4;
     tc.output_max = 24;
     tc.num_priority_levels = 3;
-    auto pressured = serving::generateTrace(tc);
-    auto relaxed = serving::generateTrace(tc);
+    const auto trace = serving::generateTrace(tc);
     EngineConfig small_cfg = tieredTinyConfig(28);
     small_cfg.sched.policy = serving::SchedPolicy::Priority;
     EngineConfig big_cfg = tinyEngineConfig(512);
     big_cfg.backend = "reference";
     big_cfg.sched.policy = serving::SchedPolicy::Priority;
-    Engine small(sim::archA100(), model::llama2_7b(), small_cfg);
-    Engine large(sim::archA100(), model::llama2_7b(), big_cfg);
-    const ServingMetrics ms = small.run(pressured);
-    const ServingMetrics ml = large.run(relaxed);
-    ASSERT_GT(ms.preemptions, 0);
-    ASSERT_GT(ms.tier.offloaded_pages, 0);
-    EXPECT_EQ(ms.outputs_digest, ml.outputs_digest);
-    for (std::size_t i = 0; i < pressured.size(); i++) {
-        EXPECT_EQ(pressured[i].output_hash, relaxed[i].output_hash);
-        EXPECT_EQ(pressured[i].attn_hash, relaxed[i].attn_hash);
+    const ClientRun small = runClient(small_cfg, trace);
+    const ClientRun large = runClient(big_cfg, trace);
+    ASSERT_GT(small.metrics.preemptions, 0);
+    ASSERT_GT(small.metrics.tier.offloaded_pages, 0);
+    EXPECT_EQ(small.metrics.outputs_digest, large.metrics.outputs_digest);
+    for (const auto& q : trace) {
+        EXPECT_EQ(small.result(q.id).output_hash,
+                  large.result(q.id).output_hash);
+        EXPECT_EQ(small.result(q.id).attn_hash, large.result(q.id).attn_hash);
     }
 }
 
@@ -1142,28 +1160,29 @@ TEST(Engine, IdleSessionsParkOffloadAndWakeDigestIdentical)
     tc.idle_output_tokens = 4;
     tc.idle_wake_s = 2.0;
     tc.idle_wake_stagger_s = 0.1;
-    auto tiered_trace = serving::generateTrace(tc);
-    auto plain_trace = serving::generateTrace(tc);
-    ASSERT_EQ(tiered_trace.size(), 14u);
+    const auto trace = serving::generateTrace(tc);
+    ASSERT_EQ(trace.size(), 14u);
     // 6 idle sessions hold 48 pages; the pool fits ~half of that on top
     // of the live traffic, so parked sessions must be evicted.
     EngineConfig plain_cfg = tinyEngineConfig(40);
     plain_cfg.backend = "reference";
-    Engine tiered(sim::archA100(), model::llama2_7b(), tieredTinyConfig(40));
-    Engine plain(sim::archA100(), model::llama2_7b(), plain_cfg);
-    const ServingMetrics mt = tiered.run(tiered_trace);
-    const ServingMetrics mp = plain.run(plain_trace);
-    for (const auto& r : tiered_trace)
-        EXPECT_EQ(r.state, RequestState::Finished);
+    const ClientRun tiered = runClient(tieredTinyConfig(40), trace);
+    const ClientRun plain = runClient(plain_cfg, trace);
+    const ServingMetrics& mt = tiered.metrics;
+    const ServingMetrics& mp = plain.metrics;
+    for (const auto& q : trace)
+        EXPECT_EQ(tiered.result(q.id).state, RequestState::Finished);
     ASSERT_GT(mt.tier.offloaded_pages, 0);
     EXPECT_GT(mt.cold_resumes, 0);
     // The untiered engine had to recompute what the tiered one fetched.
     EXPECT_GT(mp.recompute_resumes, 0);
     EXPECT_EQ(mp.tier.offloaded_pages, 0);
     EXPECT_EQ(mt.outputs_digest, mp.outputs_digest);
-    for (std::size_t i = 0; i < tiered_trace.size(); i++) {
-        EXPECT_EQ(tiered_trace[i].output_hash, plain_trace[i].output_hash);
-        EXPECT_EQ(tiered_trace[i].attn_hash, plain_trace[i].attn_hash);
+    for (const auto& q : trace) {
+        EXPECT_EQ(tiered.result(q.id).output_hash,
+                  plain.result(q.id).output_hash);
+        EXPECT_EQ(tiered.result(q.id).attn_hash,
+                  plain.result(q.id).attn_hash);
     }
     // Tier occupancy reporting is wired through the metrics.
     ASSERT_EQ(mt.tiers.size(), 1u);
