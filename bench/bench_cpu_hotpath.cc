@@ -32,6 +32,7 @@
 #include "serving/options.h"
 #include "core/bitdecoding.h"
 #include "core/packing_kernel.h"
+#include "exec/simd/dispatch.h"
 #include "exec/thread_pool.h"
 
 namespace bitdec {
@@ -70,7 +71,19 @@ struct ContextResult
     double fused_ms_t8;
     double paged_gather_ms; //!< reference backend over pages; -1 = skipped
     double paged_fused_ms;  //!< fused-paged backend, in place
+    double scalar_twin_ms;  //!< scalar twin of a SIMD backend; -1 = N/A
 };
+
+/** The scalar twin of a SIMD sibling name; empty for non-siblings. */
+std::string
+scalarTwinOf(const std::string& name)
+{
+    if (name.ends_with("-avx2"))
+        return name.substr(0, name.size() - 5);
+    if (name.ends_with("-avx512"))
+        return name.substr(0, name.size() - 7);
+    return {};
+}
 
 ContextResult
 runContext(const backend::AttentionBackend& be, int context, bool smoke,
@@ -112,6 +125,18 @@ runContext(const backend::AttentionBackend& be, int context, bool smoke,
     backend::DecodeBatch b = fx.batch();
     b.scale = scale;
     r.fused_ms_t1 = timeMs(reps, [&] { be.decodeStep(b); });
+
+    // SIMD siblings also time their scalar twin on the same batch (the
+    // capability masks are copies, so the binding fits), recording the
+    // vectorization win separately from the vs-legacy speedup.
+    r.scalar_twin_ms = -1.0;
+    const std::string twin_name = scalarTwinOf(be.name());
+    if (!twin_name.empty()) {
+        const backend::AttentionBackend& twin =
+            backend::BackendRegistry::instance().resolve(twin_name);
+        r.scalar_twin_ms = timeMs(reps, [&] { twin.decodeStep(b); });
+    }
+
     {
         exec::ThreadPool pool4(4);
         b.pool = &pool4;
@@ -167,6 +192,8 @@ main(int argc, char** argv)
     std::printf("hardware threads: %u, BITDEC_THREADS default pool: %d\n",
                 std::thread::hardware_concurrency(),
                 exec::ThreadPool::globalThreadCount());
+    std::printf("cpu features: %s\nsimd level: %s\n",
+                exec::simd::describeCpuFeatures().c_str(), be.simdLevel());
 
     std::vector<int> contexts =
         smoke ? std::vector<int>{4096}
@@ -190,6 +217,15 @@ main(int argc, char** argv)
                     r.legacy_ms / r.fused_ms_t1,
                     r.fused_ms_t1 / r.fused_ms_t8},
                    "%10.3f");
+    }
+    if (results[0].scalar_twin_ms >= 0) {
+        bench::section("SIMD vs scalar twin (1 thread)");
+        bench::head("context", {"scalar", "simd", "speedup"});
+        for (const ContextResult& r : results)
+            bench::row(std::to_string(r.context / 1024) + "K",
+                       {r.scalar_twin_ms, r.fused_ms_t1,
+                        r.scalar_twin_ms / r.fused_ms_t1},
+                       "%10.3f");
     }
     bench::section("paged: fused-paged in place vs reference gather "
                    "(1 thread)");
@@ -217,6 +253,8 @@ main(int argc, char** argv)
     std::fprintf(f, "{\n  \"bench\": \"cpu_hotpath\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"backend\": \"%s\",\n", be.name());
+    std::fprintf(f, "  \"cpu_features\": \"%s\",\n  \"simd_level\": \"%s\",\n",
+                 exec::simd::describeCpuFeatures().c_str(), be.simdLevel());
     // Honest format labeling: FP16 bindings are not a 4-bit sweep; the
     // packed, quantized and MX(FP4) bindings are.
     const backend::Binding binding = results[0].binding;
@@ -235,6 +273,15 @@ main(int argc, char** argv)
             std::snprintf(gather, sizeof(gather), "null"); // not measured
         else
             std::snprintf(gather, sizeof(gather), "%.4f", r.paged_gather_ms);
+        char twin[64];
+        if (r.scalar_twin_ms < 0)
+            std::snprintf(twin, sizeof(twin),
+                          "\"scalar_twin_ms\": null"); // not a SIMD sibling
+        else
+            std::snprintf(twin, sizeof(twin),
+                          "\"scalar_twin_ms\": %.4f, "
+                          "\"simd_speedup_vs_scalar\": %.2f",
+                          r.scalar_twin_ms, r.scalar_twin_ms / r.fused_ms_t1);
         std::fprintf(
             f,
             "    {\"context\": %d, \"legacy_ms\": %.4f, "
@@ -242,11 +289,12 @@ main(int argc, char** argv)
             "     \"fused_ms\": {\"t1\": %.4f, \"t4\": %.4f, \"t8\": %.4f},\n"
             "     \"speedup_vs_legacy_1t\": %.2f, "
             "\"scaling_1t_to_8t\": %.2f,\n"
+            "     %s,\n"
             "     \"paged_gather_ms\": %s, \"paged_fused_ms\": %.4f}%s\n",
             r.context, r.legacy_ms, r.legacy_estimated ? "true" : "false",
             r.fused_ms_t1, r.fused_ms_t4, r.fused_ms_t8,
             r.legacy_ms / r.fused_ms_t1, r.fused_ms_t1 / r.fused_ms_t8,
-            gather, r.paged_fused_ms,
+            twin, gather, r.paged_fused_ms,
             i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -11,6 +11,9 @@
 #     chaos/recovery contract is load-bearing for the serving stack.
 #  4. docs/CLUSTER.md must exist and cover the cluster module — the
 #     sharding/invariance contract backs the cluster CI gate.
+#  5. docs/BACKENDS.md must cover src/exec/simd/ — the SIMD dispatch
+#     layer and its bit-exactness contract back the sibling backends
+#     and the forced-scalar CI leg.
 #
 # Run from the repo root: scripts/check_docs.sh
 set -u
@@ -75,6 +78,15 @@ if [ ! -e "$cluster_doc" ]; then
     fail=1
 elif ! grep -q "src/cluster/" "$cluster_doc"; then
     echo "ERROR: $cluster_doc does not cover src/cluster/"
+    fail=1
+fi
+
+backends_doc="docs/BACKENDS.md"
+if [ ! -e "$backends_doc" ]; then
+    echo "ERROR: $backends_doc is missing"
+    fail=1
+elif ! grep -q "src/exec/simd/" "$backends_doc"; then
+    echo "ERROR: $backends_doc does not cover src/exec/simd/"
     fail=1
 fi
 

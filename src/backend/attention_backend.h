@@ -227,6 +227,22 @@ class AttentionBackend
     virtual BackendCapabilities capabilities() const = 0;
 
     /**
+     * True when this host can execute the backend right now. The SIMD
+     * siblings return false when the CPU/OS lacks their ISA or
+     * `BITDEC_SIMD` caps the level below it; everything else is always
+     * available. The registry hides unavailable backends from listings
+     * and capability resolution, and resolving one by name is fatal.
+     */
+    virtual bool available() const { return true; }
+
+    /** Why available() is false (empty when it is true). */
+    virtual std::string unavailableReason() const { return {}; }
+
+    /** SIMD level the hot loops run at: "scalar", "avx2" or "avx512".
+     *  Recorded in the bench JSON next to the detected CPU features. */
+    virtual const char* simdLevel() const { return "scalar"; }
+
+    /**
      * Chunking/split decisions for one decode shape. The default derives
      * support from capabilities() (scenario bit, paged-cache requirement)
      * and reports a single-pass plan.

@@ -451,4 +451,90 @@ fusedPackedAttention(const Tensor<Half>& q_tile,
     return exec::finalizePartial(run, gq, d);
 }
 
+Tensor<float>
+fusedPackedAttentionSimd(const Tensor<Half>& q_tile,
+                         const kv::PackedHeadCache& cache, float scale,
+                         exec::simd::Level level, exec::ThreadPool* pool)
+{
+    namespace simd = exec::simd;
+    const simd::KernelTable* kt = simd::kernels(level);
+    if (kt == nullptr)
+        BITDEC_FATAL("SIMD level '", simd::toString(level),
+                     "' has no kernels on this host (detected CPU features: ",
+                     simd::describeCpuFeatures(), ")");
+
+    const int d = cache.headDim();
+    const int gq = static_cast<int>(q_tile.dim(0));
+    BITDEC_ASSERT(gq >= 1 && gq <= 16, "query tile must fit one m16 tile");
+    BITDEC_ASSERT(static_cast<int>(q_tile.dim(1)) == d, "query width mismatch");
+    const int nr = cache.residualBlockSize();
+    const int bits = cache.config().bits;
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    std::vector<float> qf(static_cast<std::size_t>(gq) * dd);
+    kt->convert_rows(q_tile.data(), qf.size(), qf.data());
+
+    const auto& k_blocks = cache.keyBlocks();
+    const auto& v_blocks = cache.valueBlocks();
+    const simd::LinearDequantPlan& kplan = cache.keyLinearPlan();
+    const simd::LinearDequantPlan& vplan = cache.valueLinearPlan();
+    const int n_blocks = static_cast<int>(k_blocks.size());
+    const int n_chunks = (n_blocks + kChunkBlocks - 1) / kChunkBlocks;
+
+    std::vector<exec::SoftmaxPartial> parts(static_cast<std::size_t>(n_chunks));
+
+    exec::parallelFor(pool, static_cast<std::size_t>(n_chunks),
+                      [&](std::size_t ci) {
+        exec::SoftmaxPartial& st = parts[ci];
+        st.init(gq, d);
+
+        // Same scratch discipline as the scalar twin, but K dequantizes
+        // channel-major ([d x Nr], token stride nr) straight through the
+        // remapped linear plan — no transpose pass.
+        thread_local std::vector<float> kd, vd, s;
+        const std::size_t tile = static_cast<std::size_t>(nr) * dd;
+        if (kd.size() < tile) {
+            kd.resize(tile);
+            vd.resize(tile);
+        }
+        if (s.size() < static_cast<std::size_t>(nr))
+            s.resize(static_cast<std::size_t>(nr));
+
+        const int b0 = static_cast<int>(ci) * kChunkBlocks;
+        const int b1 = std::min(n_blocks, b0 + kChunkBlocks);
+        for (int blk = b0; blk < b1; blk++) {
+            const kv::PackedBlock& kb = k_blocks[static_cast<std::size_t>(blk)];
+            const kv::PackedBlock& vb = v_blocks[static_cast<std::size_t>(blk)];
+            kt->dequant_linear(kb.units.data(), kplan.unit.data(),
+                               kplan.shift.data(), kplan.param.data(),
+                               kplan.size(), bits, kb.dequant_lut_f32.data(),
+                               kd.data());
+            kt->dequant_linear(vb.units.data(), vplan.unit.data(),
+                               vplan.shift.data(), vplan.param.data(),
+                               vplan.size(), bits, vb.dequant_lut_f32.data(),
+                               vd.data());
+            kt->fold_tile(qf.data(), gq, d, kd.data(), /*t_stride=*/nr,
+                          vd.data(), nr, scale, st.m.data(), st.l.data(),
+                          st.acc.data(), s.data(), /*round_p=*/true);
+        }
+    });
+
+    exec::SoftmaxPartial run = exec::mergePartials(parts, gq, d);
+
+    const int res_len = cache.residualLength();
+    if (res_len > 0) {
+        const std::size_t live = static_cast<std::size_t>(res_len) * dd;
+        std::vector<float> krT(live), vrf(live),
+            rs(static_cast<std::size_t>(res_len));
+        kt->convert_transpose(cache.residualKeys().data(), res_len, d,
+                              krT.data(), res_len);
+        kt->convert_rows(cache.residualValues().data(), live, vrf.data());
+        kt->fold_tile(qf.data(), gq, d, krT.data(), res_len, vrf.data(),
+                      res_len, scale, run.m.data(), run.l.data(),
+                      run.acc.data(), rs.data(), /*round_p=*/false);
+    }
+
+    return exec::finalizePartial(run, gq, d);
+}
+
 } // namespace bitdec::core

@@ -28,6 +28,7 @@
 
 #include "attention/workloads.h"
 #include "common/tensor.h"
+#include "exec/simd/dispatch.h"
 #include "exec/thread_pool.h"
 #include "gpusim/timing.h"
 #include "kvcache/kv_cache.h"
@@ -95,6 +96,22 @@ Tensor<float> fusedPackedAttention(const Tensor<Half>& q_tile,
                                    const kv::PackedHeadCache& cache,
                                    float scale,
                                    exec::ThreadPool* pool = nullptr);
+
+/**
+ * SIMD twin of fusedPackedAttention: identical chunking (kChunkBlocks
+ * blocks per partial + FP16 residual tail) and sequential merges, so the
+ * output is bitwise identical to the scalar path for any thread count.
+ * Packed blocks dequantize through the cache's linear plans — K directly
+ * into a channel-major scratch tile (the vector QK layout), V token-major
+ * — via gathered LUT lookups instead of route-table walks.
+ *
+ * @param level SIMD level whose kernel table to use; fatal when this host
+ *              cannot run it (backends gate availability upstream)
+ */
+Tensor<float> fusedPackedAttentionSimd(const Tensor<Half>& q_tile,
+                                       const kv::PackedHeadCache& cache,
+                                       float scale, exec::simd::Level level,
+                                       exec::ThreadPool* pool = nullptr);
 
 } // namespace bitdec::core
 

@@ -1,0 +1,120 @@
+#include "exec/simd/simd_attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bitdec::exec::simd {
+
+namespace {
+
+/** The level's kernel table; fatal (never a silent fallback) when the
+ *  host cannot run it — backends gate availability upstream, so hitting
+ *  this means a caller bypassed the registry. */
+const KernelTable*
+requireKernels(Level level)
+{
+    const KernelTable* kt = kernels(level);
+    if (kt == nullptr)
+        BITDEC_FATAL("SIMD level '", toString(level),
+                     "' has no kernels on this host (detected CPU "
+                     "features: ", describeCpuFeatures(), ")");
+    return kt;
+}
+
+} // namespace
+
+Tensor<float>
+fusedPagedAttentionSimd(const Tensor<Half>& q, const kv::PagedHeadCache& cache,
+                        int seq, float scale, Level level, ThreadPool* pool)
+{
+    const KernelTable* kt = requireKernels(level);
+    const int d = cache.headDim();
+    const int gq = static_cast<int>(q.dim(0));
+    BITDEC_ASSERT(static_cast<int>(q.dim(1)) == d, "query width mismatch");
+    const int len = cache.length(seq);
+    const int ps = cache.pageSize();
+    const std::vector<int>& pages = cache.pageTable(seq);
+    const int n_chunks = cache.pagesFor(len); // one chunk per page
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    std::vector<float> qf(static_cast<std::size_t>(gq) * dd);
+    kt->convert_rows(q.data(), qf.size(), qf.data());
+
+    std::vector<SoftmaxPartial> parts(static_cast<std::size_t>(n_chunks));
+    parallelFor(pool, static_cast<std::size_t>(n_chunks), [&](std::size_t ci) {
+        SoftmaxPartial& st = parts[ci];
+        st.init(gq, d);
+
+        const int page = pages[ci];
+        const int tokens =
+            std::min(ps, len - static_cast<int>(ci) * ps); // last page partial
+        thread_local std::vector<float> kT, vf, s;
+        const std::size_t need = static_cast<std::size_t>(ps) * dd;
+        if (kT.size() < need) {
+            kT.resize(need);
+            vf.resize(need);
+        }
+        if (s.size() < static_cast<std::size_t>(ps))
+            s.resize(static_cast<std::size_t>(ps));
+        // K converts channel-major (the vector QK layout), V token-major;
+        // both conversions are bit-exact Half widenings.
+        kt->convert_transpose(cache.pageKeyData(page), tokens, d, kT.data(),
+                              tokens);
+        kt->convert_rows(cache.pageValueData(page),
+                         static_cast<std::size_t>(tokens) * dd, vf.data());
+        kt->fold_tile(qf.data(), gq, d, kT.data(), tokens, vf.data(), tokens,
+                      scale, st.m.data(), st.l.data(), st.acc.data(),
+                      s.data(), /*round_p=*/false);
+    });
+
+    return finalizePartial(mergePartials(parts, gq, d), gq, d);
+}
+
+Tensor<float>
+fusedFp16AttentionSimd(const Tensor<Half>& q, const kv::Fp16HeadCache& cache,
+                       float scale, Level level, ThreadPool* pool)
+{
+    const KernelTable* kt = requireKernels(level);
+    const int d = cache.headDim();
+    const int gq = static_cast<int>(q.dim(0));
+    BITDEC_ASSERT(static_cast<int>(q.dim(1)) == d, "query width mismatch");
+    const int len = cache.length();
+    const int n_chunks = (len + kChunkTokens - 1) / kChunkTokens;
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    std::vector<float> qf(static_cast<std::size_t>(gq) * dd);
+    kt->convert_rows(q.data(), qf.size(), qf.data());
+
+    std::vector<SoftmaxPartial> parts(static_cast<std::size_t>(n_chunks));
+    parallelFor(pool, static_cast<std::size_t>(n_chunks), [&](std::size_t ci) {
+        SoftmaxPartial& st = parts[ci];
+        st.init(gq, d);
+
+        const int t0 = static_cast<int>(ci) * kChunkTokens;
+        const int tokens = std::min(kChunkTokens, len - t0);
+        thread_local std::vector<float> kT, vf, s;
+        const std::size_t need = static_cast<std::size_t>(kChunkTokens) * dd;
+        if (kT.size() < need) {
+            kT.resize(need);
+            vf.resize(need);
+        }
+        if (s.size() < static_cast<std::size_t>(kChunkTokens))
+            s.resize(static_cast<std::size_t>(kChunkTokens));
+        kt->convert_transpose(cache.keys().data() +
+                                  static_cast<std::size_t>(t0) * dd,
+                              tokens, d, kT.data(), tokens);
+        kt->convert_rows(cache.values().data() +
+                             static_cast<std::size_t>(t0) * dd,
+                         static_cast<std::size_t>(tokens) * dd, vf.data());
+        kt->fold_tile(qf.data(), gq, d, kT.data(), tokens, vf.data(), tokens,
+                      scale, st.m.data(), st.l.data(), st.acc.data(),
+                      s.data(), /*round_p=*/false);
+    });
+
+    return finalizePartial(mergePartials(parts, gq, d), gq, d);
+}
+
+} // namespace bitdec::exec::simd

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * SIMD twins of the fused FP16/paged attention paths: identical chunking
+ * (one page per partial / kChunkTokens chunks), identical sequential
+ * merges, kernels from the requested Level's table. Bitwise identical to
+ * their scalar twins for any thread count — the only difference is that
+ * K tiles convert into a channel-major float scratch (feeding the
+ * lane-per-token QK loop) instead of a token-major one.
+ */
+#ifndef BITDEC_EXEC_SIMD_SIMD_ATTENTION_H
+#define BITDEC_EXEC_SIMD_SIMD_ATTENTION_H
+
+#include "exec/fused_attention.h"
+#include "exec/simd/dispatch.h"
+
+namespace bitdec::exec::simd {
+
+/** SIMD twin of exec::fusedPagedAttention; digest-identical to it. */
+Tensor<float> fusedPagedAttentionSimd(const Tensor<Half>& q,
+                                      const kv::PagedHeadCache& cache,
+                                      int seq, float scale, Level level,
+                                      ThreadPool* pool = nullptr);
+
+/** SIMD twin of exec::fusedFp16Attention; digest-identical to it. */
+Tensor<float> fusedFp16AttentionSimd(const Tensor<Half>& q,
+                                     const kv::Fp16HeadCache& cache,
+                                     float scale, Level level,
+                                     ThreadPool* pool = nullptr);
+
+} // namespace bitdec::exec::simd
+
+#endif // BITDEC_EXEC_SIMD_SIMD_ATTENTION_H

@@ -26,6 +26,16 @@ transposeCodes(const Tensor<std::uint8_t>& m)
  * fast path produces. One table lookup then replaces the per-element
  * dequantization on the CPU hot path, bit-exactly.
  */
+/** Fills the block's float mirror of dequant_lut (same indexing, values
+ *  widened through the global Half LUT — bit-identical at use). */
+void
+widenDequantLut(kv::PackedBlock& blk)
+{
+    blk.dequant_lut_f32.resize(blk.dequant_lut.size());
+    toFloat(blk.dequant_lut.data(), blk.dequant_lut_f32.data(),
+            blk.dequant_lut.size());
+}
+
 std::vector<Half>
 buildDequantLut(const Tensor<Half2>& params, int bits)
 {
@@ -152,6 +162,19 @@ PackedHeadCache::PackedHeadCache(int head_dim, const quant::QuantConfig& config,
                static_cast<std::uint32_t>(col) / gs;
     };
     v_routes_ = exec::buildDequantRoutes(v_layout_, v_dest, v_param);
+
+    // SoA plans for the SIMD dequant kernel. The key plan remaps every
+    // token-major destination t*d+c to the channel-major slot c*Nr+t, so
+    // the vector path dequantizes keys directly into QK's preferred layout.
+    const std::size_t n_elems =
+        static_cast<std::size_t>(nr_) * static_cast<std::size_t>(head_dim);
+    const std::uint32_t du = static_cast<std::uint32_t>(head_dim);
+    const std::uint32_t nru = static_cast<std::uint32_t>(nr_);
+    k_linear_ = exec::simd::buildLinearDequantPlan(
+        k_routes_, config.bits, n_elems,
+        [du, nru](std::uint32_t dest) { return (dest % du) * nru + dest / du; });
+    v_linear_ = exec::simd::buildLinearDequantPlan(v_routes_, config.bits,
+                                                   n_elems);
 }
 
 void
@@ -315,6 +338,8 @@ packBlock(const Tensor<Half>& k_block, const Tensor<Half>& v_block,
     v_out.params = vq.params;
     k_out.dequant_lut = buildDequantLut(k_out.params, config.bits);
     v_out.dequant_lut = buildDequantLut(v_out.params, config.bits);
+    widenDequantLut(k_out);
+    widenDequantLut(v_out);
 }
 
 } // namespace bitdec::kv

@@ -18,6 +18,7 @@
 #include "common/half.h"
 #include "common/tensor.h"
 #include "exec/dequant_plan.h"
+#include "exec/simd/dequant_linear.h"
 #include "layout/induced_layout.h"
 #include "layout/tile.h"
 #include "quant/int_quant.h"
@@ -77,6 +78,12 @@ struct PackedBlock
      * CPU backend's way of making per-element dequant a pair of loads.
      */
     std::vector<Half> dequant_lut;
+
+    /** Widened (float) mirror of dequant_lut for the SIMD dequant kernel,
+     *  whose gathered lookup wants 32-bit lanes. Same indexing
+     *  ((group << bits) | code); values bit-identical to widening
+     *  dequant_lut at use. */
+    std::vector<float> dequant_lut_f32;
 };
 
 /**
@@ -156,6 +163,25 @@ class PackedHeadCache
         return v_routes_;
     }
 
+    /**
+     * Dest-ordered (SoA) inversion of keyRoutes() for the SIMD dequant
+     * kernel, remapped to a channel-major [d x Nr] scratch tile — the
+     * layout the vector QK loop reads, so packed keys dequantize straight
+     * into it with no transpose pass.
+     */
+    const exec::simd::LinearDequantPlan&
+    keyLinearPlan() const
+    {
+        return k_linear_;
+    }
+
+    /** SoA inversion of valueRoutes() (token-major [Nr x d], as scalar). */
+    const exec::simd::LinearDequantPlan&
+    valueLinearPlan() const
+    {
+        return v_linear_;
+    }
+
     /** Device bytes: packed words + metadata + residual. */
     double deviceBytes() const;
 
@@ -181,6 +207,9 @@ class PackedHeadCache
 
     std::vector<exec::CodeRoute> k_routes_; //!< shared key dequant routing
     std::vector<exec::CodeRoute> v_routes_; //!< shared value dequant routing
+
+    exec::simd::LinearDequantPlan k_linear_; //!< SoA keys, channel-major
+    exec::simd::LinearDequantPlan v_linear_; //!< SoA values, token-major
 
     std::vector<PackedBlock> k_blocks_;
     std::vector<PackedBlock> v_blocks_;

@@ -7,13 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "attention/flash_decoding.h"
 #include "attention/workloads.h"
+#include "backend/harness.h"
+#include "backend/registry.h"
 #include "common/rng.h"
 #include "core/bitdecoding.h"
 #include "core/residual_kernel.h"
+#include "exec/dequant_plan.h"
+#include "exec/simd/dispatch.h"
 #include "gpusim/arch.h"
+#include "kvcache/kv_cache.h"
 #include "layout/induced_layout.h"
 #include "model/decode_sim.h"
 #include "model/model_config.h"
@@ -327,6 +334,220 @@ TEST(ModelProperties, EveryModelRunsEverySystemAt4k)
             EXPECT_TRUE(std::isfinite(t.total_s)) << m->name;
         }
     }
+}
+
+// ------------------------------------------------- SIMD bit-exactness ----
+
+using exec::simd::Level;
+
+/** Supported SIMD kernel tables of this host, with their level names. */
+std::vector<std::pair<const exec::simd::KernelTable*, const char*>>
+supportedKernelTables()
+{
+    std::vector<std::pair<const exec::simd::KernelTable*, const char*>> out;
+    for (Level l : {Level::Avx2, Level::Avx512})
+        if (exec::simd::levelSupported(l))
+            out.emplace_back(exec::simd::kernels(l), exec::simd::toString(l));
+    return out;
+}
+
+/** Float bit patterns match (the definition of "bit-exact"). */
+bool
+sameBits(float a, float b)
+{
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a, 4);
+    std::memcpy(&bb, &b, 4);
+    return ba == bb;
+}
+
+TEST(SimdProperties, ConvertRowsWidensEveryHalfPatternExactly)
+{
+    // Exhaustive: all 65536 binary16 patterns — normals, denormals,
+    // zeros, infinities and NaNs — must widen exactly as the scalar LUT
+    // does. NaNs compare as NaN-ness (F16C may quiet a signaling payload
+    // differently); no NaN ever reaches the hot path from real caches.
+    const auto tables = supportedKernelTables();
+    if (tables.empty())
+        GTEST_SKIP() << "host has no SIMD level: "
+                     << exec::simd::describeCpuFeatures();
+    std::vector<Half> src(65536);
+    for (std::uint32_t i = 0; i < 65536; i++)
+        src[i] = Half::fromBits(static_cast<std::uint16_t>(i));
+    const float* lut = halfToFloatLut();
+    for (const auto& [kt, name] : tables) {
+        std::vector<float> dst(65536, -1.f);
+        kt->convert_rows(src.data(), src.size(), dst.data());
+        int mismatches = 0;
+        for (std::uint32_t i = 0; i < 65536; i++) {
+            const bool ok = std::isnan(lut[i])
+                                ? std::isnan(dst[i])
+                                : sameBits(dst[i], lut[i]);
+            if (!ok && ++mismatches < 4)
+                ADD_FAILURE() << name << " pattern 0x" << std::hex << i;
+        }
+        EXPECT_EQ(mismatches, 0) << name;
+    }
+}
+
+TEST(SimdProperties, ConvertTransposeMatchesLutAtOddShapes)
+{
+    // The 8x8-block transpose must stay exact across both tail axes:
+    // tokens % 8 != 0 and d % 8 != 0, down to a single token.
+    const auto tables = supportedKernelTables();
+    if (tables.empty())
+        GTEST_SKIP();
+    Rng rng(4242);
+    for (const auto& [kt, name] : tables) {
+        for (const auto [tokens, d] : {std::pair{1, 37}, std::pair{13, 24},
+                                       std::pair{16, 16}, std::pair{23, 129}}) {
+            std::vector<Half> src(static_cast<std::size_t>(tokens) * d);
+            for (auto& h : src)
+                h = Half(rng.normal());
+            std::vector<float> kT(src.size(), -1.f);
+            kt->convert_transpose(src.data(), tokens, d, kT.data(), tokens);
+            const float* lut = halfToFloatLut();
+            for (int t = 0; t < tokens; t++)
+                for (int c = 0; c < d; c++)
+                    ASSERT_TRUE(sameBits(
+                        kT[static_cast<std::size_t>(c) * tokens + t],
+                        lut[src[static_cast<std::size_t>(t) * d + c].bits()]))
+                        << name << " tokens=" << tokens << " d=" << d;
+        }
+    }
+}
+
+TEST(SimdProperties, LinearDequantBitExactUnderExtremeHalves)
+{
+    // The gathered linear-plan dequant must reproduce the route-walking
+    // scalar dequant bit-for-bit, including blocks quantized from
+    // denormal and near-max half content (extreme scales/zeros stress
+    // the LUT corners). K additionally checks the channel-major remap.
+    const auto tables = supportedKernelTables();
+    if (tables.empty())
+        GTEST_SKIP();
+    for (int bits : {4, 2}) {
+        quant::QuantConfig qc;
+        qc.bits = bits;
+        const int d = 64;
+        kv::PackedHeadCache cache(d, qc, layout::WarpTiling{});
+        const int nr = cache.residualBlockSize();
+        Rng rng(2026 + bits);
+        for (int t = 0; t < nr; t++) {
+            std::vector<Half> k(static_cast<std::size_t>(d)),
+                v(static_cast<std::size_t>(d));
+            for (int c = 0; c < d; c++) {
+                switch (rng.uniformInt(4)) {
+                case 0: // denormal half
+                    k[static_cast<std::size_t>(c)] = Half::fromBits(
+                        static_cast<std::uint16_t>(1 + rng.uniformInt(0x3FF)));
+                    break;
+                case 1: // near half-max
+                    k[static_cast<std::size_t>(c)] =
+                        Half(60000.f * (rng.normal() > 0 ? 1.f : -1.f));
+                    break;
+                default:
+                    k[static_cast<std::size_t>(c)] = Half(rng.normal());
+                }
+                v[static_cast<std::size_t>(c)] = Half(rng.normal() * 100.f);
+            }
+            cache.append(k, v);
+        }
+        ASSERT_EQ(static_cast<int>(cache.keyBlocks().size()), 1);
+        const kv::PackedBlock& kb = cache.keyBlocks()[0];
+        const kv::PackedBlock& vb = cache.valueBlocks()[0];
+        const std::size_t n = static_cast<std::size_t>(nr) * d;
+        std::vector<float> k_ref(n), v_ref(n);
+        exec::dequantBlock(kb.units, cache.keyRoutes(), kb.dequant_lut, bits,
+                           k_ref.data());
+        exec::dequantBlock(vb.units, cache.valueRoutes(), vb.dequant_lut,
+                           bits, v_ref.data());
+        const auto& kp = cache.keyLinearPlan();
+        const auto& vp = cache.valueLinearPlan();
+        for (const auto& [kt, name] : supportedKernelTables()) {
+            std::vector<float> k_simd(n, -1.f), v_simd(n, -1.f);
+            kt->dequant_linear(kb.units.data(), kp.unit.data(),
+                               kp.shift.data(), kp.param.data(), kp.size(),
+                               bits, kb.dequant_lut_f32.data(),
+                               k_simd.data());
+            kt->dequant_linear(vb.units.data(), vp.unit.data(),
+                               vp.shift.data(), vp.param.data(), vp.size(),
+                               bits, vb.dequant_lut_f32.data(),
+                               v_simd.data());
+            for (int t = 0; t < nr; t++)
+                for (int c = 0; c < d; c++) {
+                    const std::size_t tm =
+                        static_cast<std::size_t>(t) * d + c; // token-major
+                    const std::size_t cm =
+                        static_cast<std::size_t>(c) * nr + t; // channel-major
+                    ASSERT_TRUE(sameBits(k_simd[cm], k_ref[tm]))
+                        << name << " K bits=" << bits << " t=" << t
+                        << " c=" << c;
+                    ASSERT_TRUE(sameBits(v_simd[tm], v_ref[tm]))
+                        << name << " V bits=" << bits << " t=" << t
+                        << " c=" << c;
+                }
+        }
+    }
+}
+
+TEST(SimdProperties, TailShapesDigestEqualToScalarTwin)
+{
+    // End-to-end digest equality between every available SIMD sibling
+    // and its scalar twin over shapes chosen to stress the vector tails:
+    // contexts not divisible by any vector width, single-token pages,
+    // ranges straddling page boundaries, and head dims off the 8-lane
+    // grid (fp16/paged only; the packed cache constrains d).
+    auto& reg = backend::BackendRegistry::instance();
+    struct Shape
+    {
+        int context, head_dim, gq, page_size;
+    };
+    const std::vector<Shape> general = {
+        {1, 32, 1, 1},     // single token, single-token pages
+        {7, 24, 2, 3},     // d % 8 != 0, tiny pages
+        {97, 40, 4, 13},   // page-straddling odd context
+        {129, 32, 3, 64},  // one token past a 128-chunk boundary
+        {333, 128, 8, 31}, // full-width head, odd everything
+    };
+    const std::vector<Shape> packed_safe = {
+        {1, 32, 1, 1},
+        {97, 32, 4, 13},
+        {129, 64, 3, 64},
+        {333, 128, 8, 31},
+    };
+    int compared = 0;
+    for (const std::string& name : reg.availableNames()) {
+        std::string twin;
+        if (name.ends_with("-avx2"))
+            twin = name.substr(0, name.size() - 5);
+        else if (name.ends_with("-avx512"))
+            twin = name.substr(0, name.size() - 7);
+        else
+            continue;
+        const bool packed = name.find("packed") != std::string::npos;
+        for (const Shape& s : packed ? packed_safe : general) {
+            backend::FixtureConfig fc;
+            fc.context = s.context;
+            fc.head_dim = s.head_dim;
+            fc.gq = s.gq;
+            fc.page_size = s.page_size;
+            const backend::AttentionBackend& be = reg.resolve(name);
+            const backend::AttentionBackend& sc = reg.resolve(twin);
+            const backend::DecodeFixture fx(be, fc);
+            const backend::DecodeFixture fxs(sc, fc);
+            backend::DecodeBatch b = fx.batch();
+            backend::DecodeBatch bs = fxs.batch();
+            b.scale = bs.scale = 0.17f;
+            EXPECT_EQ(be.digest(b), sc.digest(bs))
+                << name << " context=" << s.context << " d=" << s.head_dim
+                << " page=" << s.page_size;
+            compared++;
+        }
+    }
+    if (compared == 0)
+        GTEST_SKIP() << "host runs no SIMD sibling: "
+                     << exec::simd::describeCpuFeatures();
 }
 
 } // namespace
