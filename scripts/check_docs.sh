@@ -14,6 +14,8 @@
 #  5. docs/BACKENDS.md must cover src/exec/simd/ — the SIMD dispatch
 #     layer and its bit-exactness contract back the sibling backends
 #     and the forced-scalar CI leg.
+#  6. docs/NETWORK.md must exist and cover the net module — the wire
+#     protocol and drain semantics back the server smoke CI gate.
 #
 # Run from the repo root: scripts/check_docs.sh
 set -u
@@ -87,6 +89,15 @@ if [ ! -e "$backends_doc" ]; then
     fail=1
 elif ! grep -q "src/exec/simd/" "$backends_doc"; then
     echo "ERROR: $backends_doc does not cover src/exec/simd/"
+    fail=1
+fi
+
+network_doc="docs/NETWORK.md"
+if [ ! -e "$network_doc" ]; then
+    echo "ERROR: $network_doc is missing"
+    fail=1
+elif ! grep -q "src/net/" "$network_doc"; then
+    echo "ERROR: $network_doc does not cover src/net/"
     fail=1
 fi
 

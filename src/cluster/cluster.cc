@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -107,6 +108,7 @@ Cluster::shardOf(int id) const
 serving::ServingMetrics
 Cluster::drain()
 {
+    BITDEC_ASSERT(!streaming_, "drain while a stream is open");
     const auto n = shards_.size();
 
     // Run every shard's batch. The virtual clock is shared: each shard
@@ -117,15 +119,29 @@ Cluster::drain()
     for (std::size_t s = 0; s < n; s++)
         per_shard[s] = shards_[s]->drain();
 
-    // Per-shard span of this drain on the shared clock: the engine's
+    last_ = aggregateRound(per_shard, since_drain_);
+    since_drain_.clear();
+    return last_.aggregate;
+}
+
+ClusterMetrics
+Cluster::aggregateRound(const std::vector<serving::ServingMetrics>& per_shard,
+                        const std::vector<int>& ids) const
+{
+    const auto n = shards_.size();
+    ClusterMetrics out;
+    out.per_shard = per_shard;
+    out.router = router_.stats();
+
+    // Per-shard span of this round on the shared clock: the engine's
     // makespan is (final clock - first arrival), so a shard's absolute
     // end is its first non-client-canceled arrival plus its makespan.
     std::vector<double> first_arrival(
         n, std::numeric_limits<double>::infinity());
     std::vector<bool> active(n, false);
     std::vector<const serving::Request*> drained;
-    drained.reserve(since_drain_.size());
-    for (const int id : since_drain_) {
+    drained.reserve(ids.size());
+    for (const int id : ids) {
         const serving::Request* r = poll(id);
         BITDEC_ASSERT(r != nullptr, "drained id ", id, " unknown to shard");
         if (r->cancel_cause == serving::CancelCause::Client)
@@ -135,7 +151,6 @@ Cluster::drain()
         first_arrival[s] = std::min(first_arrival[s], r->arrival_s);
         drained.push_back(r);
     }
-    since_drain_.clear();
 
     int num_active = 0;
     int only_active = -1;
@@ -145,19 +160,16 @@ Cluster::drain()
             only_active = static_cast<int>(s);
         }
 
-    last_.per_shard = per_shard;
-    last_.router = router_.stats();
-
     if (num_active == 0) {
-        last_.aggregate = serving::ServingMetrics{};
-        return last_.aggregate;
+        out.aggregate = serving::ServingMetrics{};
+        return out;
     }
     if (num_active == 1) {
         // One shard saw the whole batch: its metrics ARE the cluster
         // metrics, bit for bit. This is what makes Cluster(shards=1)
         // indistinguishable from a bare Engine.
-        last_.aggregate = per_shard[static_cast<std::size_t>(only_active)];
-        return last_.aggregate;
+        out.aggregate = per_shard[static_cast<std::size_t>(only_active)];
+        return out;
     }
 
     // Cluster makespan on the shared clock: earliest arrival anywhere to
@@ -276,7 +288,125 @@ Cluster::drain()
     if (fetch_n > 0)
         agg.fetch_stall_mean_s = agg.fetch_stall_total_s / fetch_n;
 
-    last_.aggregate = agg;
+    out.aggregate = agg;
+    return out;
+}
+
+std::string
+Cluster::admissionError(const serving::Request& r) const
+{
+    if (shard_of_.find(r.id) != shard_of_.end())
+        return detail::concat("duplicate request id ", r.id,
+                              " submitted to cluster");
+    // Shards are identical replicas, so any shard's engine answers for
+    // the whole cluster (the id is known to none of them — see above).
+    return shards_.front()->admissionError(r);
+}
+
+void
+Cluster::streamBegin(serving::TokenSink sink)
+{
+    BITDEC_ASSERT(!streaming_, "streamBegin while a stream is open");
+    streaming_ = true;
+    // Every shard streams into the same sink: events from different
+    // shards interleave in shared-clock order (see streamTick), events
+    // of one request always arrive in index order from its one shard.
+    for (const auto& shard : shards_)
+        shard->streamBegin(sink);
+}
+
+int
+Cluster::streamSubmit(const serving::Request& r)
+{
+    BITDEC_ASSERT(streaming_, "streamSubmit without an open stream");
+    BITDEC_ASSERT(shard_of_.find(r.id) == shard_of_.end(),
+                  "duplicate request id ", r.id, " submitted to cluster");
+    const int shard = router_.route(r);
+    shard_of_[r.id] = shard;
+    since_drain_.push_back(r.id);
+    return shards_[static_cast<std::size_t>(shard)]->streamSubmit(r);
+}
+
+bool
+Cluster::streamCancel(int id)
+{
+    BITDEC_ASSERT(streaming_, "streamCancel without an open stream");
+    const auto it = shard_of_.find(id);
+    if (it == shard_of_.end())
+        return false;
+    return shards_[static_cast<std::size_t>(it->second)]->streamCancel(id);
+}
+
+bool
+Cluster::streamTick()
+{
+    BITDEC_ASSERT(streaming_, "streamTick without an open stream");
+    // Advance the non-idle shard whose virtual clock is furthest behind:
+    // the deterministic analogue of N replicas running concurrently —
+    // token events merge in shared-clock order, ties break by shard
+    // index.
+    int behind = -1;
+    double t = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < shards_.size(); s++) {
+        if (shards_[s]->streamIdle())
+            continue;
+        const double c = shards_[s]->streamClock();
+        if (c < t) {
+            t = c;
+            behind = static_cast<int>(s);
+        }
+    }
+    if (behind < 0)
+        return false;
+    shards_[static_cast<std::size_t>(behind)]->streamTick();
+    return !streamIdle();
+}
+
+bool
+Cluster::streamIdle() const
+{
+    for (const auto& shard : shards_)
+        if (!shard->streamIdle())
+            return false;
+    return true;
+}
+
+double
+Cluster::streamClock() const
+{
+    // The merged stream sits at the slowest live shard's clock; with
+    // everything idle, at the furthest clock any shard reached.
+    double live = std::numeric_limits<double>::infinity();
+    double done = 0;
+    for (const auto& shard : shards_) {
+        if (!shard->streamIdle())
+            live = std::min(live, shard->streamClock());
+        else
+            done = std::max(done, shard->streamClock());
+    }
+    return std::isfinite(live) ? live : done;
+}
+
+serving::ServingMetrics
+Cluster::streamSnapshot() const
+{
+    BITDEC_ASSERT(streaming_, "streamSnapshot without an open stream");
+    std::vector<serving::ServingMetrics> per_shard(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); s++)
+        per_shard[s] = shards_[s]->streamSnapshot();
+    return aggregateRound(per_shard, since_drain_).aggregate;
+}
+
+serving::ServingMetrics
+Cluster::streamEnd()
+{
+    BITDEC_ASSERT(streaming_, "streamEnd without an open stream");
+    std::vector<serving::ServingMetrics> per_shard(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); s++)
+        per_shard[s] = shards_[s]->streamEnd();
+    last_ = aggregateRound(per_shard, since_drain_);
+    since_drain_.clear();
+    streaming_ = false;
     return last_.aggregate;
 }
 

@@ -86,6 +86,23 @@ class Cluster final : public serving::ServingClient
     serving::ServingMetrics drain() override;
     serving::ClientStats stats() const override;
 
+    /**
+     * Streaming surface (see ServingClient): every shard opens a stream
+     * on the same shared virtual clock and streamTick() always advances
+     * the non-idle shard whose clock is furthest behind, so the merged
+     * token-event order is deterministic and each request's digests are
+     * byte-identical to a single-engine run of the same trace.
+     */
+    std::string admissionError(const serving::Request& r) const override;
+    void streamBegin(serving::TokenSink sink = {}) override;
+    int streamSubmit(const serving::Request& r) override;
+    bool streamCancel(int id) override;
+    bool streamTick() override;
+    bool streamIdle() const override;
+    double streamClock() const override;
+    serving::ServingMetrics streamSnapshot() const override;
+    serving::ServingMetrics streamEnd() override;
+
     /** Aggregate + per-shard + router view of the most recent drain. */
     const ClusterMetrics& clusterMetrics() const { return last_; }
 
@@ -95,11 +112,18 @@ class Cluster final : public serving::ServingClient
     int numShards() const { return static_cast<int>(shards_.size()); }
 
   private:
+    /** Folds one round's per-shard metrics + request records into a
+     *  cluster-wide ClusterMetrics (the drain() aggregation). */
+    ClusterMetrics
+    aggregateRound(const std::vector<serving::ServingMetrics>& per_shard,
+                   const std::vector<int>& ids) const;
+
     ClusterConfig cfg_;
     Router router_;
     std::vector<std::unique_ptr<serving::EngineClient>> shards_;
     std::unordered_map<int, int> shard_of_; //!< request id -> shard
     std::vector<int> since_drain_; //!< ids submitted since the last drain
+    bool streaming_ = false;
     ClusterMetrics last_;
 };
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * NetClient: the wire twin of ServingClient for drivers on the other
+ * end of a socket.
+ *
+ * Blocking, single-connection: connect() (with retry while the server
+ * is still binding), then interleave submit()/cancel()/requestStats()
+ * with readEvent() — every server frame surfaces as one NetEvent. The
+ * client folds each request's TOKEN stream through foldOutputHash and
+ * compares against the DONE digest, so a dropped or reordered frame is
+ * detected as a digest mismatch (streamDigestOk) rather than silently
+ * accepted.
+ */
+#ifndef BITDEC_NET_CLIENT_H
+#define BITDEC_NET_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "net/protocol.h"
+
+namespace bitdec::net {
+
+/** One decoded server frame. Only the member matching `type` is set. */
+struct NetEvent
+{
+    FrameType type = FrameType::Hello;
+    std::int32_t request_id = 0; //!< SubmitOk (and convenience for others)
+    TokenMsg token;
+    DoneMsg done;
+    ErrorMsg error;
+    std::string stats_json;
+};
+
+/** Blocking framed-protocol client over one TCP connection. */
+class NetClient
+{
+  public:
+    NetClient() = default;
+    ~NetClient() { close(); }
+
+    NetClient(const NetClient&) = delete;
+    NetClient& operator=(const NetClient&) = delete;
+
+    /**
+     * Connects and reads the server HELLO. Retries a refused
+     * connection (server still starting) every @p retry_delay_ms up to
+     * @p max_retries times. @return false when the server never
+     * answered or spoke the wrong protocol version.
+     */
+    bool connect(const std::string& host, int port, int max_retries = 50,
+                 int retry_delay_ms = 100);
+
+    bool connected() const { return fd_ >= 0; }
+    const HelloMsg& hello() const { return hello_; }
+
+    bool submit(const SubmitMsg& m);
+    bool cancel(std::int32_t request_id);
+    bool requestStats();
+
+    /**
+     * Blocks for the next server frame. TOKEN frames also advance the
+     * request's client-side digest fold; DONE frames record whether the
+     * fold matches the server's digest. @return false on EOF or a
+     * malformed frame (the connection is closed either way).
+     */
+    bool readEvent(NetEvent& ev);
+
+    /**
+     * True when the folded TOKEN stream of @p request_id reproduced the
+     * output_hash its DONE frame carried — the end-to-end proof that no
+     * frame was lost or reordered. Canceled requests compare the fold
+     * of the tokens that did arrive. False before DONE.
+     */
+    bool streamDigestOk(std::int32_t request_id) const;
+
+    /** Tokens received so far for a request (0 when unknown). */
+    int tokensReceived(std::int32_t request_id) const;
+
+    void close();
+
+  private:
+    bool sendAll(const std::string& bytes);
+
+    int fd_ = -1;
+    HelloMsg hello_;
+    FrameAssembler in_;
+
+    struct Fold
+    {
+        std::uint64_t hash = 0;
+        int tokens = 0;
+        int next_index = 0;
+        bool ordered = true; //!< every index arrived contiguously
+        bool done = false;
+        bool matches = false;
+    };
+    std::unordered_map<std::int32_t, Fold> folds_;
+};
+
+} // namespace bitdec::net
+
+#endif // BITDEC_NET_CLIENT_H

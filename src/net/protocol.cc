@@ -1,0 +1,355 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace bitdec::net {
+
+const char*
+toString(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::BadFrame:
+        return "BAD_FRAME";
+    case ErrorCode::DuplicateId:
+        return "DUPLICATE_ID";
+    case ErrorCode::UnknownId:
+        return "UNKNOWN_ID";
+    case ErrorCode::UnknownBackend:
+        return "UNKNOWN_BACKEND";
+    case ErrorCode::InvalidRequest:
+        return "INVALID_REQUEST";
+    case ErrorCode::OverCapacity:
+        return "OVER_CAPACITY";
+    case ErrorCode::Busy:
+        return "BUSY";
+    case ErrorCode::Draining:
+        return "DRAINING";
+    }
+    return "UNKNOWN";
+}
+
+// ---------------------------------------------------------------------
+// WireWriter / WireReader
+// ---------------------------------------------------------------------
+
+void
+WireWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+WireWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+WireWriter::f64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(const std::string& s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    if (failed_ || pos_ + 1 > size_) {
+        failed_ = true;
+        return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    if (failed_ || pos_ + 4 > size_) {
+        failed_ = true;
+        return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    if (failed_ || pos_ + 8 > size_) {
+        failed_ = true;
+        return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double
+WireReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    const std::uint32_t len = u32();
+    if (failed_ || len > kMaxFrameBytes || pos_ + len > size_) {
+        failed_ = true;
+        return "";
+    }
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Frame encoders / decoders
+// ---------------------------------------------------------------------
+
+std::string
+encodeFrame(FrameType type, const std::string& payload)
+{
+    WireWriter w;
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.u8(static_cast<std::uint8_t>(type));
+    std::string out = w.bytes();
+    out.append(payload);
+    return out;
+}
+
+std::string
+encodeSubmit(const SubmitMsg& m)
+{
+    WireWriter w;
+    w.i32(m.id);
+    w.f64(m.arrival_s);
+    w.i32(m.prompt_tokens);
+    w.i32(m.output_tokens);
+    w.u64(m.prefix_id);
+    w.i32(m.prefix_tokens);
+    w.i32(m.priority);
+    w.i32(m.idle_after_tokens);
+    w.f64(m.idle_wake_s);
+    w.f64(m.deadline_s);
+    w.str(m.backend);
+    return encodeFrame(FrameType::Submit, w.bytes());
+}
+
+bool
+decodeSubmit(const std::string& payload, SubmitMsg& out)
+{
+    WireReader r(payload);
+    out.id = r.i32();
+    out.arrival_s = r.f64();
+    out.prompt_tokens = r.i32();
+    out.output_tokens = r.i32();
+    out.prefix_id = r.u64();
+    out.prefix_tokens = r.i32();
+    out.priority = r.i32();
+    out.idle_after_tokens = r.i32();
+    out.idle_wake_s = r.f64();
+    out.deadline_s = r.f64();
+    out.backend = r.str();
+    return r.complete();
+}
+
+std::string
+encodeCancel(std::int32_t request_id)
+{
+    WireWriter w;
+    w.i32(request_id);
+    return encodeFrame(FrameType::Cancel, w.bytes());
+}
+
+bool
+decodeCancel(const std::string& payload, std::int32_t& request_id)
+{
+    WireReader r(payload);
+    request_id = r.i32();
+    return r.complete();
+}
+
+std::string
+encodeStats()
+{
+    return encodeFrame(FrameType::Stats, "");
+}
+
+std::string
+encodeHello(const HelloMsg& m)
+{
+    WireWriter w;
+    w.u32(m.version);
+    w.str(m.backend);
+    w.i32(m.page_size);
+    w.i32(m.cache_head_dim);
+    w.i32(m.shards);
+    return encodeFrame(FrameType::Hello, w.bytes());
+}
+
+bool
+decodeHello(const std::string& payload, HelloMsg& out)
+{
+    WireReader r(payload);
+    out.version = r.u32();
+    out.backend = r.str();
+    out.page_size = r.i32();
+    out.cache_head_dim = r.i32();
+    out.shards = r.i32();
+    return r.complete();
+}
+
+std::string
+encodeSubmitOk(std::int32_t request_id)
+{
+    WireWriter w;
+    w.i32(request_id);
+    return encodeFrame(FrameType::SubmitOk, w.bytes());
+}
+
+bool
+decodeSubmitOk(const std::string& payload, std::int32_t& request_id)
+{
+    WireReader r(payload);
+    request_id = r.i32();
+    return r.complete();
+}
+
+std::string
+encodeToken(const TokenMsg& m)
+{
+    WireWriter w;
+    w.i32(m.request_id);
+    w.i32(m.index);
+    w.u64(m.fold);
+    w.u64(m.output_hash);
+    w.f64(m.clock_s);
+    return encodeFrame(FrameType::Token, w.bytes());
+}
+
+bool
+decodeToken(const std::string& payload, TokenMsg& out)
+{
+    WireReader r(payload);
+    out.request_id = r.i32();
+    out.index = r.i32();
+    out.fold = r.u64();
+    out.output_hash = r.u64();
+    out.clock_s = r.f64();
+    return r.complete();
+}
+
+std::string
+encodeDone(const DoneMsg& m)
+{
+    WireWriter w;
+    w.i32(m.request_id);
+    w.u8(m.finished);
+    w.u8(m.cancel_cause);
+    w.i32(m.generated);
+    w.u64(m.output_hash);
+    w.u64(m.attn_hash);
+    w.f64(m.first_token_s);
+    w.f64(m.finish_s);
+    return encodeFrame(FrameType::Done, w.bytes());
+}
+
+bool
+decodeDone(const std::string& payload, DoneMsg& out)
+{
+    WireReader r(payload);
+    out.request_id = r.i32();
+    out.finished = r.u8();
+    out.cancel_cause = r.u8();
+    out.generated = r.i32();
+    out.output_hash = r.u64();
+    out.attn_hash = r.u64();
+    out.first_token_s = r.f64();
+    out.finish_s = r.f64();
+    return r.complete();
+}
+
+std::string
+encodeError(const ErrorMsg& m)
+{
+    WireWriter w;
+    w.i32(m.request_id);
+    w.u8(static_cast<std::uint8_t>(m.code));
+    w.str(m.message);
+    return encodeFrame(FrameType::Error, w.bytes());
+}
+
+bool
+decodeError(const std::string& payload, ErrorMsg& out)
+{
+    WireReader r(payload);
+    out.request_id = r.i32();
+    out.code = static_cast<ErrorCode>(r.u8());
+    out.message = r.str();
+    return r.complete();
+}
+
+std::string
+encodeStatsJson(const std::string& json)
+{
+    WireWriter w;
+    w.str(json);
+    return encodeFrame(FrameType::StatsJson, w.bytes());
+}
+
+// ---------------------------------------------------------------------
+// FrameAssembler
+// ---------------------------------------------------------------------
+
+void
+FrameAssembler::feed(const char* data, std::size_t size)
+{
+    if (bad_)
+        return;
+    buf_.append(data, size);
+}
+
+bool
+FrameAssembler::next(FrameType& type, std::string& payload)
+{
+    if (bad_ || buf_.size() < 5)
+        return false;
+    WireReader r(buf_.data(), buf_.size());
+    const std::uint32_t len = r.u32();
+    if (len > kMaxFrameBytes) {
+        bad_ = true; // poisoned: a byte stream cannot be resynchronized
+        return false;
+    }
+    if (buf_.size() < 5u + len)
+        return false;
+    type = static_cast<FrameType>(static_cast<std::uint8_t>(buf_[4]));
+    payload.assign(buf_, 5, len);
+    buf_.erase(0, 5u + len);
+    return true;
+}
+
+} // namespace bitdec::net

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Wire protocol of the network front end (docs/NETWORK.md).
+ *
+ * Every message is one length-prefixed frame:
+ *
+ *     u32  payload_len   (little-endian, <= kMaxFrameBytes)
+ *     u8   frame type    (FrameType)
+ *     u8[payload_len]    payload, explicit little-endian fields
+ *
+ * Clients send SUBMIT / CANCEL / STATS; the server answers with HELLO
+ * (once, on connect), SUBMIT_OK, a TOKEN stream, DONE or ERROR per
+ * request, and STATS_JSON. All integers are serialized little-endian
+ * regardless of host order; doubles travel as their IEEE-754 bit
+ * pattern in a u64. Strings are u32 length + raw bytes.
+ *
+ * TOKEN frames carry the term each token folds into the request's
+ * output_hash, so a client reproduces the final digest by folding
+ * (h = h * 0x100000001B3 ^ fold starting from 0) and can detect any
+ * lost or reordered frame by comparing against the DONE digest.
+ */
+#ifndef BITDEC_NET_PROTOCOL_H
+#define BITDEC_NET_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitdec::net {
+
+/** Protocol revision; HELLO carries it, clients refuse a mismatch. */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Hard cap on one frame's payload — a malformed length prefix must
+ *  never make the peer allocate unbounded memory. */
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Frame types. Client-to-server types are < 64. */
+enum class FrameType : std::uint8_t
+{
+    Submit = 1,     //!< client: run this request
+    Cancel = 2,     //!< client: cancel a submitted request
+    Stats = 3,      //!< client: send me the ServingMetrics JSON
+
+    Hello = 64,     //!< server: version + engine shape, sent on connect
+    SubmitOk = 65,  //!< server: request admitted
+    Token = 66,     //!< server: one generated token of one request
+    Done = 67,      //!< server: request finished/canceled, final digests
+    Error = 68,     //!< server: typed rejection (request- or frame-level)
+    StatsJson = 69, //!< server: ServingMetrics::toJson of the live stream
+};
+
+/** Typed error codes carried by ERROR frames. */
+enum class ErrorCode : std::uint8_t
+{
+    BadFrame = 1,       //!< unparseable/oversized/unknown frame
+    DuplicateId = 2,    //!< request id already used on this server
+    UnknownId = 3,      //!< CANCEL for an id the server never saw
+    UnknownBackend = 4, //!< SUBMIT named an unregistered backend
+    InvalidRequest = 5, //!< inadmissible shape (empty prompt, bad prefix…)
+    OverCapacity = 6,   //!< request can never fit the server's page pool
+    Busy = 7,           //!< admission cap reached, retry later
+    Draining = 8,       //!< server is shutting down, not accepting work
+};
+
+/** Printable name of an error code. */
+const char* toString(ErrorCode code);
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/** SUBMIT payload: the workload fields of serving::Request plus an
+ *  optional backend name the server validates against its own. */
+struct SubmitMsg
+{
+    std::int32_t id = 0;
+    double arrival_s = -1; //!< virtual arrival; < 0 = "now" (server clock)
+    std::int32_t prompt_tokens = 0;
+    std::int32_t output_tokens = 0;
+    std::uint64_t prefix_id = 0;
+    std::int32_t prefix_tokens = 0;
+    std::int32_t priority = 0;
+    std::int32_t idle_after_tokens = 0;
+    double idle_wake_s = -1;
+    double deadline_s = -1;
+    std::string backend; //!< "" = accept the server's configured backend
+};
+
+/** HELLO payload: enough engine shape for a client to reproduce the
+ *  digests in-process (backend + page_size + cache_head_dim determine
+ *  attn_hash; output_hash needs none of them). */
+struct HelloMsg
+{
+    std::uint32_t version = kProtocolVersion;
+    std::string backend;
+    std::int32_t page_size = 0;
+    std::int32_t cache_head_dim = 0;
+    std::int32_t shards = 1;
+};
+
+/** TOKEN payload: one output token of one request. */
+struct TokenMsg
+{
+    std::int32_t request_id = 0;
+    std::int32_t index = 0;     //!< 0-based output token index
+    std::uint64_t fold = 0;     //!< term folded into output_hash
+    std::uint64_t output_hash = 0; //!< running digest after this token
+    double clock_s = 0;         //!< virtual time the token appeared
+};
+
+/** DONE payload: final state of a request. */
+struct DoneMsg
+{
+    std::int32_t request_id = 0;
+    std::uint8_t finished = 0;     //!< 1 = Finished, 0 = Canceled
+    std::uint8_t cancel_cause = 0; //!< serving::CancelCause as int
+    std::int32_t generated = 0;
+    std::uint64_t output_hash = 0;
+    std::uint64_t attn_hash = 0;
+    double first_token_s = -1;
+    double finish_s = -1;
+};
+
+/** ERROR payload: typed code + the fail-fast message text. */
+struct ErrorMsg
+{
+    std::int32_t request_id = 0; //!< 0 when not tied to a request
+    ErrorCode code = ErrorCode::BadFrame;
+    std::string message;
+};
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/** Appends little-endian fields to a byte buffer. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void f64(double v);
+    void str(const std::string& s);
+
+    const std::string& bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked little-endian reads; any overrun latches failed(). */
+class WireReader
+{
+  public:
+    WireReader(const char* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    explicit WireReader(const std::string& payload)
+        : WireReader(payload.data(), payload.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    double f64();
+    std::string str();
+
+    //! True once any read ran past the payload (or a string length lied).
+    bool failed() const { return failed_; }
+    //! True when the whole payload was consumed and nothing overran.
+    bool complete() const { return !failed_ && pos_ == size_; }
+
+  private:
+    const char* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/** Encodes one complete frame (length prefix + type + payload). */
+std::string encodeFrame(FrameType type, const std::string& payload);
+
+std::string encodeSubmit(const SubmitMsg& m);
+std::string encodeCancel(std::int32_t request_id);
+std::string encodeStats();
+std::string encodeHello(const HelloMsg& m);
+std::string encodeSubmitOk(std::int32_t request_id);
+std::string encodeToken(const TokenMsg& m);
+std::string encodeDone(const DoneMsg& m);
+std::string encodeError(const ErrorMsg& m);
+std::string encodeStatsJson(const std::string& json);
+
+//! Each decoder fills @p out from a frame payload; false = malformed
+//! (truncated, oversized string, or trailing garbage).
+bool decodeSubmit(const std::string& payload, SubmitMsg& out);
+bool decodeCancel(const std::string& payload, std::int32_t& request_id);
+bool decodeHello(const std::string& payload, HelloMsg& out);
+bool decodeSubmitOk(const std::string& payload, std::int32_t& request_id);
+bool decodeToken(const std::string& payload, TokenMsg& out);
+bool decodeDone(const std::string& payload, DoneMsg& out);
+bool decodeError(const std::string& payload, ErrorMsg& out);
+
+/**
+ * Incremental frame parser: feed() raw bytes as they arrive, next()
+ * pops complete frames in order. A declared payload length above
+ * kMaxFrameBytes poisons the stream (bad() stays true; the connection
+ * must be dropped — resynchronizing inside a byte stream is guesswork).
+ */
+class FrameAssembler
+{
+  public:
+    void feed(const char* data, std::size_t size);
+
+    /** Pops the next complete frame. @return false when no complete
+     *  frame is buffered (or the stream is poisoned). */
+    bool next(FrameType& type, std::string& payload);
+
+    bool bad() const { return bad_; }
+    std::size_t buffered() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+    bool bad_ = false;
+};
+
+/** One fold step of the output-hash chain clients replay from TOKEN
+ *  frames: h' = h * 0x100000001B3 ^ fold, starting from h = 0. */
+inline std::uint64_t
+foldOutputHash(std::uint64_t h, std::uint64_t fold)
+{
+    return h * 0x100000001B3ull ^ fold;
+}
+
+} // namespace bitdec::net
+
+#endif // BITDEC_NET_PROTOCOL_H

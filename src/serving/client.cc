@@ -38,6 +38,7 @@ EngineClient::EngineClient(const sim::GpuArch& arch,
 int
 EngineClient::submit(const Request& r)
 {
+    BITDEC_ASSERT(!streaming_, "batch submit while a stream is open");
     BITDEC_ASSERT(index_.find(r.id) == index_.end(),
                   "duplicate request id ", r.id, " submitted");
     store_.push_back(sanitized(r));
@@ -56,6 +57,8 @@ EngineClient::poll(int id) const
 bool
 EngineClient::cancel(int id)
 {
+    BITDEC_ASSERT(!streaming_, "batch cancel while a stream is open — "
+                               "use streamCancel");
     const auto it = index_.find(id);
     if (it == index_.end())
         return false;
@@ -72,6 +75,7 @@ EngineClient::cancel(int id)
 ServingMetrics
 EngineClient::drain()
 {
+    BITDEC_ASSERT(!streaming_, "drain while a stream is open");
     // Client-canceled requests never reach the engine; a drain with
     // nothing left to run is a no-op (the engine requires a non-empty
     // trace).
@@ -109,11 +113,101 @@ EngineClient::stats() const
     for (const std::size_t slot : pending_)
         if (store_[slot].state == RequestState::Queued)
             s.pending++;
+    for (const std::size_t slot : stream_slots_)
+        if (!store_[slot].done())
+            s.pending++;
     s.finished = finished_;
     s.canceled = canceled_;
     s.shards = 1;
     s.total_pool_pages = engine_.numPages();
     return s;
+}
+
+std::string
+EngineClient::admissionError(const Request& r) const
+{
+    if (index_.find(r.id) != index_.end())
+        return detail::concat("duplicate request id ", r.id, " submitted");
+    return engine_.admissionError(sanitized(r));
+}
+
+void
+EngineClient::streamBegin(TokenSink sink)
+{
+    BITDEC_ASSERT(!streaming_, "streamBegin while a stream is open");
+    streaming_ = true;
+    stream_slots_.clear();
+    engine_.streamBegin(std::move(sink));
+}
+
+int
+EngineClient::streamSubmit(const Request& r)
+{
+    BITDEC_ASSERT(streaming_, "streamSubmit without an open stream");
+    BITDEC_ASSERT(index_.find(r.id) == index_.end(),
+                  "duplicate request id ", r.id, " submitted");
+    store_.push_back(sanitized(r));
+    index_[r.id] = store_.size() - 1;
+    stream_slots_.push_back(store_.size() - 1);
+    // A deque never relocates elements on push_back, so the engine can
+    // hold this pointer for the life of the stream while poll() reads
+    // the same object live.
+    engine_.streamAdd(&store_.back());
+    return r.id;
+}
+
+bool
+EngineClient::streamCancel(int id)
+{
+    BITDEC_ASSERT(streaming_, "streamCancel without an open stream");
+    if (!engine_.streamCancel(id))
+        return false;
+    canceled_++;
+    return true;
+}
+
+bool
+EngineClient::streamTick()
+{
+    BITDEC_ASSERT(streaming_, "streamTick without an open stream");
+    return engine_.streamTick();
+}
+
+bool
+EngineClient::streamIdle() const
+{
+    return !streaming_ || engine_.streamIdle();
+}
+
+double
+EngineClient::streamClock() const
+{
+    return engine_.streamClock();
+}
+
+ServingMetrics
+EngineClient::streamSnapshot() const
+{
+    BITDEC_ASSERT(streaming_, "streamSnapshot without an open stream");
+    return engine_.streamSnapshot();
+}
+
+ServingMetrics
+EngineClient::streamEnd()
+{
+    BITDEC_ASSERT(streaming_, "streamEnd without an open stream");
+    const ServingMetrics m = engine_.streamEnd();
+    for (const std::size_t slot : stream_slots_) {
+        const Request& r = store_[slot];
+        if (r.state == RequestState::Finished)
+            finished_++;
+        else if (r.state == RequestState::Canceled &&
+                 r.cancel_cause != CancelCause::Client)
+            canceled_++; // client cancels were counted by streamCancel
+    }
+    stream_slots_.clear();
+    streaming_ = false;
+    return m;
 }
 
 } // namespace bitdec::serving

@@ -89,6 +89,68 @@ class ServingClient
 
     /** Aggregate counters; callable at any point. */
     virtual ClientStats stats() const = 0;
+
+    // ------------------------------------------------------------------
+    // Streaming surface: the incremental twin of drain(). A front end
+    // (src/net/) opens a stream once, then interleaves submissions,
+    // cancels and ticks while reading token events from the sink — the
+    // engine executes the exact same operation sequence as a batch
+    // drain, so per-request digests are byte-identical by construction.
+    // Batch calls (submit/cancel/drain) and stream calls must not be
+    // mixed while a stream is open.
+    // ------------------------------------------------------------------
+
+    /**
+     * Why a request would be rejected, without terminating the process:
+     * the exact message drain()/run() would fail fast with (duplicate
+     * id, empty prompt, impossible fit, bad prefix/idle/deadline
+     * shape), or an empty string when the request is admissible.
+     */
+    virtual std::string admissionError(const Request& r) const = 0;
+
+    /**
+     * Opens a stream. @p sink (may be empty) observes every generated
+     * token as a TokenEvent in deterministic batch order.
+     */
+    virtual void streamBegin(TokenSink sink = {}) = 0;
+
+    /**
+     * Submits into the open stream. The request joins the run at its
+     * arrival time even mid-pump (arrivals in the virtual future).
+     * Fails fast on an inadmissible request — call admissionError
+     * first to reject gracefully. @return the request id.
+     */
+    virtual int streamSubmit(const Request& r) = 0;
+
+    /**
+     * Cancels a live in-stream request (CancelCause::Client), freeing
+     * its pages. @return false when the id is unknown to the stream or
+     * the request already finished.
+     */
+    virtual bool streamCancel(int id) = 0;
+
+    /**
+     * Advances the open stream by one scheduler tick; token events fire
+     * into the sink as decode progresses. @return false when every
+     * submitted request has finished (the stream is idle).
+     */
+    virtual bool streamTick() = 0;
+
+    /** True when the open stream has no unfinished requests. */
+    virtual bool streamIdle() const = 0;
+
+    /** The stream's virtual clock (next arrival before the first tick). */
+    virtual double streamClock() const = 0;
+
+    /** Metrics of the stream so far, without closing it. */
+    virtual ServingMetrics streamSnapshot() const = 0;
+
+    /**
+     * Closes the stream and returns its metrics; requires streamIdle()
+     * (pump streamTick() or cancel stragglers first). Results are read
+     * back via poll(), same as after a drain.
+     */
+    virtual ServingMetrics streamEnd() = 0;
 };
 
 /** ServingClient over one Engine replica. */
@@ -104,12 +166,24 @@ class EngineClient final : public ServingClient
     ServingMetrics drain() override;
     ClientStats stats() const override;
 
+    std::string admissionError(const Request& r) const override;
+    void streamBegin(TokenSink sink = {}) override;
+    int streamSubmit(const Request& r) override;
+    bool streamCancel(int id) override;
+    bool streamTick() override;
+    bool streamIdle() const override;
+    double streamClock() const override;
+    ServingMetrics streamSnapshot() const override;
+    ServingMetrics streamEnd() override;
+
   private:
     Engine engine_;
     //! All requests ever submitted; deque keeps poll() pointers stable.
     std::deque<Request> store_;
     std::unordered_map<int, std::size_t> index_; //!< id -> store_ slot
     std::vector<std::size_t> pending_;           //!< slots awaiting drain
+    std::vector<std::size_t> stream_slots_;      //!< slots in the open stream
+    bool streaming_ = false;
     int finished_ = 0;
     int canceled_ = 0;
 };

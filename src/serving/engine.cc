@@ -268,6 +268,9 @@ Engine::cancelRequest(Request& r, CancelCause cause, double now)
         deadline_cancels_++;
         inform("serving: request ", r.id, " canceled — deadline ",
                r.deadline_s, " s passed at ", now, " s");
+    } else if (cause == CancelCause::Client) {
+        inform("serving: request ", r.id, " canceled by client at ", now,
+               " s");
     } else {
         shed_requests_++;
         inform("serving: request ", r.id, " shed — queued since ",
@@ -436,84 +439,158 @@ Engine::evictIdleVictim(double now)
     return true;
 }
 
-ServingMetrics
-Engine::run(std::vector<Request>& requests)
+std::string
+Engine::admissionError(const Request& r) const
 {
-    BITDEC_ASSERT(!requests.empty(), "empty trace");
-    for (const Request& r : requests) {
-        if (r.prompt_tokens < 1 || r.output_tokens < 1)
-            BITDEC_FATAL("request ", r.id, " needs a non-empty prompt and "
-                         "output budget (got ", r.prompt_tokens, "/",
-                         r.output_tokens, ")");
-        if (r.prefix_tokens < 0 || r.prefix_tokens > r.prompt_tokens ||
-            (r.prefix_tokens > 0 && r.prefix_id == 0))
-            BITDEC_FATAL("request ", r.id, " has an invalid shared prefix (",
-                         r.prefix_tokens, " of ", r.prompt_tokens,
-                         " prompt tokens, id ", r.prefix_id, ")");
-        if (cache_.pagesFor(r.prompt_tokens + r.output_tokens) +
-                cfg_.sched.reserve_pages >
-            cache_.totalPages())
-            BITDEC_FATAL("request ", r.id, " (", r.prompt_tokens, "+",
-                         r.output_tokens,
-                         " tokens) can never fit the page pool of ",
-                         cache_.totalPages(), " pages");
-        if (r.idle_after_tokens > 0 &&
-            (r.idle_after_tokens >= r.output_tokens || r.idle_wake_s < 0))
-            BITDEC_FATAL("request ", r.id, " parks after ",
-                         r.idle_after_tokens, " of ", r.output_tokens,
-                         " output tokens with wake time ", r.idle_wake_s,
-                         " — idle sessions need tokens left to generate "
-                         "and a non-negative wake time");
-        if (r.deadline_s > 0 && r.deadline_s <= r.arrival_s)
-            BITDEC_FATAL("request ", r.id, " has deadline ", r.deadline_s,
-                         " s at or before its arrival ", r.arrival_s, " s");
-    }
+    if (r.prompt_tokens < 1 || r.output_tokens < 1)
+        return detail::concat("request ", r.id,
+                              " needs a non-empty prompt and "
+                              "output budget (got ",
+                              r.prompt_tokens, "/", r.output_tokens, ")");
+    if (r.prefix_tokens < 0 || r.prefix_tokens > r.prompt_tokens ||
+        (r.prefix_tokens > 0 && r.prefix_id == 0))
+        return detail::concat("request ", r.id,
+                              " has an invalid shared prefix (",
+                              r.prefix_tokens, " of ", r.prompt_tokens,
+                              " prompt tokens, id ", r.prefix_id, ")");
+    if (cache_.pagesFor(r.prompt_tokens + r.output_tokens) +
+            cfg_.sched.reserve_pages >
+        cache_.totalPages())
+        return detail::concat("request ", r.id, " (", r.prompt_tokens, "+",
+                              r.output_tokens,
+                              " tokens) can never fit the page pool of ",
+                              cache_.totalPages(), " pages");
+    if (r.idle_after_tokens > 0 &&
+        (r.idle_after_tokens >= r.output_tokens || r.idle_wake_s < 0))
+        return detail::concat("request ", r.id, " parks after ",
+                              r.idle_after_tokens, " of ", r.output_tokens,
+                              " output tokens with wake time ",
+                              r.idle_wake_s,
+                              " — idle sessions need tokens left to "
+                              "generate and a non-negative wake time");
+    if (r.deadline_s > 0 && r.deadline_s <= r.arrival_s)
+        return detail::concat("request ", r.id, " has deadline ",
+                              r.deadline_s, " s at or before its arrival ",
+                              r.arrival_s, " s");
+    return "";
+}
 
-    std::vector<Request*> order;
-    order.reserve(requests.size());
-    for (Request& r : requests)
-        order.push_back(&r);
-    std::stable_sort(order.begin(), order.end(),
-                     [](const Request* a, const Request* b) {
-                         return a->arrival_s < b->arrival_s;
-                     });
-
-    MetricsCollector mc;
-    const double first_arrival = order.front()->arrival_s;
-    const int n = static_cast<int>(order.size());
-    std::size_t next_arrival = 0;
-    int finished = 0;
-    double clock = first_arrival;
-
+double
+Engine::nextDeadline() const
+{
     // Earliest completion deadline still pending: cancellations are
     // scheduling events, so idle-clock jumps must not skip past one.
-    const auto nextDeadline = [&requests]() {
-        double t = std::numeric_limits<double>::infinity();
-        for (const Request& r : requests)
-            if (!r.done() && r.deadline_s > 0)
-                t = std::min(t, r.deadline_s);
-        return t;
-    };
+    double t = std::numeric_limits<double>::infinity();
+    for (const Request* r : live_)
+        if (!r->done() && r->deadline_s > 0)
+            t = std::min(t, r->deadline_s);
+    return t;
+}
 
-    while (finished < n) {
-        while (next_arrival < order.size() &&
-               order[next_arrival]->arrival_s <= clock)
-            sched_.enqueue(order[next_arrival++]);
+void
+Engine::streamBegin(TokenSink sink)
+{
+    BITDEC_ASSERT(!stream_active_, "streamBegin during an active stream");
+    BITDEC_ASSERT(sched_.idle(),
+                  "streamBegin with work left in the scheduler");
+    stream_active_ = true;
+    sink_ = std::move(sink);
+    live_.clear();
+    next_arrival_ = 0;
+    finished_ = 0;
+    clock_ = 0;
+    clock_started_ = false;
+    first_arrival_ = std::numeric_limits<double>::infinity();
+    mc_ = MetricsCollector{};
+}
+
+void
+Engine::streamAdd(Request* r)
+{
+    BITDEC_ASSERT(stream_active_, "streamAdd outside an active stream");
+    const std::string err = admissionError(*r);
+    if (!err.empty())
+        BITDEC_FATAL(err);
+    // Keep the not-yet-enqueued tail of live_ sorted by arrival (stable
+    // for ties): mid-run submissions slot in exactly where a batch run
+    // would have ordered them, so the two modes tick identically.
+    const auto tail = live_.begin() + static_cast<std::ptrdiff_t>(
+                                          next_arrival_);
+    const auto it =
+        std::upper_bound(tail, live_.end(), r,
+                         [](const Request* a, const Request* b) {
+                             return a->arrival_s < b->arrival_s;
+                         });
+    live_.insert(it, r);
+    first_arrival_ = std::min(first_arrival_, r->arrival_s);
+}
+
+bool
+Engine::streamCancel(int id)
+{
+    BITDEC_ASSERT(stream_active_, "streamCancel outside an active stream");
+    for (Request* r : live_) {
+        if (r->id != id)
+            continue;
+        if (r->done())
+            return false;
+        cancelRequest(*r, CancelCause::Client, clock_);
+        finished_++;
+        return true;
+    }
+    return false;
+}
+
+bool
+Engine::streamIdle() const
+{
+    return !stream_active_ ||
+           finished_ == static_cast<int>(live_.size());
+}
+
+double
+Engine::streamClock() const
+{
+    if (!clock_started_ && next_arrival_ < live_.size())
+        return live_[next_arrival_]->arrival_s;
+    return clock_;
+}
+
+bool
+Engine::streamTick()
+{
+    BITDEC_ASSERT(stream_active_, "streamTick outside an active stream");
+    if (streamIdle())
+        return false;
+    if (!clock_started_) {
+        clock_ = live_[next_arrival_]->arrival_s;
+        clock_started_ = true;
+    }
+    {
+        double& clock = clock_;
+        MetricsCollector& mc = mc_;
+
+        while (next_arrival_ < live_.size() &&
+               live_[next_arrival_]->arrival_s <= clock) {
+            Request* r = live_[next_arrival_++];
+            if (!r->done()) // client-canceled before its arrival tick
+                sched_.enqueue(r);
+        }
         sched_.wakeIdle(clock);
         // Graceful degradation first: cancel requests whose deadline has
         // passed and shed arrivals the admission TTL gave up on, so the
         // batch and the pool never carry work nobody is waiting for.
         // (A deadline is validated to lie after its arrival, so every
         // expired request has already been enqueued.)
-        for (Request* r : order) {
+        for (Request* r : live_) {
             if (r->done() || r->deadline_s <= 0 || clock < r->deadline_s)
                 continue;
             cancelRequest(*r, CancelCause::Deadline, clock);
-            finished++;
+            finished_++;
         }
         for (Request* r : sched_.shedCandidates(clock)) {
             cancelRequest(*r, CancelCause::Shed, clock);
-            finished++;
+            finished_++;
         }
         sched_.admit(cache_, clock);
         // An empty batch with waiters can mean the prefix index pins so
@@ -530,15 +607,15 @@ Engine::run(std::vector<Request>& requests)
 
         if (sched_.running().empty()) {
             double next_t = std::numeric_limits<double>::infinity();
-            if (next_arrival < order.size())
-                next_t = order[next_arrival]->arrival_s;
+            if (next_arrival_ < live_.size())
+                next_t = live_[next_arrival_]->arrival_s;
             next_t = std::min(next_t, sched_.nextIdleWake());
             next_t = std::min(next_t, nextDeadline());
             next_t = std::min(next_t, sched_.nextShedDeadline());
             BITDEC_ASSERT(std::isfinite(next_t),
                           "scheduler stalled with work pending");
             clock = std::max(clock, next_t);
-            continue;
+            return true;
         }
 
         // Plan this tick's appends under the unified token budget;
@@ -623,15 +700,15 @@ Engine::run(std::vector<Request>& requests)
             for (const Request* r : sched_.running())
                 if (r->fetch_ready_s > clock)
                     next_t = std::min(next_t, r->fetch_ready_s);
-            if (next_arrival < order.size())
-                next_t = std::min(next_t, order[next_arrival]->arrival_s);
+            if (next_arrival_ < live_.size())
+                next_t = std::min(next_t, live_[next_arrival_]->arrival_s);
             next_t = std::min(next_t, sched_.nextIdleWake());
             next_t = std::min(next_t, nextDeadline());
             next_t = std::min(next_t, sched_.nextShedDeadline());
             BITDEC_ASSERT(std::isfinite(next_t),
                           "batch stalled with nothing to wait for");
             clock = std::max(clock, next_t);
-            continue;
+            return true;
         }
 
         // Execute the planned appends: budgeted prefill chunks and decode
@@ -639,6 +716,7 @@ Engine::run(std::vector<Request>& requests)
         long decode_len_sum = 0;
         const std::vector<Request*> batch = sched_.running();
         std::vector<Request*> decoded;
+        std::vector<std::uint64_t> folds; // parallel to decoded, for sink_
         for (std::size_t bi = 0; bi < batch.size(); bi++) {
             Request* r = batch[bi];
             if (r->state == RequestState::Prefill) {
@@ -670,9 +748,9 @@ Engine::run(std::vector<Request>& requests)
                 // the exact cache content, not just the right lengths.
                 const std::uint64_t ctx =
                     hashKeyRow(cache_.tokenKey(r->seq, pos - 1));
-                r->output_hash =
-                    r->output_hash * 0x100000001B3ull ^
-                    (tokenSeed(r->id, pos) ^ ctx);
+                const std::uint64_t fold = tokenSeed(r->id, pos) ^ ctx;
+                r->output_hash = r->output_hash * 0x100000001B3ull ^ fold;
+                folds.push_back(fold);
                 r->generated++;
                 decode_len_sum += pos + 1;
                 decoded.push_back(r);
@@ -730,6 +808,21 @@ Engine::run(std::vector<Request>& requests)
             r->last_token_s = clock;
         }
 
+        // Emit token events in batch order once the step's clock is
+        // final — a streaming front end sees each token stamped with
+        // the virtual time it became available.
+        if (sink_) {
+            for (std::size_t i = 0; i < decoded.size(); i++) {
+                TokenEvent ev;
+                ev.request_id = decoded[i]->id;
+                ev.index = decoded[i]->generated - 1;
+                ev.fold = folds[i];
+                ev.output_hash = decoded[i]->output_hash;
+                ev.clock_s = clock;
+                sink_(ev);
+            }
+        }
+
         for (Request* r : batch) {
             if (r->state != RequestState::Decode)
                 continue;
@@ -741,7 +834,7 @@ Engine::run(std::vector<Request>& requests)
                 pending_resume_.erase(r->seq);
                 sched_.finish(r, cache_);
                 mc.onFinish(*r);
-                finished++;
+                finished_++;
             }
         }
 
@@ -770,13 +863,19 @@ Engine::run(std::vector<Request>& requests)
         // held somewhere (hot or cold) — complete and resumable without
         // recompute. Mid-prefill and content-lost sequences don't count.
         int resident_seqs = 0;
-        for (const Request& r : requests)
-            if (r.seq >= 0 && !pool_.contentLost(r.seq) &&
-                cache_.length(r.seq) >= r.prompt_tokens)
+        for (const Request* r : live_)
+            if (r->seq >= 0 && !pool_.contentLost(r->seq) &&
+                cache_.length(r->seq) >= r->prompt_tokens)
                 resident_seqs++;
         mc.onTierTick(step_s, tier_used, resident_seqs);
     }
+    return true;
+}
 
+ServingMetrics
+Engine::finalizeMetrics() const
+{
+    MetricsCollector mc = mc_;
     std::vector<std::string> tier_names;
     std::vector<int> tier_caps;
     for (int t = 0; t < pool_.numTiers(); t++) {
@@ -788,8 +887,53 @@ Engine::run(std::vector<Request>& requests)
     mc.setFaultStats(injector_.stats(), fetch_retries_,
                      recompute_recoveries_, shed_requests_,
                      deadline_cancels_);
-    return mc.finalize(clock - first_arrival, sched_.preemptionCount(),
+    const double makespan =
+        clock_started_ ? clock_ - first_arrival_ : 0.0;
+    return mc.finalize(makespan, sched_.preemptionCount(),
                        cache_.cowCopies());
+}
+
+ServingMetrics
+Engine::streamSnapshot() const
+{
+    BITDEC_ASSERT(stream_active_,
+                  "streamSnapshot outside an active stream");
+    return finalizeMetrics();
+}
+
+ServingMetrics
+Engine::streamEnd()
+{
+    BITDEC_ASSERT(stream_active_, "streamEnd outside an active stream");
+    BITDEC_ASSERT(streamIdle(), "streamEnd with live requests — pump "
+                                "streamTick until streamIdle first");
+    ServingMetrics m;
+    if (!live_.empty())
+        m = finalizeMetrics();
+    stream_active_ = false;
+    sink_ = {};
+    live_.clear();
+    return m;
+}
+
+ServingMetrics
+Engine::run(std::vector<Request>& requests)
+{
+    BITDEC_ASSERT(!requests.empty(), "empty trace");
+    std::vector<Request*> order;
+    order.reserve(requests.size());
+    for (Request& r : requests)
+        order.push_back(&r);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Request* a, const Request* b) {
+                         return a->arrival_s < b->arrival_s;
+                     });
+    streamBegin();
+    for (Request* r : order)
+        streamAdd(r);
+    while (streamTick()) {
+    }
+    return streamEnd();
 }
 
 } // namespace bitdec::serving

@@ -39,6 +39,8 @@
 #ifndef BITDEC_SERVING_ENGINE_H
 #define BITDEC_SERVING_ENGINE_H
 
+#include <functional>
+#include <limits>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -130,6 +132,29 @@ struct EngineConfig
     void validate() const;
 };
 
+/**
+ * One output token appended during a stream run, observed the moment the
+ * tick that produced it completes (virtual clock already advanced). The
+ * fold value is exactly the term the engine mixed into the request's
+ * output_hash, so a remote observer can reproduce the final digest by
+ * folding every event in index order:
+ *   h = h * 0x100000001B3 ^ fold   (starting from h = 0).
+ * A missed or reordered token frame therefore shows up as a digest
+ * mismatch against DONE — this is what makes streamed delivery testable
+ * byte-for-byte against an in-process run.
+ */
+struct TokenEvent
+{
+    int request_id = 0;
+    int index = 0;             //!< output token index, 0-based, contiguous
+    std::uint64_t fold = 0;    //!< term folded into output_hash
+    std::uint64_t output_hash = 0; //!< running hash after this token
+    double clock_s = 0;        //!< virtual time the token appeared
+};
+
+/** Per-token observer for stream runs; empty = no observation cost. */
+using TokenSink = std::function<void(const TokenEvent&)>;
+
 /** Continuous-batching serving engine. */
 class Engine
 {
@@ -143,8 +168,73 @@ class Engine
      * callers can inspect per-request results afterwards. Every request
      * must individually fit the page pool; traces that cannot ever finish
      * are a fatal configuration error.
+     *
+     * Implemented on the stream API below (begin, add all in arrival
+     * order, tick until idle, end), so a batch run and an incrementally
+     * pumped run of the same trace execute the identical operation
+     * sequence — same clock jumps, same digests, byte for byte.
      */
     ServingMetrics run(std::vector<Request>& requests);
+
+    // ------------------------------------------------ stream pump API --
+    //
+    // The incremental face of run() for live front ends (src/net/): the
+    // caller owns Request storage (pointers must stay valid until
+    // streamEnd), feeds requests as they arrive, and advances the
+    // virtual clock one scheduling round at a time. Between ticks it may
+    // observe per-request state, cancel mid-flight requests, and snapshot
+    // metrics. Mixing with run() mid-stream is an error.
+
+    /** Starts an incremental run; @p sink observes every output token. */
+    void streamBegin(TokenSink sink = {});
+
+    /**
+     * Non-fatal admission validation: the exact message run() would die
+     * with for @p r (invalid lengths/prefix/idle/deadline shape, or a
+     * request that can never fit the page pool), empty when admissible.
+     * One source of truth, so a network front end rejects with the same
+     * fail-fast text the CLI prints.
+     */
+    std::string admissionError(const Request& r) const;
+
+    /**
+     * Adds @p r to the live run. The request must pass admissionError
+     * (checked; violations are fatal — remote callers check first) and
+     * the pointer must outlive the stream. Arrivals earlier than the
+     * current clock are admitted at the next tick.
+     */
+    void streamAdd(Request* r);
+
+    /**
+     * Advances the run by one scheduling round: arrivals, cancellations,
+     * admission, one planned tick of appends (or one idle clock jump).
+     * @return false when every added request is finished or canceled —
+     * the stream is idle and the clock holds until more work arrives.
+     */
+    bool streamTick();
+
+    /**
+     * Mid-run cancel hook: cleanly cancels the live request @p id
+     * (removed from the scheduler, pages freed, state CANCELED with
+     * CancelCause::Client — whether queued, prefilling, decoding, parked
+     * or preempted). @return false when the id is unknown or already
+     * done.
+     */
+    bool streamCancel(int id);
+
+    /** True when no added request still needs engine work. */
+    bool streamIdle() const;
+
+    /** Current virtual clock of the stream (first pending arrival before
+     *  the first tick; the last batch run's final clock otherwise). */
+    double streamClock() const;
+
+    /** Metrics snapshot of the stream so far (finalized copy; the run
+     *  keeps going). Powers the wire protocol's STATS frame. */
+    ServingMetrics streamSnapshot() const;
+
+    /** Ends the incremental run and returns its metrics. */
+    ServingMetrics streamEnd();
 
     /** Page-pool size the engine operates with. */
     int numPages() const { return cache_.totalPages(); }
@@ -207,6 +297,10 @@ class Engine
     /** Sequence ids of the running batch (offload protection set). */
     std::vector<int> runningSeqs() const;
 
+    /** Earliest pending completion deadline; +inf when none. */
+    double nextDeadline() const;
+    ServingMetrics finalizeMetrics() const;
+
     const sim::GpuArch& arch_;
     const model::ModelConfig& model_;
     EngineConfig cfg_;
@@ -228,6 +322,19 @@ class Engine
     int deadline_cancels_ = 0;     //!< deadline cancellations
     //! Resolved EngineConfig::backend; null when per-step attention is off.
     const backend::AttentionBackend* attn_backend_ = nullptr;
+
+    // --- stream-run state (one run(), or one streamBegin..streamEnd) ---
+    bool stream_active_ = false;
+    TokenSink sink_;
+    //! Live requests in arrival order (ties keep add order) — the
+    //! stream-mode twin of run()'s sorted `order` vector.
+    std::vector<Request*> live_;
+    std::size_t next_arrival_ = 0; //!< first live_ slot not yet enqueued
+    int finished_ = 0;             //!< done (finished or canceled) count
+    double clock_ = 0;
+    bool clock_started_ = false; //!< clock_ seeded from the first arrival
+    double first_arrival_ = std::numeric_limits<double>::infinity();
+    MetricsCollector mc_;
 };
 
 } // namespace bitdec::serving

@@ -74,6 +74,15 @@ ServingOptions::parse(int argc, char** argv)
                          "--shards=4");
         } else if (std::strcmp(arg, "--smoke") == 0) {
             o.smoke = true;
+        } else if (std::strncmp(arg, "--port=", 7) == 0) {
+            o.port = static_cast<int>(intValue("--port", arg + 7));
+            if (o.port > 65535)
+                BITDEC_FATAL("--port= must be <= 65535, got '", arg + 7,
+                             "'");
+            o.port_given = true;
+        } else if (std::strcmp(arg, "--port") == 0) {
+            BITDEC_FATAL("--port takes its value with '=', e.g. "
+                         "--port=9178");
         } else if (std::strncmp(arg, "--hot-pool-pages=", 17) == 0) {
             o.hot_pool_pages =
                 static_cast<int>(intValue("--hot-pool-pages", arg + 17));

@@ -17,6 +17,8 @@
  *   --fault-seed=<n>          chaos decision seed
  *   --shards=<n>              engine replicas behind the ServingClient
  *   --smoke                   CI gate mode (subset of runs, hard pass/fail)
+ *   --port=<n>                TCP port (bitdec_server/bitdec_client;
+ *                             0 = ephemeral on the server)
  *   --hot-pool-pages=<n>      hot KV pool size for tiered scenarios
  *   --tier=<layout>           cold tiers: host | host,disk | none
  *
@@ -50,6 +52,9 @@ struct ServingOptions
 
     int shards = 1;     //!< --shards=<n> engine replicas
     bool smoke = false; //!< --smoke CI gate mode
+
+    int port = 9178;        //!< --port=<n>; 0 = ephemeral (bitdec_server)
+    bool port_given = false;
 
     int hot_pool_pages = 2048;      //!< --hot-pool-pages=<n>
     std::string tier = "host,disk"; //!< --tier=host|host,disk|none
